@@ -1,0 +1,94 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace accmg::bench {
+
+std::vector<MachineConfig> Machines() {
+  return {
+      MachineConfig{"Desktop (1x Core i7, 2x Tesla C2075)", 2,
+                    [](int gpus) { return sim::MakeDesktopMachine(gpus); }},
+      MachineConfig{"Supercomputer node (2x Xeon, 3x Tesla M2050)", 3,
+                    [](int gpus) { return sim::MakeSupercomputerNode(gpus); }},
+  };
+}
+
+std::vector<AppRunners> PaperApps(double scale) {
+  std::vector<AppRunners> apps;
+
+  {
+    auto input = std::make_shared<apps::MdInput>(apps::MakePaperMdInput(scale));
+    apps.push_back(AppRunners{
+        "md", [input](sim::Platform& platform, int gpus,
+                      const runtime::ExecOptions& options) {
+          std::vector<float> force;
+          if (gpus == 0) return apps::RunMdOpenMp(*input, platform, &force);
+          if (gpus == -1) return apps::RunMdCuda(*input, platform, &force);
+          return apps::RunMdAcc(*input, platform, gpus, &force, options);
+        }});
+  }
+  {
+    auto input = std::make_shared<apps::KmeansInput>(
+        apps::MakePaperKmeansInput(scale));
+    apps.push_back(AppRunners{
+        "kmeans", [input](sim::Platform& platform, int gpus,
+                          const runtime::ExecOptions& options) {
+          apps::KmeansResult result;
+          if (gpus == 0) {
+            return apps::RunKmeansOpenMp(*input, platform, &result);
+          }
+          if (gpus == -1) {
+            return apps::RunKmeansCuda(*input, platform, &result);
+          }
+          return apps::RunKmeansAcc(*input, platform, gpus, &result, options);
+        }});
+  }
+  {
+    auto input =
+        std::make_shared<apps::BfsInput>(apps::MakePaperBfsInput(scale));
+    apps.push_back(AppRunners{
+        "bfs", [input](sim::Platform& platform, int gpus,
+                       const runtime::ExecOptions& options) {
+          std::vector<std::int32_t> cost;
+          if (gpus == 0) return apps::RunBfsOpenMp(*input, platform, &cost);
+          if (gpus == -1) return apps::RunBfsCuda(*input, platform, &cost);
+          return apps::RunBfsAcc(*input, platform, gpus, &cost, options);
+        }});
+  }
+  return apps;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  ACCMG_REQUIRE(cells.size() == headers_.size(),
+                "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() * 2;
+  for (auto w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace accmg::bench

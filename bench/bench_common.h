@@ -1,0 +1,69 @@
+// Shared infrastructure for the paper-reproduction benchmarks: workload
+// configurations, the version matrix of Fig. 7 (OpenMP / OpenACC-1GPU /
+// CUDA-1GPU / Proposal-1..3GPU), and plain-text table rendering.
+//
+// Benchmarks report *simulated* time from the platform's analytic cost
+// model; absolute numbers are not comparable to the paper's hardware, but
+// the relative shape (who wins, by what factor, where communication
+// dominates) is the reproduction target. Set ACCMG_BENCH_SCALE (default
+// 0.1) to trade fidelity for runtime; 1.0 reproduces the paper's sizes.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/bfs/bfs.h"
+#include "apps/kmeans/kmeans.h"
+#include "apps/md/md.h"
+#include "common/string_util.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::bench {
+
+inline double BenchScale() {
+  if (const char* env = std::getenv("ACCMG_BENCH_SCALE")) {
+    return std::atof(env);
+  }
+  return 0.1;
+}
+
+/// The two machines of Table I.
+struct MachineConfig {
+  std::string name;
+  int max_gpus;
+  std::function<std::unique_ptr<sim::Platform>(int)> make;
+};
+
+std::vector<MachineConfig> Machines();
+
+/// One application hooked into the version matrix.
+struct AppRunners {
+  std::string name;
+  /// Runs the given version; returns the report. gpus==0 means OpenMP,
+  /// gpus==-1 means hand-written CUDA on one GPU, gpus>=1 the proposal with
+  /// the given runtime options.
+  std::function<runtime::RunReport(sim::Platform&, int gpus,
+                                   const runtime::ExecOptions&)>
+      run;
+};
+
+/// The three paper applications at `scale` of the paper's input sizes.
+std::vector<AppRunners> PaperApps(double scale);
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace accmg::bench

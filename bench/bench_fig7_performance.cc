@@ -1,0 +1,65 @@
+// Figure 7: relative performance normalized to the OpenMP versions.
+//
+// Paper result shape: every GPU version beats OpenMP except bfs on the
+// supercomputer node; the proposal on multiple GPUs beats hand-written CUDA
+// on one GPU; best cases ~6.75x (desktop, 2 GPUs) and ~2.95x (node, 3 GPUs).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace accmg::bench {
+namespace {
+
+void Run() {
+  const double scale = BenchScale();
+  std::printf("Fig. 7 reproduction (input scale %.3g; set ACCMG_BENCH_SCALE"
+              "=1 for paper-size inputs)\n", scale);
+
+  const runtime::ExecOptions defaults;
+  runtime::ExecOptions no_ext;
+  no_ext.honor_localaccess = false;
+
+  for (const MachineConfig& machine : Machines()) {
+    auto apps = PaperApps(scale);
+    std::vector<std::string> headers{"app",         "OpenMP",
+                                     "ACC(1,noext)", "CUDA(1)"};
+    for (int g = 1; g <= machine.max_gpus; ++g) {
+      headers.push_back("Proposal(" + std::to_string(g) + ")");
+    }
+    Table table(headers);
+
+    for (const AppRunners& app : apps) {
+      auto baseline = machine.make(machine.max_gpus);
+      const double openmp = app.run(*baseline, 0, defaults).total_seconds;
+
+      std::vector<std::string> row{app.name, "1.00"};
+      {
+        // Stock single-GPU OpenACC compiler: extensions ignored.
+        auto p = machine.make(machine.max_gpus);
+        row.push_back(
+            FormatFixed(openmp / app.run(*p, 1, no_ext).total_seconds, 2));
+      }
+      {
+        auto p = machine.make(machine.max_gpus);
+        row.push_back(
+            FormatFixed(openmp / app.run(*p, -1, defaults).total_seconds, 2));
+      }
+      for (int gpus = 1; gpus <= machine.max_gpus; ++gpus) {
+        auto p = machine.make(machine.max_gpus);
+        row.push_back(FormatFixed(
+            openmp / app.run(*p, gpus, defaults).total_seconds, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print("Relative performance vs OpenMP — " + machine.name);
+  }
+  std::printf(
+      "\nPaper shape: all GPU bars > 1 except bfs on the supercomputer "
+      "node;\nProposal(2/3) > CUDA(1); peaks ~6.75x (desktop) and ~2.95x "
+      "(node).\n");
+}
+
+}  // namespace
+}  // namespace accmg::bench
+
+int main() { accmg::bench::Run(); }

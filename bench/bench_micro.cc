@@ -1,0 +1,178 @@
+// Microbenchmarks (google-benchmark) for the infrastructure layers: the IR
+// interpreter, the frontend, the simulated-clock scheduler and the
+// communication manager's dirty-element merge. These measure *real wall
+// time* of this implementation (unlike the figure benches, which report
+// simulated time).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "ir/builder.h"
+#include "ir/exec.h"
+#include "runtime/comm_manager.h"
+#include "runtime/data_loader.h"
+#include "sim/platform.h"
+#include "translator/offload.h"
+
+namespace accmg {
+namespace {
+
+// --- IR interpreter throughput ---------------------------------------------
+
+ir::KernelIR BuildSaxpyKernel() {
+  ir::KernelBuilder builder("saxpy");
+  const int x = builder.AddArray("x", ir::ValType::kF32);
+  const int y = builder.AddArray("y", ir::ValType::kF32);
+  const int a = builder.AddScalar("a", ir::ValType::kF32);
+  const int xv = builder.Load(x, builder.thread_id_reg());
+  const int prod = builder.Binary(ir::Opcode::kMulF, a, xv);
+  const int rp = builder.Unary(ir::Opcode::kRoundF32, prod);
+  const int yv = builder.Load(y, builder.thread_id_reg());
+  const int sum = builder.Binary(ir::Opcode::kAddF, rp, yv);
+  const int rs = builder.Unary(ir::Opcode::kRoundF32, sum);
+  builder.Store(y, builder.thread_id_reg(), rs);
+  return builder.Build();
+}
+
+void BM_InterpreterSaxpy(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  static const ir::KernelIR kernel = BuildSaxpyKernel();
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(n), 2.0f);
+
+  ir::KernelExec exec(kernel);
+  for (auto& binding : exec.bindings) {
+    binding.lo = 0;
+    binding.hi = n;
+    binding.write_lo = 0;
+    binding.write_hi = n;
+    binding.logical_size = n;
+  }
+  exec.bindings[0].data = reinterpret_cast<std::byte*>(x.data());
+  exec.bindings[1].data = reinterpret_cast<std::byte*>(y.data());
+  exec.scalar_values[0] = ir::EncodeScalar(ir::ValType::kF32, 1.5, 0);
+
+  for (auto _ : state) {
+    sim::KernelStats stats;
+    exec.Execute(0, n, stats);
+    benchmark::DoNotOptimize(stats.instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InterpreterSaxpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// --- frontend throughput -----------------------------------------------------
+
+void BM_ParseAndAnalyze(benchmark::State& state) {
+  const std::string source = R"(
+void kmeans_like(int n, int k, int f, float* data, float* cent, int* mem) {
+  #pragma acc data copyin(data[0:n*f]) copy(cent[0:k*f], mem[0:n])
+  {
+    #pragma acc localaccess(data: stride(f)) (mem: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      int best = 0;
+      float bd = 3.0e38f;
+      for (int c = 0; c < k; c++) {
+        float d = 0.0f;
+        for (int j = 0; j < f; j++) {
+          float diff = data[i * f + j] - cent[c * f + j];
+          d += diff * diff;
+        }
+        if (d < bd) { bd = d; best = c; }
+      }
+      mem[i] = best;
+    }
+  }
+}
+)";
+  for (auto _ : state) {
+    frontend::SourceBuffer buffer("bench.c", source);
+    auto program = frontend::ParseAndAnalyze(buffer);
+    benchmark::DoNotOptimize(program->functions.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_ParseAndAnalyze);
+
+void BM_TranslateToIr(benchmark::State& state) {
+  const std::string source = R"(
+void f(int n, float* a, float* b) {
+  #pragma acc localaccess(a: stride(1), left(1), right(1)) (b: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    int l = i - 1;
+    if (l < 0) { l = 0; }
+    b[i] = 0.5f * (a[i] + a[l]);
+  }
+}
+)";
+  frontend::SourceBuffer buffer("bench.c", source);
+  auto program = frontend::ParseAndAnalyze(buffer);
+  for (auto _ : state) {
+    translator::CompiledProgram compiled = translator::Compile(*program);
+    benchmark::DoNotOptimize(compiled.functions[0].offloads.size());
+  }
+}
+BENCHMARK(BM_TranslateToIr);
+
+// --- simulated clock ----------------------------------------------------------
+
+void BM_ClockScheduling(benchmark::State& state) {
+  sim::SimClock clock;
+  std::vector<sim::SimClock::Resource> resources;
+  for (int i = 0; i < 8; ++i) {
+    resources.push_back(clock.NewResource("r" + std::to_string(i)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    clock.Schedule(resources[i++ & 7], 1e-6);
+    if ((i & 1023) == 0) clock.Barrier(sim::TimeCategory::kOther);
+  }
+  benchmark::DoNotOptimize(clock.Now());
+}
+BENCHMARK(BM_ClockScheduling);
+
+// --- dirty propagation ---------------------------------------------------------
+
+void BM_DirtyPropagation(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const double dirty_fraction = 0.01;
+  auto platform = sim::MakeDesktopMachine(2);
+  runtime::ExecOptions options;
+  runtime::DataLoader loader(*platform, options, {0, 1});
+  runtime::CommManager comm(*platform, options, {0, 1});
+
+  std::vector<std::int32_t> host(static_cast<std::size_t>(n), 0);
+  runtime::ManagedArray array("a", ir::ValType::kI32, n, host.data(), 2);
+  runtime::ArrayRequirement req;
+  req.array = &array;
+  req.written = true;
+  req.dirty_tracked = true;
+  req.read_ranges.assign(2, runtime::Range{0, n});
+  req.own_ranges.assign(2, runtime::Range{0, n});
+  loader.EnsurePlacement(req);
+
+  const auto stride = static_cast<std::int64_t>(1.0 / dirty_fraction);
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::DeviceShard& shard = array.shard(0);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      shard.dirty1->bytes()[static_cast<std::size_t>(i)] = std::byte{1};
+      shard.dirty2->bytes()[static_cast<std::size_t>(i / shard.chunk_elems)] =
+          std::byte{1};
+    }
+    state.ResumeTiming();
+    comm.PropagateReplicated(array);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / stride));
+}
+BENCHMARK(BM_DirtyPropagation)->Arg(1 << 18)->Arg(1 << 22);
+
+}  // namespace
+}  // namespace accmg
+
+BENCHMARK_MAIN();

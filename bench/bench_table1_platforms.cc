@@ -1,0 +1,33 @@
+// Table I: the two evaluation machines, as modeled by the virtual platform.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace accmg::bench {
+namespace {
+
+void Run() {
+  Table table({"machine", "CPU", "GPUs", "GPU memory", "host link",
+               "peer link", "IO groups"});
+  for (const MachineConfig& machine : Machines()) {
+    auto platform = machine.make(machine.max_gpus);
+    const auto& topo = platform->topology();
+    table.AddRow({
+        machine.name,
+        platform->host_spec().name + " (" +
+            std::to_string(platform->host_spec().threads) + " threads)",
+        std::to_string(platform->num_devices()) + "x " +
+            platform->device(0).spec().name,
+        FormatBytes(platform->device(0).spec().memory_bytes),
+        FormatFixed(topo.host_link.bandwidth_bps / 1e9, 1) + " GB/s",
+        FormatFixed(topo.peer_link.bandwidth_bps / 1e9, 1) + " GB/s",
+        std::to_string(topo.num_io_groups()),
+    });
+  }
+  table.Print("Table I — machine settings (simulated)");
+}
+
+}  // namespace
+}  // namespace accmg::bench
+
+int main() { accmg::bench::Run(); }

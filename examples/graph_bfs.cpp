@@ -1,0 +1,52 @@
+// Multi-GPU BFS — the paper's communication-heavy workload.
+//
+// The level (cost) array is written at arbitrary neighbour indices, so it
+// stays replicated with two-level dirty bits; every BFS level exchanges the
+// dirty chunks between the GPUs. This example prints the traffic the
+// communication manager generated, showing why BFS gains little from a
+// third GPU on the supercomputer node (paper Fig. 7/8).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/bfs/bfs.h"
+#include "common/string_util.h"
+#include "sim/platform.h"
+
+int main() {
+  using namespace accmg;
+
+  const apps::BfsInput input = apps::MakeBfsInput(200000, 48);
+  const std::vector<std::int32_t> reference = apps::BfsReference(input);
+  const int diameter = *std::max_element(reference.begin(), reference.end());
+  std::printf("graph: %d nodes, degree %d, BFS diameter %d\n\n", input.nnodes,
+              input.degree, diameter);
+
+  for (int gpus : {1, 2, 3}) {
+    auto platform = sim::MakeSupercomputerNode(3);
+    std::vector<std::int32_t> cost;
+    const runtime::RunReport report =
+        apps::RunBfsAcc(input, *platform, gpus, &cost);
+    if (cost != reference) {
+      std::printf("WRONG BFS RESULT with %d GPUs\n", gpus);
+      return 1;
+    }
+    std::printf(
+        "%d GPU(s): %8.3f ms  (KERNELS %7.3f  CPU-GPU %8.3f  GPU-GPU "
+        "%8.3f)\n"
+        "          dirty chunks sent %6llu, clean chunks skipped %6llu, "
+        "P2P traffic %s\n",
+        gpus, report.total_seconds * 1e3,
+        report.time[sim::TimeCategory::kKernel] * 1e3,
+        report.time[sim::TimeCategory::kCpuGpu] * 1e3,
+        report.time[sim::TimeCategory::kGpuGpu] * 1e3,
+        static_cast<unsigned long long>(report.comm.dirty_chunks_sent),
+        static_cast<unsigned long long>(report.comm.clean_chunks_skipped),
+        FormatBytes(report.counters.p2p_bytes).c_str());
+  }
+  std::printf(
+      "\nEvery run matched the sequential reference; the GPU-GPU column "
+      "grows\nwith the GPU count — the bottleneck the paper identifies for "
+      "bfs.\n");
+  return 0;
+}

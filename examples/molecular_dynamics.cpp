@@ -1,0 +1,49 @@
+// Multi-GPU molecular dynamics — the paper's communication-free workload.
+//
+// Force and neighbour-list arrays carry localaccess directives, so the
+// loader distributes them; every write is statically proven local, so the
+// kernel needs neither dirty bits nor write-miss checks and the run shows
+// zero GPU-GPU time at any GPU count.
+#include <cstdio>
+#include <vector>
+
+#include "apps/md/md.h"
+#include "common/string_util.h"
+#include "sim/platform.h"
+
+int main() {
+  using namespace accmg;
+
+  const apps::MdInput input = apps::MakeMdInput(36864, 64);
+  const std::vector<float> reference = apps::MdReference(input);
+  std::printf("Lennard-Jones forces: %d atoms, %d neighbours each\n\n",
+              input.natoms, input.maxneigh);
+
+  std::vector<float> force;
+  const auto cuda = apps::RunMdCuda(input, *sim::MakeDesktopMachine(2),
+                                    &force);
+  std::printf("hand-written CUDA, 1 GPU: %8.3f ms\n",
+              cuda.total_seconds * 1e3);
+
+  for (int gpus : {1, 2}) {
+    auto platform = sim::MakeDesktopMachine(2);
+    const runtime::RunReport report =
+        apps::RunMdAcc(input, *platform, gpus, &force);
+    if (force != reference) {
+      std::printf("WRONG FORCES with %d GPUs\n", gpus);
+      return 1;
+    }
+    std::printf(
+        "OpenACC proposal, %d GPU(s): %8.3f ms  (KERNELS %7.3f  CPU-GPU "
+        "%7.3f  GPU-GPU %7.3f)  user memory %s\n",
+        gpus, report.total_seconds * 1e3,
+        report.time[sim::TimeCategory::kKernel] * 1e3,
+        report.time[sim::TimeCategory::kCpuGpu] * 1e3,
+        report.time[sim::TimeCategory::kGpuGpu] * 1e3,
+        FormatBytes(report.peak_user_bytes).c_str());
+  }
+  std::printf(
+      "\nForces match the sequential reference bit-for-bit; GPU-GPU time is "
+      "zero\n(no inter-GPU communication, paper Section V-A).\n");
+  return 0;
+}

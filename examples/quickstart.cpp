@@ -1,0 +1,80 @@
+// Quickstart: compile an annotated OpenACC program and run it on the
+// simulated 2-GPU desktop machine, on 1 GPU, and on the CPU baseline.
+//
+//   $ ./examples/quickstart
+//
+// The program is plain C with OpenACC directives plus the paper's
+// `localaccess` extension; no multi-GPU code appears in the source — the
+// translator and runtime distribute the work and the data.
+#include <cstdio>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace {
+
+constexpr char kSource[] = R"(
+void saxpy(int n, float a, float* x, float* y) {
+  #pragma acc data copyin(x[0:n]) copy(y[0:n])
+  {
+    #pragma acc localaccess(x: stride(1)) (y: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      y[i] = a * x[i] + y[i];
+    }
+  }
+}
+)";
+
+void Report(const char* label, const accmg::runtime::RunReport& report) {
+  std::printf(
+      "%-12s total %8.3f ms   (KERNELS %7.3f  CPU-GPU %7.3f  GPU-GPU %7.3f  "
+      "HOST %7.3f)\n",
+      label, report.total_seconds * 1e3,
+      report.time[accmg::sim::TimeCategory::kKernel] * 1e3,
+      report.time[accmg::sim::TimeCategory::kCpuGpu] * 1e3,
+      report.time[accmg::sim::TimeCategory::kGpuGpu] * 1e3,
+      report.time[accmg::sim::TimeCategory::kHostCompute] * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace accmg;
+
+  constexpr int kN = 1 << 22;  // 4M elements
+  const auto program = runtime::AccProgram::FromSource("saxpy", kSource);
+  auto platform = sim::MakeDesktopMachine(2);
+
+  std::printf("saxpy over %d floats on the simulated desktop machine\n\n",
+              kN);
+
+  for (const auto& [label, gpus, cpu] :
+       {std::tuple{"OpenMP", 1, true}, std::tuple{"1 GPU", 1, false},
+        std::tuple{"2 GPUs", 2, false}}) {
+    std::vector<float> x(kN), y(kN);
+    for (int i = 0; i < kN; ++i) {
+      x[i] = 1.0f + 1e-6f * static_cast<float>(i);
+      y[i] = 2.0f;
+    }
+    runtime::ProgramRunner runner(
+        program, runtime::RunConfig{.platform = platform.get(),
+                                    .num_gpus = gpus,
+                                    .use_cpu = cpu});
+    runner.BindArray("x", x.data(), ir::ValType::kF32, kN);
+    runner.BindArray("y", y.data(), ir::ValType::kF32, kN);
+    runner.BindScalar("n", static_cast<std::int64_t>(kN));
+    runner.BindScalarF32("a", 2.5f);
+    const runtime::RunReport report = runner.Run("saxpy");
+    Report(label, report);
+    // Spot-check the result.
+    const float expected = 2.5f * x[123] + 2.0f;
+    if (y[123] != expected) {
+      std::printf("WRONG RESULT at index 123: %f vs %f\n", y[123], expected);
+      return 1;
+    }
+  }
+  std::printf("\nAll three executions produced identical results.\n");
+  return 0;
+}

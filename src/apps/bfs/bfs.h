@@ -1,0 +1,53 @@
+// BFS (SHOC): level-synchronous breadth-first search on a fixed-degree
+// random graph.
+//
+// Paper Table II: 444.9 MB of device data, 1 parallel loop, 10 kernel
+// executions (one per frontier level), 2 of 3 arrays with localaccess (the
+// adjacency array, stride degree, plus the per-node frontier check which is
+// i-aligned). The cost (level) array is written at arbitrary neighbour
+// indices, so it stays replicated with two-level dirty bits — BFS is the
+// paper's communication-heavy worst case, which is why it gains little from
+// a third GPU on the supercomputer node (Fig. 7/8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct BfsInput {
+  int nnodes = 0;
+  int degree = 0;
+  int source = 0;
+  int max_levels = 0;
+  std::vector<std::int32_t> offsets;  ///< CSR offsets, nnodes + 1 entries
+  std::vector<std::int32_t> edges;    ///< nnodes * degree neighbour ids
+};
+
+/// Deterministic fixed-degree graph with mostly-local edges plus long-range
+/// shortcuts (small-world-ish), so BFS needs ~10 levels as in the paper.
+BfsInput MakeBfsInput(int nnodes, int degree, std::uint64_t seed = 11);
+
+/// SHOC "SM node" shaped input scaled to `scale` of the 444.9 MB footprint.
+BfsInput MakePaperBfsInput(double scale = 1.0);
+
+/// Native reference: per-node BFS level (-1 for unreachable).
+std::vector<std::int32_t> BfsReference(const BfsInput& input);
+
+const std::string& BfsSource();
+
+runtime::RunReport RunBfsAcc(const BfsInput& input, sim::Platform& platform,
+                             int num_gpus, std::vector<std::int32_t>* cost_out,
+                             const runtime::ExecOptions& options = {});
+
+runtime::RunReport RunBfsOpenMp(const BfsInput& input, sim::Platform& platform,
+                                std::vector<std::int32_t>* cost_out);
+
+runtime::RunReport RunBfsCuda(const BfsInput& input, sim::Platform& platform,
+                              std::vector<std::int32_t>* cost_out);
+
+}  // namespace accmg::apps

@@ -1,0 +1,60 @@
+// KMEANS (Rodinia): Lloyd's algorithm on a kddcup-shaped dataset.
+//
+// Paper Table II: kddcup input (494020 points x 34 features, 5 clusters),
+// 2 parallel loops, 74 kernel executions, 2 of 5 arrays with localaccess
+// (the feature matrix, stride nfeatures, and the membership vector,
+// stride 1). Centroids are replicated read-only; the per-cluster sums and
+// counts are reductiontoarray destinations — the "small amount of inter-GPU
+// communication" the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct KmeansInput {
+  int npoints = 0;
+  int nfeatures = 0;
+  int nclusters = 0;
+  int iterations = 0;
+  std::vector<float> features;   ///< npoints * nfeatures
+  std::vector<float> centroids;  ///< nclusters * nfeatures (initial)
+};
+
+/// Deterministic clustered data: points drawn around `nclusters` centers.
+KmeansInput MakeKmeansInput(int npoints, int nfeatures, int nclusters,
+                            int iterations, std::uint64_t seed = 7);
+
+/// kddcup shape (scaled): 494020 x 34, k=5, 37 iterations = 74 launches.
+KmeansInput MakePaperKmeansInput(double scale = 1.0);
+
+struct KmeansResult {
+  std::vector<float> centroids;
+  std::vector<std::int32_t> membership;
+};
+
+/// Native reference (float32 arithmetic, same operation order per point).
+KmeansResult KmeansReference(const KmeansInput& input);
+
+const std::string& KmeansSource();
+
+runtime::RunReport RunKmeansAcc(const KmeansInput& input,
+                                sim::Platform& platform, int num_gpus,
+                                KmeansResult* result,
+                                const runtime::ExecOptions& options = {});
+
+runtime::RunReport RunKmeansOpenMp(const KmeansInput& input,
+                                   sim::Platform& platform,
+                                   KmeansResult* result);
+
+/// Hand-written single-GPU CUDA baseline.
+runtime::RunReport RunKmeansCuda(const KmeansInput& input,
+                                 sim::Platform& platform,
+                                 KmeansResult* result);
+
+}  // namespace accmg::apps

@@ -1,0 +1,57 @@
+// MD (SHOC): Lennard-Jones force computation over fixed neighbour lists.
+//
+// Paper Table II: 73728 atoms, 1 parallel loop, 1 kernel execution, 2 of 3
+// arrays annotated with localaccess (the neighbour list, stride maxneigh, and
+// the force output, stride 3). Positions are read at arbitrary neighbour
+// indices and therefore stay replicated. MD needs no inter-GPU communication:
+// every write is proven local, which is exactly why it scales almost linearly
+// in Fig. 7/8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct MdInput {
+  int natoms = 0;
+  int maxneigh = 0;
+  float lj1 = 1.5f;
+  float lj2 = 2.0f;
+  float cutsq = 16.0f;
+  std::vector<float> pos;        ///< 3*natoms, interleaved x,y,z
+  std::vector<std::int32_t> neigh;  ///< natoms*maxneigh neighbour indices
+};
+
+/// Deterministic input: atoms on a jittered lattice, neighbours drawn from a
+/// spatial window so a realistic fraction falls inside the cutoff.
+MdInput MakeMdInput(int natoms, int maxneigh, std::uint64_t seed = 42);
+
+/// The paper's configuration (73728 atoms).
+MdInput MakePaperMdInput(double scale = 1.0);
+
+/// Native single-thread reference; returns the 3*natoms force array.
+std::vector<float> MdReference(const MdInput& input);
+
+/// The annotated OpenACC source consumed by the translator.
+const std::string& MdSource();
+
+/// Proposal: translated program on `num_gpus` simulated GPUs.
+runtime::RunReport RunMdAcc(const MdInput& input, sim::Platform& platform,
+                            int num_gpus, std::vector<float>* force_out,
+                            const runtime::ExecOptions& options = {});
+
+/// OpenMP baseline: same program on the host CPU.
+runtime::RunReport RunMdOpenMp(const MdInput& input, sim::Platform& platform,
+                               std::vector<float>* force_out);
+
+/// Hand-written CUDA baseline: single GPU, hand-managed transfers, a kernel
+/// whose dynamic cost reflects compiled (not interpreted) code.
+runtime::RunReport RunMdCuda(const MdInput& input, sim::Platform& platform,
+                             std::vector<float>* force_out);
+
+}  // namespace accmg::apps

@@ -1,0 +1,195 @@
+#include "apps/spmv/spmv.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace accmg::apps {
+
+namespace {
+
+constexpr char kSpmvSource[] = R"(
+void spmv(int rows, int maxnnz, float* values, int* cols, float* x,
+          float* y) {
+  #pragma acc data copyin(values[0:rows*maxnnz], cols[0:rows*maxnnz], \
+                          x[0:rows]) copyout(y[0:rows])
+  {
+    #pragma acc localaccess(values: stride(maxnnz)) (cols: stride(maxnnz)) \
+                (y: stride(1))
+    #pragma acc parallel loop
+    for (int r = 0; r < rows; r++) {
+      float total = 0.0f;
+      for (int j = 0; j < maxnnz; j++) {
+        total += values[r * maxnnz + j] * x[cols[r * maxnnz + j]];
+      }
+      y[r] = total;
+    }
+  }
+}
+)";
+
+}  // namespace
+
+const std::string& SpmvSource() {
+  static const std::string* source = new std::string(kSpmvSource);
+  return *source;
+}
+
+SpmvInput MakeSpmvInput(int rows, int max_nnz, std::uint64_t seed) {
+  ACCMG_REQUIRE(rows > 0 && max_nnz > 0, "bad SpMV shape");
+  SpmvInput input;
+  input.rows = rows;
+  input.max_nnz = max_nnz;
+  const std::size_t total =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(max_nnz);
+  input.values.resize(total);
+  input.cols.resize(total);
+  input.x.resize(static_cast<std::size_t>(rows));
+  Rng rng(seed);
+  const std::int64_t band = std::max<std::int64_t>(4, rows / 64);
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < max_nnz; ++j) {
+      const std::size_t idx =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(max_nnz) +
+          static_cast<std::size_t>(j);
+      std::int64_t c;
+      if (j + 1 == max_nnz) {
+        c = static_cast<std::int64_t>(
+            rng.NextBounded(static_cast<std::uint64_t>(rows)));
+      } else {
+        c = std::clamp<std::int64_t>(r + rng.NextInt(-band, band), 0,
+                                     rows - 1);
+      }
+      input.cols[idx] = static_cast<std::int32_t>(c);
+      input.values[idx] = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+    }
+    input.x[static_cast<std::size_t>(r)] =
+        static_cast<float>(rng.NextDouble(-2.0, 2.0));
+  }
+  return input;
+}
+
+std::vector<float> SpmvReference(const SpmvInput& input) {
+  std::vector<float> y(static_cast<std::size_t>(input.rows));
+  for (int r = 0; r < input.rows; ++r) {
+    float total = 0.0f;
+    for (int j = 0; j < input.max_nnz; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(input.max_nnz) +
+                              static_cast<std::size_t>(j);
+      total += input.values[idx] *
+               input.x[static_cast<std::size_t>(input.cols[idx])];
+    }
+    y[static_cast<std::size_t>(r)] = total;
+  }
+  return y;
+}
+
+namespace {
+
+runtime::RunReport RunSpmvProgram(const SpmvInput& input,
+                                  sim::Platform& platform, int num_gpus,
+                                  bool use_cpu, std::vector<float>* y_out,
+                                  const runtime::ExecOptions& options) {
+  static const runtime::AccProgram* program = new runtime::AccProgram(
+      runtime::AccProgram::FromSource("spmv", SpmvSource()));
+  y_out->assign(static_cast<std::size_t>(input.rows), 0.0f);
+  runtime::RunConfig config;
+  config.platform = &platform;
+  config.num_gpus = num_gpus;
+  config.use_cpu = use_cpu;
+  config.options = options;
+  runtime::ProgramRunner runner(*program, config);
+  runner.BindArray("values", const_cast<float*>(input.values.data()),
+                   ir::ValType::kF32,
+                   static_cast<std::int64_t>(input.values.size()));
+  runner.BindArray("cols", const_cast<std::int32_t*>(input.cols.data()),
+                   ir::ValType::kI32,
+                   static_cast<std::int64_t>(input.cols.size()));
+  runner.BindArray("x", const_cast<float*>(input.x.data()),
+                   ir::ValType::kF32,
+                   static_cast<std::int64_t>(input.x.size()));
+  runner.BindArray("y", y_out->data(), ir::ValType::kF32,
+                   static_cast<std::int64_t>(y_out->size()));
+  runner.BindScalar("rows", static_cast<std::int64_t>(input.rows));
+  runner.BindScalar("maxnnz", static_cast<std::int64_t>(input.max_nnz));
+  return runner.Run("spmv");
+}
+
+}  // namespace
+
+runtime::RunReport RunSpmvAcc(const SpmvInput& input, sim::Platform& platform,
+                              int num_gpus, std::vector<float>* y_out,
+                              const runtime::ExecOptions& options) {
+  return RunSpmvProgram(input, platform, num_gpus, /*use_cpu=*/false, y_out,
+                        options);
+}
+
+runtime::RunReport RunSpmvOpenMp(const SpmvInput& input,
+                                 sim::Platform& platform,
+                                 std::vector<float>* y_out) {
+  return RunSpmvProgram(input, platform, 1, /*use_cpu=*/true, y_out, {});
+}
+
+runtime::RunReport RunSpmvCuda(const SpmvInput& input, sim::Platform& platform,
+                               std::vector<float>* y_out) {
+  platform.ResetAccounting();
+  y_out->assign(static_cast<std::size_t>(input.rows), 0.0f);
+  sim::Device& dev = platform.device(0);
+  auto values =
+      dev.Allocate("cuda:values", input.values.size() * sizeof(float));
+  auto cols =
+      dev.Allocate("cuda:cols", input.cols.size() * sizeof(std::int32_t));
+  auto x = dev.Allocate("cuda:x", input.x.size() * sizeof(float));
+  auto y = dev.Allocate("cuda:y", y_out->size() * sizeof(float));
+  platform.CopyHostToDevice(*values, 0, input.values.data(),
+                            input.values.size() * sizeof(float));
+  platform.CopyHostToDevice(*cols, 0, input.cols.data(),
+                            input.cols.size() * sizeof(std::int32_t));
+  platform.CopyHostToDevice(*x, 0, input.x.data(),
+                            input.x.size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  const std::span<const float> values_view = values->Typed<float>();
+  const std::span<const std::int32_t> cols_view = cols->Typed<std::int32_t>();
+  const std::span<const float> x_view = x->Typed<float>();
+  const std::span<float> y_view = y->Typed<float>();
+  const int max_nnz = input.max_nnz;
+
+  sim::LambdaKernel kernel([&, values_view, cols_view, x_view, y_view](
+                               std::int64_t r, sim::KernelStats& stats) {
+    const auto rr = static_cast<std::size_t>(r);
+    float total = 0.0f;
+    for (int j = 0; j < max_nnz; ++j) {
+      const std::size_t idx =
+          rr * static_cast<std::size_t>(max_nnz) + static_cast<std::size_t>(j);
+      total += values_view[idx] *
+               x_view[static_cast<std::size_t>(cols_view[idx])];
+    }
+    y_view[rr] = total;
+    stats.instructions += 4 + static_cast<std::uint64_t>(max_nnz) * 12;
+    stats.bytes_read += static_cast<std::uint64_t>(max_nnz) * 12;
+    stats.bytes_written += 4;
+  });
+  sim::KernelLaunch launch;
+  launch.body = &kernel;
+  launch.num_threads = input.rows;
+  launch.name = "spmv_cuda";
+  platform.LaunchKernel(0, launch);
+  platform.Barrier(sim::TimeCategory::kKernel);
+  platform.CopyDeviceToHost(y_out->data(), *y, 0,
+                            y_out->size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  runtime::RunReport report;
+  report.time = platform.clock().breakdown();
+  report.total_seconds = report.time.Total();
+  report.counters = platform.counters();
+  report.kernel_executions = 1;
+  report.peak_user_bytes = values->size_bytes() + cols->size_bytes() +
+                           x->size_bytes() + y->size_bytes();
+  return report;
+}
+
+}  // namespace accmg::apps

@@ -1,0 +1,48 @@
+// SpMV (ELLPACK format): sparse matrix-vector product, y = A * x.
+//
+// Not one of the paper's three benchmarks, but squarely in the MapReduce
+// dwarf family its introduction motivates (linear algebra). It exercises a
+// placement mix none of the other apps covers: the matrix (values + column
+// indices, ELL layout) is distributed via localaccess stride(max_nnz), the
+// input vector x is read at arbitrary column positions and therefore
+// replicated read-only, and the output y is distributed with proven-local
+// writes — so, like MD, SpMV needs no inter-GPU communication, but unlike
+// MD it is memory-bound, which shifts its roofline balance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct SpmvInput {
+  int rows = 0;
+  int max_nnz = 0;            ///< entries per row (ELL width)
+  std::vector<float> values;  ///< rows * max_nnz, zero-padded
+  std::vector<std::int32_t> cols;  ///< rows * max_nnz column indices
+  std::vector<float> x;       ///< dense input vector (length rows)
+};
+
+/// Banded random matrix with a few long-range entries per row.
+SpmvInput MakeSpmvInput(int rows, int max_nnz, std::uint64_t seed = 23);
+
+std::vector<float> SpmvReference(const SpmvInput& input);
+
+const std::string& SpmvSource();
+
+runtime::RunReport RunSpmvAcc(const SpmvInput& input, sim::Platform& platform,
+                              int num_gpus, std::vector<float>* y_out,
+                              const runtime::ExecOptions& options = {});
+
+runtime::RunReport RunSpmvOpenMp(const SpmvInput& input,
+                                 sim::Platform& platform,
+                                 std::vector<float>* y_out);
+
+runtime::RunReport RunSpmvCuda(const SpmvInput& input, sim::Platform& platform,
+                               std::vector<float>* y_out);
+
+}  // namespace accmg::apps

@@ -1,0 +1,27 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace accmg::detail {
+
+namespace {
+std::string Render(const char* kind, const char* file, int line,
+                   const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " at " << file << ':' << line << ": (" << expr << ") " << msg;
+  return os.str();
+}
+}  // namespace
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& msg) {
+  throw InternalError(Render("internal check failed", file, line, expr, msg));
+}
+
+void FailRequire(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  throw InvalidArgumentError(
+      Render("requirement violated", file, line, expr, msg));
+}
+
+}  // namespace accmg::detail

@@ -1,0 +1,74 @@
+// Error handling primitives shared across the accmg libraries.
+//
+// All recoverable failures are reported with exceptions derived from
+// accmg::Error. The ACCMG_CHECK family is used for internal invariants that
+// indicate a bug in this library (not a user error); ACCMG_REQUIRE is used to
+// validate arguments at public API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace accmg {
+
+/// Base class of every exception thrown by the accmg libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// An internal invariant was violated — indicates a bug in accmg itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A caller passed an invalid argument to a public API.
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulated device operation failed (out of device memory, bad address,
+/// cross-device access without a copy, ...). The moral equivalent of a CUDA
+/// error code.
+class DeviceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A source program was rejected by the frontend or translator. Carries the
+/// rendered diagnostics in what().
+class CompileError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& msg);
+[[noreturn]] void FailRequire(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace accmg
+
+/// Internal invariant check. Throws accmg::InternalError when `cond` is false.
+#define ACCMG_CHECK(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::accmg::detail::FailCheck(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                                  \
+  } while (false)
+
+/// Public API argument validation. Throws accmg::InvalidArgumentError.
+#define ACCMG_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::accmg::detail::FailRequire(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                  \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define ACCMG_UNREACHABLE(msg)                                         \
+  ::accmg::detail::FailCheck(__FILE__, __LINE__, "unreachable", (msg))

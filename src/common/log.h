@@ -1,0 +1,43 @@
+// Minimal leveled logger. Off by default at Debug level so tests stay quiet;
+// benchmarks and examples raise the level explicitly when narrating runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace accmg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace accmg
+
+#define ACCMG_LOG(level)                                      \
+  if (static_cast<int>(::accmg::GetLogLevel()) <=             \
+      static_cast<int>(::accmg::LogLevel::level))             \
+  ::accmg::detail::LogLine(::accmg::LogLevel::level)

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for host-side measurements (the simulated platform
+// keeps its own virtual clock in sim/clock.h).
+#pragma once
+
+#include <chrono>
+
+namespace accmg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace accmg

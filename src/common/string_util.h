@@ -1,0 +1,29 @@
+// Small string helpers used by the frontend, codegen and table printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accmg {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Human readable byte count, e.g. "444.9MB".
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Fixed-precision double formatting (printf "%.*f").
+std::string FormatFixed(double value, int digits);
+
+}  // namespace accmg

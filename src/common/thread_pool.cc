@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.h"
+
+namespace accmg {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerMain() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunTasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::atomic<std::size_t> remaining{tasks.size()};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACCMG_CHECK(!stopping_, "submitting work to a stopped pool");
+    for (auto& task : tasks) {
+      queue_.emplace([&, body = std::move(task)] {
+        try {
+          body();
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::ParallelFor(std::int64_t begin, std::int64_t end,
+                             const std::function<void(std::int64_t)>& body) {
+  ParallelForChunks(begin, end,
+                    [&body](std::int64_t lo, std::int64_t hi, std::size_t) {
+                      for (std::int64_t i = lo; i < hi; ++i) body(i);
+                    });
+}
+
+void ThreadPool::ParallelForChunks(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t lo, std::int64_t hi,
+                             std::size_t worker)>& body) {
+  if (begin >= end) return;
+  const std::int64_t total = end - begin;
+  const std::int64_t chunks =
+      std::min<std::int64_t>(static_cast<std::int64_t>(workers_.size()), total);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(chunks));
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + total * c / chunks;
+    const std::int64_t hi = begin + total * (c + 1) / chunks;
+    tasks.emplace_back([&body, lo, hi, c] {
+      body(lo, hi, static_cast<std::size_t>(c));
+    });
+  }
+  RunTasks(std::move(tasks));
+}
+
+}  // namespace accmg

@@ -1,0 +1,53 @@
+// A fixed-size worker pool with a blocking ParallelFor. Used both by the
+// virtual GPU kernel engine (one pool per simulated device) and by the CPU
+// "OpenMP" baseline executor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace accmg {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; `num_threads == 0` means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs `body(i)` for every i in [begin, end), distributing contiguous
+  /// chunks over the workers, and blocks until every call returned. Exceptions
+  /// thrown by `body` are captured and the first one is rethrown on the
+  /// caller's thread.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& body);
+
+  /// Like ParallelFor but hands each worker a half-open chunk [lo, hi) so the
+  /// body can keep per-chunk state (e.g. private reduction accumulators).
+  void ParallelForChunks(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(std::int64_t lo, std::int64_t hi,
+                               std::size_t worker)>& body);
+
+ private:
+  void WorkerMain();
+  void RunTasks(std::vector<std::function<void()>> tasks);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace accmg

@@ -1,0 +1,75 @@
+#include "frontend/ast.h"
+
+namespace accmg::frontend {
+
+const char* BinaryOpSpelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLogicalAnd: return "&&";
+    case BinaryOp::kLogicalOr: return "||";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+const char* UnaryOpSpelling(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+const char* DirectiveKindName(DirectiveKind kind) {
+  switch (kind) {
+    case DirectiveKind::kData: return "data";
+    case DirectiveKind::kEnterData: return "enter data";
+    case DirectiveKind::kExitData: return "exit data";
+    case DirectiveKind::kParallel: return "parallel";
+    case DirectiveKind::kKernels: return "kernels";
+    case DirectiveKind::kLoop: return "loop";
+    case DirectiveKind::kUpdate: return "update";
+    case DirectiveKind::kLocalAccess: return "localaccess";
+    case DirectiveKind::kReductionToArray: return "reductiontoarray";
+  }
+  return "?";
+}
+
+const char* DataClauseKindName(DataClauseKind kind) {
+  switch (kind) {
+    case DataClauseKind::kCopy: return "copy";
+    case DataClauseKind::kCopyIn: return "copyin";
+    case DataClauseKind::kCopyOut: return "copyout";
+    case DataClauseKind::kCreate: return "create";
+    case DataClauseKind::kPresent: return "present";
+    case DataClauseKind::kDelete: return "delete";
+  }
+  return "?";
+}
+
+const char* ReductionOpSpelling(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::kAdd: return "+";
+    case ReductionOp::kMul: return "*";
+    case ReductionOp::kMin: return "min";
+    case ReductionOp::kMax: return "max";
+  }
+  return "?";
+}
+
+}  // namespace accmg::frontend

@@ -1,0 +1,256 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace accmg::frontend {
+
+namespace {
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"int", TokenKind::kKwInt},         {"long", TokenKind::kKwLong},
+      {"float", TokenKind::kKwFloat},     {"double", TokenKind::kKwDouble},
+      {"void", TokenKind::kKwVoid},       {"char", TokenKind::kKwChar},
+      {"unsigned", TokenKind::kKwUnsigned},
+      {"const", TokenKind::kKwConst},     {"restrict", TokenKind::kKwRestrict},
+      {"__restrict__", TokenKind::kKwRestrict},
+      {"if", TokenKind::kKwIf},           {"else", TokenKind::kKwElse},
+      {"for", TokenKind::kKwFor},         {"while", TokenKind::kKwWhile},
+      {"do", TokenKind::kKwDo},           {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},     {"continue", TokenKind::kKwContinue},
+  };
+  return *table;
+}
+}  // namespace
+
+Lexer::Lexer(const SourceBuffer& source) : source_(source) {}
+
+std::vector<Token> Lexer::LexAll() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = Next();
+    const bool done = token.is(TokenKind::kEndOfFile);
+    tokens.push_back(std::move(token));
+    if (done) return tokens;
+  }
+}
+
+char Lexer::Peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < source_.text().size() ? source_.text()[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = Peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+    at_line_start_ = true;
+  } else {
+    ++column_;
+    if (!std::isspace(static_cast<unsigned char>(c))) at_line_start_ = false;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (Peek() != expected) return false;
+  Advance();
+  return true;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (true) {
+    const char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (Peek() != '\n' && Peek() != '\0') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (Peek() == '\0') Fail("unterminated block comment");
+        Advance();
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind) const {
+  Token token;
+  token.kind = kind;
+  token.location = token_start_;
+  return token;
+}
+
+void Lexer::Fail(const std::string& message) const {
+  throw CompileError(source_.name() + ":" + std::to_string(line_) + ":" +
+                     std::to_string(column_) + ": lex error: " + message);
+}
+
+Token Lexer::LexNumber() {
+  const std::size_t start = pos_;
+  bool is_float = false;
+  // Hex integers.
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    Advance();
+    Advance();
+    while (std::isxdigit(static_cast<unsigned char>(Peek()))) Advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    if (Peek() == '.') {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+  }
+  std::string spelling = source_.text().substr(start, pos_ - start);
+  // Suffixes: f/F marks float, l/L and u/U are accepted and ignored.
+  bool f32_suffix = false;
+  while (Peek() == 'f' || Peek() == 'F' || Peek() == 'l' || Peek() == 'L' ||
+         Peek() == 'u' || Peek() == 'U') {
+    if (Peek() == 'f' || Peek() == 'F') {
+      is_float = true;
+      f32_suffix = true;
+    }
+    Advance();
+  }
+  if (f32_suffix) spelling += 'f';  // keep float32-ness visible in the spelling
+  Token token = MakeToken(is_float ? TokenKind::kFloatLiteral
+                                   : TokenKind::kIntLiteral);
+  token.text = spelling;
+  if (is_float) {
+    token.float_value = std::strtod(spelling.c_str(), nullptr);
+  } else {
+    token.int_value = std::strtoll(spelling.c_str(), nullptr, 0);
+  }
+  return token;
+}
+
+Token Lexer::LexIdentifierOrKeyword() {
+  const std::size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+    Advance();
+  }
+  std::string spelling = source_.text().substr(start, pos_ - start);
+  const auto& keywords = KeywordTable();
+  if (auto it = keywords.find(spelling); it != keywords.end()) {
+    Token token = MakeToken(it->second);
+    token.text = std::move(spelling);
+    return token;
+  }
+  Token token = MakeToken(TokenKind::kIdentifier);
+  token.text = std::move(spelling);
+  return token;
+}
+
+Token Lexer::LexPragmaLine() {
+  // Consume '#'; collect the rest of the (possibly backslash-continued) line.
+  Advance();
+  std::string body;
+  while (true) {
+    const char c = Peek();
+    if (c == '\0') break;
+    if (c == '\\' && Peek(1) == '\n') {
+      Advance();
+      Advance();
+      body += ' ';
+      continue;
+    }
+    if (c == '\n') break;
+    body += Advance();
+  }
+  Token token = MakeToken(TokenKind::kPragma);
+  token.text = std::string(Trim(body));
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  token_start_ = SourceLocation{line_, column_};
+  const char c = Peek();
+  if (c == '\0') return MakeToken(TokenKind::kEndOfFile);
+
+  if (c == '#') {
+    if (!at_line_start_) Fail("'#' only allowed at the start of a line");
+    return LexPragmaLine();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    return LexNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return LexIdentifierOrKeyword();
+  }
+
+  Advance();
+  switch (c) {
+    case '(': return MakeToken(TokenKind::kLParen);
+    case ')': return MakeToken(TokenKind::kRParen);
+    case '[': return MakeToken(TokenKind::kLBracket);
+    case ']': return MakeToken(TokenKind::kRBracket);
+    case '{': return MakeToken(TokenKind::kLBrace);
+    case '}': return MakeToken(TokenKind::kRBrace);
+    case ',': return MakeToken(TokenKind::kComma);
+    case ';': return MakeToken(TokenKind::kSemicolon);
+    case ':': return MakeToken(TokenKind::kColon);
+    case '?': return MakeToken(TokenKind::kQuestion);
+    case '~': return MakeToken(TokenKind::kTilde);
+    case '+':
+      if (Match('+')) return MakeToken(TokenKind::kPlusPlus);
+      if (Match('=')) return MakeToken(TokenKind::kPlusAssign);
+      return MakeToken(TokenKind::kPlus);
+    case '-':
+      if (Match('-')) return MakeToken(TokenKind::kMinusMinus);
+      if (Match('=')) return MakeToken(TokenKind::kMinusAssign);
+      return MakeToken(TokenKind::kMinus);
+    case '*':
+      if (Match('=')) return MakeToken(TokenKind::kStarAssign);
+      return MakeToken(TokenKind::kStar);
+    case '/':
+      if (Match('=')) return MakeToken(TokenKind::kSlashAssign);
+      return MakeToken(TokenKind::kSlash);
+    case '%': return MakeToken(TokenKind::kPercent);
+    case '=':
+      if (Match('=')) return MakeToken(TokenKind::kEq);
+      return MakeToken(TokenKind::kAssign);
+    case '!':
+      if (Match('=')) return MakeToken(TokenKind::kNe);
+      return MakeToken(TokenKind::kBang);
+    case '<':
+      if (Match('=')) return MakeToken(TokenKind::kLe);
+      if (Match('<')) return MakeToken(TokenKind::kShl);
+      return MakeToken(TokenKind::kLt);
+    case '>':
+      if (Match('=')) return MakeToken(TokenKind::kGe);
+      if (Match('>')) return MakeToken(TokenKind::kShr);
+      return MakeToken(TokenKind::kGt);
+    case '&':
+      if (Match('&')) return MakeToken(TokenKind::kAmpAmp);
+      return MakeToken(TokenKind::kAmp);
+    case '|':
+      if (Match('|')) return MakeToken(TokenKind::kPipePipe);
+      return MakeToken(TokenKind::kPipe);
+    case '^': return MakeToken(TokenKind::kCaret);
+    default:
+      Fail(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace accmg::frontend

@@ -1,0 +1,40 @@
+// Hand-written lexer for the mini-C dialect. `#pragma` lines are emitted as a
+// single kPragma token whose text is the line body (the pragma sub-parser
+// tokenizes it again with the same lexer on a fresh buffer).
+#pragma once
+
+#include <vector>
+
+#include "frontend/source.h"
+#include "frontend/token.h"
+
+namespace accmg::frontend {
+
+class Lexer {
+ public:
+  explicit Lexer(const SourceBuffer& source);
+
+  /// Lexes the whole buffer. Throws CompileError on malformed input.
+  std::vector<Token> LexAll();
+
+ private:
+  Token Next();
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  void SkipWhitespaceAndComments();
+  Token LexNumber();
+  Token LexIdentifierOrKeyword();
+  Token LexPragmaLine();
+  Token MakeToken(TokenKind kind) const;
+  [[noreturn]] void Fail(const std::string& message) const;
+
+  const SourceBuffer& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  SourceLocation token_start_;
+  bool at_line_start_ = true;
+};
+
+}  // namespace accmg::frontend

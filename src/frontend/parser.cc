@@ -1,0 +1,783 @@
+#include "frontend/parser.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace accmg::frontend {
+
+namespace {
+
+/// Binary operator precedence (C-like). Higher binds tighter.
+int Precedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent:
+      return 10;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+      return 9;
+    case TokenKind::kShl:
+    case TokenKind::kShr:
+      return 8;
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return 7;
+    case TokenKind::kEq:
+    case TokenKind::kNe:
+      return 6;
+    case TokenKind::kAmp:
+      return 5;
+    case TokenKind::kCaret:
+      return 4;
+    case TokenKind::kPipe:
+      return 3;
+    case TokenKind::kAmpAmp:
+      return 2;
+    case TokenKind::kPipePipe:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+BinaryOp ToBinaryOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlus: return BinaryOp::kAdd;
+    case TokenKind::kMinus: return BinaryOp::kSub;
+    case TokenKind::kStar: return BinaryOp::kMul;
+    case TokenKind::kSlash: return BinaryOp::kDiv;
+    case TokenKind::kPercent: return BinaryOp::kMod;
+    case TokenKind::kLt: return BinaryOp::kLt;
+    case TokenKind::kLe: return BinaryOp::kLe;
+    case TokenKind::kGt: return BinaryOp::kGt;
+    case TokenKind::kGe: return BinaryOp::kGe;
+    case TokenKind::kEq: return BinaryOp::kEq;
+    case TokenKind::kNe: return BinaryOp::kNe;
+    case TokenKind::kAmpAmp: return BinaryOp::kLogicalAnd;
+    case TokenKind::kPipePipe: return BinaryOp::kLogicalOr;
+    case TokenKind::kAmp: return BinaryOp::kBitAnd;
+    case TokenKind::kPipe: return BinaryOp::kBitOr;
+    case TokenKind::kCaret: return BinaryOp::kBitXor;
+    case TokenKind::kShl: return BinaryOp::kShl;
+    case TokenKind::kShr: return BinaryOp::kShr;
+    default:
+      ACCMG_UNREACHABLE("not a binary operator token");
+  }
+}
+
+}  // namespace
+
+Parser::Parser(const SourceBuffer& source)
+    : stream_name_(source.name()), tokens_(Lexer(source).LexAll()) {}
+
+Parser::Parser(std::string stream_name, std::vector<Token> tokens)
+    : stream_name_(std::move(stream_name)), tokens_(std::move(tokens)) {}
+
+const Token& Parser::Peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::MatchTok(TokenKind kind) {
+  if (!Check(kind)) return false;
+  Advance();
+  return true;
+}
+
+const Token& Parser::Expect(TokenKind kind, const char* context) {
+  if (!Check(kind)) {
+    Fail(std::string("expected ") + TokenKindName(kind) + " " + context +
+         ", got " + TokenKindName(Peek().kind) +
+         (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  }
+  return Advance();
+}
+
+void Parser::Fail(const std::string& message) const {
+  throw CompileError(stream_name_ + ":" + Peek().location.ToString() +
+                     ": parse error: " + message);
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> Parser::ParseProgram() {
+  auto program = std::make_unique<Program>();
+  while (!Check(TokenKind::kEndOfFile)) {
+    program->functions.push_back(ParseFunction());
+  }
+  return program;
+}
+
+bool Parser::PeekIsTypeSpec() const {
+  switch (Peek().kind) {
+    case TokenKind::kKwConst:
+    case TokenKind::kKwUnsigned:
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwVoid:
+    case TokenKind::kKwChar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Type Parser::ParseTypeSpec() {
+  Type type;
+  if (MatchTok(TokenKind::kKwConst)) type.is_const = true;
+  MatchTok(TokenKind::kKwUnsigned);  // accepted, treated as signed
+  switch (Peek().kind) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwChar:
+      type.scalar = ScalarType::kInt32;
+      Advance();
+      break;
+    case TokenKind::kKwLong:
+      type.scalar = ScalarType::kInt64;
+      Advance();
+      MatchTok(TokenKind::kKwLong);  // "long long"
+      MatchTok(TokenKind::kKwInt);   // "long int"
+      break;
+    case TokenKind::kKwFloat:
+      type.scalar = ScalarType::kFloat32;
+      Advance();
+      break;
+    case TokenKind::kKwDouble:
+      type.scalar = ScalarType::kFloat64;
+      Advance();
+      break;
+    case TokenKind::kKwVoid:
+      type.scalar = ScalarType::kVoid;
+      Advance();
+      break;
+    default:
+      Fail("expected a type name");
+  }
+  if (MatchTok(TokenKind::kKwConst)) type.is_const = true;
+  if (MatchTok(TokenKind::kStar)) {
+    type.is_pointer = true;
+    MatchTok(TokenKind::kKwConst);
+    MatchTok(TokenKind::kKwRestrict);
+  }
+  return type;
+}
+
+std::unique_ptr<Function> Parser::ParseFunction() {
+  auto function = std::make_unique<Function>();
+  function->loc = Peek().location;
+  function->return_type = ParseTypeSpec();
+  function->name = Expect(TokenKind::kIdentifier, "in function name").text;
+  Expect(TokenKind::kLParen, "after function name");
+  if (!Check(TokenKind::kRParen)) {
+    do {
+      auto param = std::make_unique<VarDecl>();
+      param->loc = Peek().location;
+      param->type = ParseTypeSpec();
+      param->name = Expect(TokenKind::kIdentifier, "in parameter name").text;
+      // Accept `T a[]` as an alternative pointer spelling.
+      if (MatchTok(TokenKind::kLBracket)) {
+        Expect(TokenKind::kRBracket, "in array parameter");
+        param->type.is_pointer = true;
+      }
+      param->is_param = true;
+      function->params.push_back(std::move(param));
+    } while (MatchTok(TokenKind::kComma));
+  }
+  Expect(TokenKind::kRParen, "after parameter list");
+  function->body = ParseCompound();
+  return function;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+std::vector<Directive> Parser::CollectDirectives() {
+  std::vector<Directive> directives;
+  while (Check(TokenKind::kPragma)) {
+    const Token pragma = Advance();
+    directives.push_back(ParsePragmaText(pragma));
+  }
+  return directives;
+}
+
+StmtPtr Parser::ParseStatement() {
+  std::vector<Directive> directives = CollectDirectives();
+  StmtPtr stmt;
+  switch (Peek().kind) {
+    case TokenKind::kLBrace:
+      stmt = ParseCompound();
+      break;
+    case TokenKind::kKwIf:
+      stmt = ParseIf();
+      break;
+    case TokenKind::kKwFor:
+      stmt = ParseFor();
+      break;
+    case TokenKind::kKwWhile:
+      stmt = ParseWhile();
+      break;
+    case TokenKind::kKwDo:
+      stmt = ParseDoWhile();
+      break;
+    case TokenKind::kKwReturn:
+      stmt = ParseReturn();
+      break;
+    case TokenKind::kKwBreak: {
+      auto s = std::make_unique<BreakStmt>();
+      s->loc = Advance().location;
+      Expect(TokenKind::kSemicolon, "after 'break'");
+      stmt = std::move(s);
+      break;
+    }
+    case TokenKind::kKwContinue: {
+      auto s = std::make_unique<ContinueStmt>();
+      s->loc = Advance().location;
+      Expect(TokenKind::kSemicolon, "after 'continue'");
+      stmt = std::move(s);
+      break;
+    }
+    case TokenKind::kSemicolon: {
+      // Empty statement: used as an anchor for standalone pragmas such as
+      // `#pragma acc update host(...)` at the end of a block.
+      auto s = std::make_unique<ExprStmt>();
+      s->loc = Advance().location;
+      stmt = std::move(s);
+      break;
+    }
+    default:
+      stmt = ParseSimpleStatement();
+      Expect(TokenKind::kSemicolon, "after statement");
+      break;
+  }
+  stmt->directives = std::move(directives);
+  return stmt;
+}
+
+std::unique_ptr<CompoundStmt> Parser::ParseCompound() {
+  auto compound = std::make_unique<CompoundStmt>();
+  compound->loc = Expect(TokenKind::kLBrace, "to open a block").location;
+  while (!Check(TokenKind::kRBrace)) {
+    if (Check(TokenKind::kEndOfFile)) Fail("unterminated block");
+    compound->body.push_back(ParseStatement());
+  }
+  Expect(TokenKind::kRBrace, "to close a block");
+  return compound;
+}
+
+StmtPtr Parser::ParseIf() {
+  auto stmt = std::make_unique<IfStmt>();
+  stmt->loc = Expect(TokenKind::kKwIf, "").location;
+  Expect(TokenKind::kLParen, "after 'if'");
+  stmt->cond = ParseExpression();
+  Expect(TokenKind::kRParen, "after if condition");
+  stmt->then_stmt = ParseStatement();
+  if (MatchTok(TokenKind::kKwElse)) stmt->else_stmt = ParseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::ParseFor() {
+  auto stmt = std::make_unique<ForStmt>();
+  stmt->loc = Expect(TokenKind::kKwFor, "").location;
+  Expect(TokenKind::kLParen, "after 'for'");
+  if (!Check(TokenKind::kSemicolon)) stmt->init = ParseSimpleStatement();
+  Expect(TokenKind::kSemicolon, "after for-init");
+  if (!Check(TokenKind::kSemicolon)) stmt->cond = ParseExpression();
+  Expect(TokenKind::kSemicolon, "after for-condition");
+  if (!Check(TokenKind::kRParen)) stmt->step = ParseSimpleStatement();
+  Expect(TokenKind::kRParen, "after for-step");
+  stmt->body = ParseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::ParseWhile() {
+  auto stmt = std::make_unique<WhileStmt>();
+  stmt->loc = Expect(TokenKind::kKwWhile, "").location;
+  Expect(TokenKind::kLParen, "after 'while'");
+  stmt->cond = ParseExpression();
+  Expect(TokenKind::kRParen, "after while condition");
+  stmt->body = ParseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::ParseDoWhile() {
+  auto stmt = std::make_unique<WhileStmt>();
+  stmt->is_do_while = true;
+  stmt->loc = Expect(TokenKind::kKwDo, "").location;
+  stmt->body = ParseStatement();
+  Expect(TokenKind::kKwWhile, "after do-while body");
+  Expect(TokenKind::kLParen, "after 'while'");
+  stmt->cond = ParseExpression();
+  Expect(TokenKind::kRParen, "after do-while condition");
+  Expect(TokenKind::kSemicolon, "after do-while");
+  return stmt;
+}
+
+StmtPtr Parser::ParseReturn() {
+  auto stmt = std::make_unique<ReturnStmt>();
+  stmt->loc = Expect(TokenKind::kKwReturn, "").location;
+  if (!Check(TokenKind::kSemicolon)) stmt->value = ParseExpression();
+  Expect(TokenKind::kSemicolon, "after 'return'");
+  return stmt;
+}
+
+StmtPtr Parser::ParseSimpleStatement() {
+  const SourceLocation loc = Peek().location;
+
+  // Declaration.
+  if (PeekIsTypeSpec()) {
+    auto stmt = std::make_unique<DeclStmt>();
+    stmt->loc = loc;
+    stmt->decl = std::make_unique<VarDecl>();
+    stmt->decl->loc = loc;
+    stmt->decl->type = ParseTypeSpec();
+    stmt->decl->name =
+        Expect(TokenKind::kIdentifier, "in declaration").text;
+    if (MatchTok(TokenKind::kAssign)) stmt->init = ParseExpression();
+    return stmt;
+  }
+
+  // Prefix ++/--.
+  if (Check(TokenKind::kPlusPlus) || Check(TokenKind::kMinusMinus)) {
+    const bool inc = Advance().is(TokenKind::kPlusPlus);
+    auto target = ParsePostfix();
+    auto stmt = std::make_unique<AssignStmt>();
+    stmt->loc = loc;
+    stmt->target = std::move(target);
+    stmt->op = inc ? AssignOp::kAddAssign : AssignOp::kSubAssign;
+    auto one = std::make_unique<IntLiteral>();
+    one->value = 1;
+    one->loc = loc;
+    stmt->value = std::move(one);
+    return stmt;
+  }
+
+  // Assignment / increment / call statement: parse an lvalue-ish expression
+  // first, then dispatch on what follows.
+  ExprPtr lhs = ParseConditional();
+  AssignOp op;
+  switch (Peek().kind) {
+    case TokenKind::kAssign: op = AssignOp::kAssign; break;
+    case TokenKind::kPlusAssign: op = AssignOp::kAddAssign; break;
+    case TokenKind::kMinusAssign: op = AssignOp::kSubAssign; break;
+    case TokenKind::kStarAssign: op = AssignOp::kMulAssign; break;
+    case TokenKind::kSlashAssign: op = AssignOp::kDivAssign; break;
+    case TokenKind::kPlusPlus:
+    case TokenKind::kMinusMinus: {
+      const bool inc = Advance().is(TokenKind::kPlusPlus);
+      auto stmt = std::make_unique<AssignStmt>();
+      stmt->loc = loc;
+      stmt->target = std::move(lhs);
+      stmt->op = inc ? AssignOp::kAddAssign : AssignOp::kSubAssign;
+      auto one = std::make_unique<IntLiteral>();
+      one->value = 1;
+      one->loc = loc;
+      stmt->value = std::move(one);
+      return stmt;
+    }
+    default: {
+      auto stmt = std::make_unique<ExprStmt>();
+      stmt->loc = loc;
+      stmt->expr = std::move(lhs);
+      return stmt;
+    }
+  }
+  Advance();  // the assignment operator
+  auto stmt = std::make_unique<AssignStmt>();
+  stmt->loc = loc;
+  stmt->target = std::move(lhs);
+  stmt->op = op;
+  stmt->value = ParseExpression();
+  return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::ParseExpression() { return ParseConditional(); }
+
+ExprPtr Parser::ParseConditional() {
+  ExprPtr cond = ParseBinary(0);
+  if (!MatchTok(TokenKind::kQuestion)) return cond;
+  auto expr = std::make_unique<ConditionalExpr>();
+  expr->loc = cond->loc;
+  expr->cond = std::move(cond);
+  expr->then_expr = ParseExpression();
+  Expect(TokenKind::kColon, "in conditional expression");
+  expr->else_expr = ParseConditional();
+  return expr;
+}
+
+ExprPtr Parser::ParseBinary(int min_precedence) {
+  ExprPtr lhs = ParseUnary();
+  while (true) {
+    const int prec = Precedence(Peek().kind);
+    if (prec < min_precedence || prec < 0) return lhs;
+    const TokenKind op_token = Advance().kind;
+    ExprPtr rhs = ParseBinary(prec + 1);
+    auto expr = std::make_unique<BinaryExpr>();
+    expr->loc = lhs->loc;
+    expr->op = ToBinaryOp(op_token);
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    lhs = std::move(expr);
+  }
+}
+
+ExprPtr Parser::ParseUnary() {
+  const SourceLocation loc = Peek().location;
+  if (MatchTok(TokenKind::kMinus)) {
+    auto expr = std::make_unique<UnaryExpr>();
+    expr->loc = loc;
+    expr->op = UnaryOp::kNeg;
+    expr->operand = ParseUnary();
+    return expr;
+  }
+  if (MatchTok(TokenKind::kPlus)) return ParseUnary();
+  if (MatchTok(TokenKind::kBang)) {
+    auto expr = std::make_unique<UnaryExpr>();
+    expr->loc = loc;
+    expr->op = UnaryOp::kNot;
+    expr->operand = ParseUnary();
+    return expr;
+  }
+  if (MatchTok(TokenKind::kTilde)) {
+    auto expr = std::make_unique<UnaryExpr>();
+    expr->loc = loc;
+    expr->op = UnaryOp::kBitNot;
+    expr->operand = ParseUnary();
+    return expr;
+  }
+  // Cast: '(' type ')' unary — only when the parenthesized tokens form a type.
+  if (Check(TokenKind::kLParen)) {
+    const Token& after = Peek(1);
+    switch (after.kind) {
+      case TokenKind::kKwInt:
+      case TokenKind::kKwLong:
+      case TokenKind::kKwFloat:
+      case TokenKind::kKwDouble:
+      case TokenKind::kKwUnsigned:
+      case TokenKind::kKwChar: {
+        Advance();  // '('
+        auto expr = std::make_unique<CastExpr>();
+        expr->loc = loc;
+        expr->target = ParseTypeSpec();
+        Expect(TokenKind::kRParen, "after cast type");
+        expr->operand = ParseUnary();
+        return expr;
+      }
+      default:
+        break;
+    }
+  }
+  return ParsePostfix();
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr expr = ParsePrimary();
+  while (Check(TokenKind::kLBracket)) {
+    Advance();
+    auto subscript = std::make_unique<SubscriptExpr>();
+    subscript->loc = expr->loc;
+    subscript->base = std::move(expr);
+    subscript->index = ParseExpression();
+    Expect(TokenKind::kRBracket, "after subscript");
+    expr = std::move(subscript);
+  }
+  return expr;
+}
+
+ExprPtr Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.kind) {
+    case TokenKind::kIntLiteral: {
+      auto expr = std::make_unique<IntLiteral>();
+      expr->loc = token.location;
+      expr->value = token.int_value;
+      Advance();
+      return expr;
+    }
+    case TokenKind::kFloatLiteral: {
+      auto expr = std::make_unique<FloatLiteral>();
+      expr->loc = token.location;
+      expr->value = token.float_value;
+      expr->is_float32 = token.text.find('f') != std::string::npos;
+      Advance();
+      return expr;
+    }
+    case TokenKind::kIdentifier: {
+      const std::string name = token.text;
+      const SourceLocation loc = token.location;
+      Advance();
+      if (MatchTok(TokenKind::kLParen)) {
+        auto call = std::make_unique<CallExpr>();
+        call->loc = loc;
+        call->callee = name;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            call->args.push_back(ParseExpression());
+          } while (MatchTok(TokenKind::kComma));
+        }
+        Expect(TokenKind::kRParen, "after call arguments");
+        return call;
+      }
+      auto ref = std::make_unique<VarRef>();
+      ref->loc = loc;
+      ref->name = name;
+      return ref;
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      ExprPtr expr = ParseExpression();
+      Expect(TokenKind::kRParen, "after parenthesized expression");
+      return expr;
+    }
+    default:
+      Fail(std::string("expected an expression, got ") +
+           TokenKindName(token.kind));
+  }
+}
+
+ExprPtr Parser::ParseExpressionString(const std::string& text) {
+  SourceBuffer buffer("<expr>", text);
+  Parser parser("<expr>", Lexer(buffer).LexAll());
+  ExprPtr expr = parser.ParseExpression();
+  if (!parser.Check(TokenKind::kEndOfFile)) {
+    parser.Fail("trailing tokens after expression");
+  }
+  return expr;
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+Directive Parser::ParsePragmaText(const Token& pragma_token) {
+  SourceBuffer buffer(stream_name_ + ":pragma", pragma_token.text);
+  Parser sub(stream_name_, Lexer(buffer).LexAll());
+  // Expect "pragma acc <directive> ...".
+  const Token& kw = sub.Expect(TokenKind::kIdentifier, "at pragma start");
+  if (kw.text != "pragma") sub.Fail("expected 'pragma'");
+  const Token& acc = sub.Expect(TokenKind::kIdentifier, "after 'pragma'");
+  if (acc.text != "acc") sub.Fail("only 'acc' pragmas are supported");
+  return sub.ParseDirectiveBody(pragma_token.location);
+}
+
+Directive Parser::ParseDirectiveBody(SourceLocation loc) {
+  Directive directive;
+  directive.loc = loc;
+  const Token& name = Expect(TokenKind::kIdentifier, "as directive name");
+  const std::string& n = name.text;
+  if (n == "data") {
+    directive.kind = DirectiveKind::kData;
+    ParseDataClauses(directive, /*allow_reduction=*/false);
+  } else if (n == "enter" || n == "exit") {
+    const Token& data_kw =
+        Expect(TokenKind::kIdentifier, "after 'enter'/'exit'");
+    if (data_kw.text != "data") {
+      Fail("expected 'data' after '" + n + "'");
+    }
+    directive.kind =
+        n == "enter" ? DirectiveKind::kEnterData : DirectiveKind::kExitData;
+    ParseDataClauses(directive, /*allow_reduction=*/false);
+    for (const auto& clause : directive.data_clauses) {
+      const bool entering = directive.kind == DirectiveKind::kEnterData;
+      const bool ok = entering
+                          ? (clause.kind == DataClauseKind::kCopyIn ||
+                             clause.kind == DataClauseKind::kCreate)
+                          : (clause.kind == DataClauseKind::kCopyOut ||
+                             clause.kind == DataClauseKind::kDelete);
+      if (!ok) {
+        Fail(std::string("clause '") + DataClauseKindName(clause.kind) +
+             "' not allowed on '" + n + " data'");
+      }
+    }
+  } else if (n == "parallel" || n == "kernels") {
+    directive.kind =
+        n == "parallel" ? DirectiveKind::kParallel : DirectiveKind::kKernels;
+    if (Check(TokenKind::kIdentifier) && Peek().text == "loop") {
+      Advance();
+      directive.combined_loop = true;
+    }
+    ParseDataClauses(directive, /*allow_reduction=*/true);
+  } else if (n == "loop") {
+    directive.kind = DirectiveKind::kLoop;
+    ParseDataClauses(directive, /*allow_reduction=*/true);
+  } else if (n == "update") {
+    directive.kind = DirectiveKind::kUpdate;
+    while (Check(TokenKind::kIdentifier)) {
+      const std::string clause = Advance().text;
+      UpdateClause update;
+      if (clause == "host" || clause == "self") {
+        update.to_host = true;
+      } else if (clause == "device") {
+        update.to_host = false;
+      } else {
+        Fail("unknown update clause '" + clause + "'");
+      }
+      Expect(TokenKind::kLParen, "after update clause");
+      do {
+        update.sections.push_back(ParseArraySection());
+      } while (MatchTok(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "after update clause");
+      directive.updates.push_back(std::move(update));
+      MatchTok(TokenKind::kComma);
+    }
+  } else if (n == "localaccess") {
+    // Extension syntax:
+    //   #pragma acc localaccess(A: stride(2), left(1), right(1)) (B) ...
+    directive.kind = DirectiveKind::kLocalAccess;
+    // Allow several parenthesized specs after the directive name.
+    while (MatchTok(TokenKind::kLParen)) {
+      LocalAccessSpec spec;
+      spec.loc = Peek().location;
+      spec.array = Expect(TokenKind::kIdentifier, "as localaccess array").text;
+      if (MatchTok(TokenKind::kColon)) {
+        do {
+          const Token& param =
+              Expect(TokenKind::kIdentifier, "as localaccess parameter");
+          Expect(TokenKind::kLParen, "after localaccess parameter");
+          ExprPtr value = ParseExpression();
+          Expect(TokenKind::kRParen, "after localaccess parameter value");
+          if (param.text == "stride") {
+            spec.stride = std::move(value);
+          } else if (param.text == "left") {
+            spec.left = std::move(value);
+          } else if (param.text == "right") {
+            spec.right = std::move(value);
+          } else {
+            Fail("unknown localaccess parameter '" + param.text + "'");
+          }
+        } while (MatchTok(TokenKind::kComma));
+      }
+      Expect(TokenKind::kRParen, "after localaccess spec");
+      directive.local_access.push_back(std::move(spec));
+      MatchTok(TokenKind::kComma);
+    }
+    if (directive.local_access.empty()) {
+      Fail("localaccess requires at least one (array ...) spec");
+    }
+  } else if (n == "reductiontoarray") {
+    // Extension syntax:  #pragma acc reductiontoarray(+: hist[0:k])
+    directive.kind = DirectiveKind::kReductionToArray;
+    Expect(TokenKind::kLParen, "after 'reductiontoarray'");
+    ReductionToArraySpec spec;
+    spec.loc = Peek().location;
+    spec.op = ParseReductionOp();
+    Expect(TokenKind::kColon, "after reduction operator");
+    ArraySection section = ParseArraySection();
+    spec.array = std::move(section.name);
+    spec.lower = std::move(section.lower);
+    spec.length = std::move(section.length);
+    Expect(TokenKind::kRParen, "after reductiontoarray spec");
+    directive.reduction_to_array = std::move(spec);
+  } else {
+    Fail("unknown acc directive '" + n + "'");
+  }
+  if (!Check(TokenKind::kEndOfFile)) {
+    Fail("trailing tokens in directive");
+  }
+  return directive;
+}
+
+void Parser::ParseDataClauses(Directive& directive, bool allow_reduction) {
+  while (Check(TokenKind::kIdentifier)) {
+    const std::string clause = Advance().text;
+    if (clause == "copy" || clause == "copyin" || clause == "copyout" ||
+        clause == "create" || clause == "present" || clause == "delete" ||
+        clause == "present_or_copy" || clause == "pcopy") {
+      DataClause data;
+      if (clause == "copy" || clause == "present_or_copy" || clause == "pcopy") {
+        data.kind = DataClauseKind::kCopy;
+      } else if (clause == "copyin") {
+        data.kind = DataClauseKind::kCopyIn;
+      } else if (clause == "copyout") {
+        data.kind = DataClauseKind::kCopyOut;
+      } else if (clause == "create") {
+        data.kind = DataClauseKind::kCreate;
+      } else if (clause == "delete") {
+        data.kind = DataClauseKind::kDelete;
+      } else {
+        data.kind = DataClauseKind::kPresent;
+      }
+      Expect(TokenKind::kLParen, "after data clause");
+      do {
+        data.sections.push_back(ParseArraySection());
+      } while (MatchTok(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "after data clause");
+      directive.data_clauses.push_back(std::move(data));
+    } else if (clause == "reduction") {
+      if (!allow_reduction) Fail("reduction clause not allowed here");
+      Expect(TokenKind::kLParen, "after 'reduction'");
+      ReductionClause reduction;
+      reduction.op = ParseReductionOp();
+      Expect(TokenKind::kColon, "in reduction clause");
+      do {
+        reduction.vars.push_back(
+            Expect(TokenKind::kIdentifier, "as reduction variable").text);
+      } while (MatchTok(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "after reduction clause");
+      directive.reductions.push_back(std::move(reduction));
+    } else if (clause == "independent") {
+      directive.independent = true;
+    } else if (clause == "gang" || clause == "worker" || clause == "vector" ||
+               clause == "num_gangs" || clause == "vector_length" ||
+               clause == "num_workers") {
+      // Fine-grained single-GPU tuning clauses: accepted; numeric arguments
+      // recorded where they affect grid geometry.
+      if (MatchTok(TokenKind::kLParen)) {
+        ExprPtr value = ParseExpression();
+        if (clause == "num_gangs" && value->kind == ExprKind::kIntLiteral) {
+          directive.num_gangs = As<IntLiteral>(*value).value;
+        }
+        if ((clause == "vector_length" || clause == "vector") &&
+            value->kind == ExprKind::kIntLiteral) {
+          directive.vector_length = As<IntLiteral>(*value).value;
+        }
+        Expect(TokenKind::kRParen, "after clause argument");
+      }
+    } else {
+      Fail("unknown clause '" + clause + "'");
+    }
+    MatchTok(TokenKind::kComma);
+  }
+}
+
+ArraySection Parser::ParseArraySection() {
+  ArraySection section;
+  section.loc = Peek().location;
+  section.name = Expect(TokenKind::kIdentifier, "as array name").text;
+  if (MatchTok(TokenKind::kLBracket)) {
+    section.lower = ParseExpression();
+    Expect(TokenKind::kColon, "in array section");
+    section.length = ParseExpression();
+    Expect(TokenKind::kRBracket, "after array section");
+  }
+  return section;
+}
+
+ReductionOp Parser::ParseReductionOp() {
+  if (MatchTok(TokenKind::kPlus)) return ReductionOp::kAdd;
+  if (MatchTok(TokenKind::kStar)) return ReductionOp::kMul;
+  const Token& token = Expect(TokenKind::kIdentifier, "as reduction operator");
+  if (token.text == "min") return ReductionOp::kMin;
+  if (token.text == "max") return ReductionOp::kMax;
+  Fail("unknown reduction operator '" + token.text + "'");
+}
+
+}  // namespace accmg::frontend

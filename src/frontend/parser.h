@@ -1,0 +1,78 @@
+// Recursive-descent parser for the mini-C + OpenACC dialect.
+//
+// Entry point: Parser(source).ParseProgram(). Pragma lines are parsed into
+// structured Directive values and attached to the statement that follows
+// them, matching OpenACC's association rules (a `data`/`parallel` region
+// annotates the following block or loop; `localaccess` annotates the parallel
+// loop; `reductiontoarray` annotates the single statement it precedes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+#include "frontend/source.h"
+
+namespace accmg::frontend {
+
+class Parser {
+ public:
+  explicit Parser(const SourceBuffer& source);
+
+  /// Parses a whole translation unit. Throws CompileError on syntax errors.
+  std::unique_ptr<Program> ParseProgram();
+
+  /// Parses a single expression from `text` (used by tests and tools).
+  static ExprPtr ParseExpressionString(const std::string& text);
+
+ private:
+  Parser(std::string stream_name, std::vector<Token> tokens);
+
+  // --- token stream ---
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().is(kind); }
+  bool MatchTok(TokenKind kind);
+  const Token& Expect(TokenKind kind, const char* context);
+  [[noreturn]] void Fail(const std::string& message) const;
+
+  // --- declarations ---
+  std::unique_ptr<Function> ParseFunction();
+  bool PeekIsTypeSpec() const;
+  Type ParseTypeSpec();
+
+  // --- statements ---
+  StmtPtr ParseStatement();
+  std::vector<Directive> CollectDirectives();
+  std::unique_ptr<CompoundStmt> ParseCompound();
+  StmtPtr ParseIf();
+  StmtPtr ParseFor();
+  StmtPtr ParseWhile();
+  StmtPtr ParseDoWhile();
+  StmtPtr ParseReturn();
+  /// Parses a declaration / assignment / call / ++ / -- without the
+  /// trailing ';' (shared between statement position and for-init/step).
+  StmtPtr ParseSimpleStatement();
+
+  // --- expressions (precedence climbing) ---
+  ExprPtr ParseExpression();
+  ExprPtr ParseConditional();
+  ExprPtr ParseBinary(int min_precedence);
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+
+  // --- pragma parsing ---
+  Directive ParsePragmaText(const Token& pragma_token);
+  Directive ParseDirectiveBody(SourceLocation loc);
+  void ParseDataClauses(Directive& directive, bool allow_reduction);
+  ArraySection ParseArraySection();
+  ReductionOp ParseReductionOp();
+
+  std::string stream_name_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace accmg::frontend

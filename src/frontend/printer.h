@@ -1,0 +1,27 @@
+// AST pretty-printer: renders an analyzed program back to the mini-C
+// dialect, including its directives. Output is itself valid input — the
+// round-trip property (parse(print(parse(s))) structurally equals
+// parse(s)) is enforced by tests and makes the printer usable for
+// source-to-source tooling and debugging dumps.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace accmg::frontend {
+
+/// Renders a whole program.
+std::string PrintProgram(const Program& program);
+
+/// Renders one expression (no trailing newline).
+std::string PrintExpr(const Expr& expr);
+
+/// Renders one statement (with directives) at the given indent depth.
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+
+/// Structural equality of two analyzed programs (names, types, structure,
+/// directives; ignores source locations). Used by round-trip tests.
+bool ProgramsEquivalent(const Program& a, const Program& b);
+
+}  // namespace accmg::frontend

@@ -1,0 +1,404 @@
+#include "frontend/sema.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "frontend/parser.h"
+
+namespace accmg::frontend {
+
+struct Sema::Scope {
+  std::unordered_map<std::string, VarDecl*> vars;
+};
+
+namespace {
+
+struct BuiltinInfo {
+  Builtin builtin;
+  int arity;
+  bool is_float;    ///< float-typed builtin (vs integer abs/min/max)
+  bool is_float32;  ///< the 'f'-suffixed variant
+};
+
+const std::unordered_map<std::string, BuiltinInfo>& BuiltinTable() {
+  static const auto* table = new std::unordered_map<std::string, BuiltinInfo>{
+      {"sqrt", {Builtin::kSqrt, 1, true, false}},
+      {"sqrtf", {Builtin::kSqrt, 1, true, true}},
+      {"fabs", {Builtin::kFabs, 1, true, false}},
+      {"fabsf", {Builtin::kFabs, 1, true, true}},
+      {"exp", {Builtin::kExp, 1, true, false}},
+      {"expf", {Builtin::kExp, 1, true, true}},
+      {"log", {Builtin::kLog, 1, true, false}},
+      {"logf", {Builtin::kLog, 1, true, true}},
+      {"pow", {Builtin::kPow, 2, true, false}},
+      {"powf", {Builtin::kPow, 2, true, true}},
+      {"fmin", {Builtin::kFmin, 2, true, false}},
+      {"fminf", {Builtin::kFmin, 2, true, true}},
+      {"fmax", {Builtin::kFmax, 2, true, false}},
+      {"fmaxf", {Builtin::kFmax, 2, true, true}},
+      {"floor", {Builtin::kFloor, 1, true, false}},
+      {"floorf", {Builtin::kFloor, 1, true, true}},
+      {"ceil", {Builtin::kCeil, 1, true, false}},
+      {"ceilf", {Builtin::kCeil, 1, true, true}},
+      {"abs", {Builtin::kAbs, 1, false, false}},
+      {"min", {Builtin::kMin, 2, false, false}},
+      {"max", {Builtin::kMax, 2, false, false}},
+  };
+  return *table;
+}
+
+bool IsIntOnlyOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kMod:
+    case BinaryOp::kBitAnd:
+    case BinaryOp::kBitOr:
+    case BinaryOp::kBitXor:
+    case BinaryOp::kShl:
+    case BinaryOp::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsComparisonOrLogical(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLogicalAnd:
+    case BinaryOp::kLogicalOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void Sema::Error(SourceLocation loc, const std::string& message) {
+  errors_.push_back(loc.ToString() + ": " + message);
+}
+
+const VarDecl* Sema::Lookup(const std::vector<Scope>& scopes,
+                            const std::string& name) const {
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    if (auto found = it->vars.find(name); found != it->vars.end()) {
+      return found->second;
+    }
+  }
+  return nullptr;
+}
+
+void Sema::Declare(std::vector<Scope>& scopes, VarDecl& decl,
+                   Function& function) {
+  (void)function;
+  auto& current = scopes.back().vars;
+  if (current.contains(decl.name)) {
+    Error(decl.loc, "redeclaration of '" + decl.name + "'");
+    return;
+  }
+  decl.id = next_var_id_++;
+  current[decl.name] = &decl;
+}
+
+void Sema::Analyze(Program& program) {
+  errors_.clear();
+  for (auto& function : program.functions) AnalyzeFunction(*function);
+  if (!errors_.empty()) {
+    throw CompileError("semantic errors:\n  " + Join(errors_, "\n  "));
+  }
+}
+
+void Sema::AnalyzeFunction(Function& function) {
+  next_var_id_ = 0;
+  std::vector<Scope> scopes;
+  scopes.emplace_back();
+  for (auto& param : function.params) Declare(scopes, *param, function);
+  for (auto& stmt : function.body->body) {
+    AnalyzeStmt(*stmt, scopes, function);
+  }
+}
+
+void Sema::AnalyzeStmt(Stmt& stmt, std::vector<Scope>& scopes,
+                       Function& function) {
+  for (auto& directive : stmt.directives) AnalyzeDirective(directive, scopes);
+
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      auto& decl_stmt = As<DeclStmt>(stmt);
+      if (decl_stmt.init != nullptr) AnalyzeExpr(*decl_stmt.init, scopes);
+      if (decl_stmt.decl->type.is_pointer) {
+        Error(decl_stmt.loc,
+              "local pointer declarations are not supported; arrays must be "
+              "function parameters");
+      }
+      Declare(scopes, *decl_stmt.decl, function);
+      break;
+    }
+    case StmtKind::kAssign: {
+      auto& assign = As<AssignStmt>(stmt);
+      AnalyzeExpr(*assign.target, scopes);
+      AnalyzeExpr(*assign.value, scopes);
+      if (assign.target->kind == ExprKind::kVarRef) {
+        const auto& ref = As<VarRef>(*assign.target);
+        if (ref.decl != nullptr && ref.decl->type.is_pointer) {
+          Error(assign.loc, "cannot assign to array '" + ref.name + "'");
+        }
+        if (ref.decl != nullptr && ref.decl->type.is_const) {
+          Error(assign.loc, "cannot assign to const '" + ref.name + "'");
+        }
+      } else if (assign.target->kind != ExprKind::kSubscript) {
+        Error(assign.loc, "assignment target must be a variable or a[i]");
+      }
+      break;
+    }
+    case StmtKind::kExpr:
+      if (As<ExprStmt>(stmt).expr != nullptr) {
+        AnalyzeExpr(*As<ExprStmt>(stmt).expr, scopes);
+      }
+      break;
+    case StmtKind::kIf: {
+      auto& if_stmt = As<IfStmt>(stmt);
+      AnalyzeExpr(*if_stmt.cond, scopes);
+      AnalyzeStmt(*if_stmt.then_stmt, scopes, function);
+      if (if_stmt.else_stmt != nullptr) {
+        AnalyzeStmt(*if_stmt.else_stmt, scopes, function);
+      }
+      break;
+    }
+    case StmtKind::kFor: {
+      auto& for_stmt = As<ForStmt>(stmt);
+      scopes.emplace_back();
+      if (for_stmt.init != nullptr) {
+        AnalyzeStmt(*for_stmt.init, scopes, function);
+      }
+      if (for_stmt.cond != nullptr) AnalyzeExpr(*for_stmt.cond, scopes);
+      if (for_stmt.step != nullptr) {
+        AnalyzeStmt(*for_stmt.step, scopes, function);
+      }
+      AnalyzeStmt(*for_stmt.body, scopes, function);
+      scopes.pop_back();
+      break;
+    }
+    case StmtKind::kWhile: {
+      auto& while_stmt = As<WhileStmt>(stmt);
+      AnalyzeExpr(*while_stmt.cond, scopes);
+      AnalyzeStmt(*while_stmt.body, scopes, function);
+      break;
+    }
+    case StmtKind::kCompound: {
+      scopes.emplace_back();
+      for (auto& child : As<CompoundStmt>(stmt).body) {
+        AnalyzeStmt(*child, scopes, function);
+      }
+      scopes.pop_back();
+      break;
+    }
+    case StmtKind::kReturn: {
+      auto& ret = As<ReturnStmt>(stmt);
+      if (ret.value != nullptr) AnalyzeExpr(*ret.value, scopes);
+      break;
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      break;
+  }
+}
+
+void Sema::AnalyzeExpr(Expr& expr, std::vector<Scope>& scopes) {
+  switch (expr.kind) {
+    case ExprKind::kIntLiteral: {
+      auto& lit = As<IntLiteral>(expr);
+      expr.type.scalar =
+          (lit.value > std::numeric_limits<std::int32_t>::max() ||
+           lit.value < std::numeric_limits<std::int32_t>::min())
+              ? ScalarType::kInt64
+              : ScalarType::kInt32;
+      break;
+    }
+    case ExprKind::kFloatLiteral: {
+      auto& lit = As<FloatLiteral>(expr);
+      expr.type.scalar =
+          lit.is_float32 ? ScalarType::kFloat32 : ScalarType::kFloat64;
+      break;
+    }
+    case ExprKind::kVarRef: {
+      auto& ref = As<VarRef>(expr);
+      const VarDecl* decl = Lookup(scopes, ref.name);
+      if (decl == nullptr) {
+        Error(expr.loc, "use of undeclared identifier '" + ref.name + "'");
+        expr.type.scalar = ScalarType::kInt32;
+        break;
+      }
+      ref.decl = decl;
+      expr.type = decl->type;
+      break;
+    }
+    case ExprKind::kSubscript: {
+      auto& subscript = As<SubscriptExpr>(expr);
+      AnalyzeExpr(*subscript.base, scopes);
+      AnalyzeExpr(*subscript.index, scopes);
+      if (subscript.base->kind != ExprKind::kVarRef ||
+          !subscript.base->type.is_pointer) {
+        Error(expr.loc, "subscript base must be an array parameter");
+      }
+      if (!IsIntType(subscript.index->type.scalar)) {
+        Error(expr.loc, "array index must be an integer");
+      }
+      expr.type.scalar = subscript.base->type.scalar;
+      expr.type.is_pointer = false;
+      break;
+    }
+    case ExprKind::kUnary: {
+      auto& unary = As<UnaryExpr>(expr);
+      AnalyzeExpr(*unary.operand, scopes);
+      if (unary.op == UnaryOp::kNot) {
+        expr.type.scalar = ScalarType::kInt32;
+      } else {
+        expr.type = unary.operand->type;
+        if (unary.op == UnaryOp::kBitNot &&
+            !IsIntType(unary.operand->type.scalar)) {
+          Error(expr.loc, "'~' requires an integer operand");
+        }
+      }
+      break;
+    }
+    case ExprKind::kBinary: {
+      auto& binary = As<BinaryExpr>(expr);
+      AnalyzeExpr(*binary.lhs, scopes);
+      AnalyzeExpr(*binary.rhs, scopes);
+      if (binary.lhs->type.is_pointer || binary.rhs->type.is_pointer) {
+        Error(expr.loc, "pointer arithmetic is not supported");
+      }
+      if (IsIntOnlyOp(binary.op) &&
+          (!IsIntType(binary.lhs->type.scalar) ||
+           !IsIntType(binary.rhs->type.scalar))) {
+        Error(expr.loc, std::string("operator '") + BinaryOpSpelling(binary.op) +
+                            "' requires integer operands");
+      }
+      if (IsComparisonOrLogical(binary.op)) {
+        expr.type.scalar = ScalarType::kInt32;
+      } else {
+        expr.type.scalar =
+            CommonType(binary.lhs->type.scalar, binary.rhs->type.scalar);
+      }
+      break;
+    }
+    case ExprKind::kCall: {
+      auto& call = As<CallExpr>(expr);
+      for (auto& arg : call.args) AnalyzeExpr(*arg, scopes);
+      const auto& table = BuiltinTable();
+      auto it = table.find(call.callee);
+      if (it == table.end()) {
+        Error(expr.loc, "unknown function '" + call.callee +
+                            "' (only math builtins may be called)");
+        expr.type.scalar = ScalarType::kFloat64;
+        break;
+      }
+      const BuiltinInfo& info = it->second;
+      call.builtin = info.builtin;
+      if (static_cast<int>(call.args.size()) != info.arity) {
+        Error(expr.loc, "'" + call.callee + "' expects " +
+                            std::to_string(info.arity) + " argument(s)");
+      }
+      if (info.is_float) {
+        expr.type.scalar =
+            info.is_float32 ? ScalarType::kFloat32 : ScalarType::kFloat64;
+      } else if (!call.args.empty()) {
+        expr.type.scalar = call.args[0]->type.scalar;
+      } else {
+        expr.type.scalar = ScalarType::kInt32;
+      }
+      break;
+    }
+    case ExprKind::kCast: {
+      auto& cast = As<CastExpr>(expr);
+      AnalyzeExpr(*cast.operand, scopes);
+      if (cast.target.is_pointer) {
+        Error(expr.loc, "pointer casts are not supported");
+      }
+      expr.type = cast.target;
+      break;
+    }
+    case ExprKind::kConditional: {
+      auto& cond = As<ConditionalExpr>(expr);
+      AnalyzeExpr(*cond.cond, scopes);
+      AnalyzeExpr(*cond.then_expr, scopes);
+      AnalyzeExpr(*cond.else_expr, scopes);
+      expr.type.scalar =
+          CommonType(cond.then_expr->type.scalar, cond.else_expr->type.scalar);
+      break;
+    }
+  }
+}
+
+void Sema::AnalyzeDirective(Directive& directive, std::vector<Scope>& scopes) {
+  auto check_array = [&](const std::string& name, SourceLocation loc) {
+    const VarDecl* decl = Lookup(scopes, name);
+    if (decl == nullptr) {
+      Error(loc, std::string(DirectiveKindName(directive.kind)) +
+                     ": unknown array '" + name + "'");
+    } else if (!decl->type.is_pointer) {
+      Error(loc, std::string(DirectiveKindName(directive.kind)) + ": '" +
+                     name + "' is not an array");
+    }
+  };
+  auto analyze_optional = [&](ExprPtr& e) {
+    if (e != nullptr) AnalyzeExpr(*e, scopes);
+  };
+
+  for (auto& clause : directive.data_clauses) {
+    for (auto& section : clause.sections) {
+      check_array(section.name, section.loc);
+      analyze_optional(section.lower);
+      analyze_optional(section.length);
+    }
+  }
+  for (auto& clause : directive.reductions) {
+    for (const auto& var : clause.vars) {
+      const VarDecl* decl = Lookup(scopes, var);
+      if (decl == nullptr) {
+        Error(directive.loc, "reduction: unknown variable '" + var + "'");
+      } else if (decl->type.is_pointer) {
+        Error(directive.loc,
+              "reduction: '" + var +
+                  "' is an array; use the reductiontoarray extension");
+      }
+    }
+  }
+  for (auto& spec : directive.local_access) {
+    check_array(spec.array, spec.loc);
+    analyze_optional(spec.stride);
+    analyze_optional(spec.left);
+    analyze_optional(spec.right);
+  }
+  if (directive.reduction_to_array.has_value()) {
+    auto& spec = *directive.reduction_to_array;
+    check_array(spec.array, spec.loc);
+    analyze_optional(spec.lower);
+    analyze_optional(spec.length);
+  }
+  for (auto& update : directive.updates) {
+    for (auto& section : update.sections) {
+      check_array(section.name, section.loc);
+      analyze_optional(section.lower);
+      analyze_optional(section.length);
+    }
+  }
+}
+
+std::unique_ptr<Program> ParseAndAnalyze(const SourceBuffer& source) {
+  Parser parser(source);
+  auto program = parser.ParseProgram();
+  Sema sema;
+  sema.Analyze(*program);
+  return program;
+}
+
+}  // namespace accmg::frontend

@@ -1,0 +1,38 @@
+// Semantic analysis: name resolution, type checking, directive validation.
+//
+// On success every VarRef::decl is resolved, every Expr::type is filled, and
+// every VarDecl has a dense per-function id. Errors are collected and thrown
+// together as one CompileError.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace accmg::frontend {
+
+class Sema {
+ public:
+  /// Analyzes `program` in place. Throws CompileError listing all errors.
+  void Analyze(Program& program);
+
+ private:
+  struct Scope;
+  void AnalyzeFunction(Function& function);
+  void AnalyzeStmt(Stmt& stmt, std::vector<Scope>& scopes, Function& function);
+  void AnalyzeExpr(Expr& expr, std::vector<Scope>& scopes);
+  void AnalyzeDirective(Directive& directive, std::vector<Scope>& scopes);
+  const VarDecl* Lookup(const std::vector<Scope>& scopes,
+                        const std::string& name) const;
+  void Declare(std::vector<Scope>& scopes, VarDecl& decl, Function& function);
+  void Error(SourceLocation loc, const std::string& message);
+
+  std::vector<std::string> errors_;
+  int next_var_id_ = 0;
+};
+
+/// Convenience: parse + analyze in one call.
+std::unique_ptr<Program> ParseAndAnalyze(const SourceBuffer& source);
+
+}  // namespace accmg::frontend

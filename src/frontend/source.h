@@ -1,0 +1,32 @@
+// Source text management and locations for diagnostics.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace accmg::frontend {
+
+struct SourceLocation {
+  int line = 0;    ///< 1-based
+  int column = 0;  ///< 1-based
+
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// An input translation unit (name + contents).
+class SourceBuffer {
+ public:
+  SourceBuffer(std::string name, std::string text)
+      : name_(std::move(name)), text_(std::move(text)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string name_;
+  std::string text_;
+};
+
+}  // namespace accmg::frontend

@@ -1,0 +1,89 @@
+// Token definitions for the mini-C dialect accepted by the translator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/source.h"
+
+namespace accmg::frontend {
+
+enum class TokenKind : int {
+  kEndOfFile,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kPragma,  ///< a whole `#pragma ...` line; text() holds everything after '#'
+
+  // Keywords.
+  kKwInt,
+  kKwLong,
+  kKwFloat,
+  kKwDouble,
+  kKwVoid,
+  kKwChar,
+  kKwUnsigned,
+  kKwConst,
+  kKwRestrict,
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwWhile,
+  kKwDo,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColon,
+  kQuestion,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAmpAmp,
+  kPipePipe,
+  kBang,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kShl,
+  kShr,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;        ///< spelling (identifier name, literal, pragma body)
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  SourceLocation location;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace accmg::frontend

@@ -1,0 +1,37 @@
+#include "frontend/types.h"
+
+namespace accmg::frontend {
+
+const char* ScalarTypeName(ScalarType t) {
+  switch (t) {
+    case ScalarType::kVoid: return "void";
+    case ScalarType::kInt32: return "int";
+    case ScalarType::kInt64: return "long";
+    case ScalarType::kFloat32: return "float";
+    case ScalarType::kFloat64: return "double";
+  }
+  return "?";
+}
+
+std::string Type::ToString() const {
+  std::string out;
+  if (is_const) out += "const ";
+  out += ScalarTypeName(scalar);
+  if (is_pointer) out += "*";
+  return out;
+}
+
+ScalarType CommonType(ScalarType a, ScalarType b) {
+  if (a == ScalarType::kFloat64 || b == ScalarType::kFloat64) {
+    return ScalarType::kFloat64;
+  }
+  if (a == ScalarType::kFloat32 || b == ScalarType::kFloat32) {
+    return ScalarType::kFloat32;
+  }
+  if (a == ScalarType::kInt64 || b == ScalarType::kInt64) {
+    return ScalarType::kInt64;
+  }
+  return ScalarType::kInt32;
+}
+
+}  // namespace accmg::frontend

@@ -1,0 +1,58 @@
+// Type representation for the mini-C dialect: scalars and 1-D pointers
+// (array parameters). The paper's prototype likewise restricts the
+// communication optimizations to one-dimensional arrays (Section VI).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace accmg::frontend {
+
+enum class ScalarType : int {
+  kVoid,
+  kInt32,
+  kInt64,
+  kFloat32,
+  kFloat64,
+};
+
+constexpr std::size_t ScalarSize(ScalarType t) {
+  switch (t) {
+    case ScalarType::kVoid: return 0;
+    case ScalarType::kInt32: return 4;
+    case ScalarType::kInt64: return 8;
+    case ScalarType::kFloat32: return 4;
+    case ScalarType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+constexpr bool IsFloatType(ScalarType t) {
+  return t == ScalarType::kFloat32 || t == ScalarType::kFloat64;
+}
+
+constexpr bool IsIntType(ScalarType t) {
+  return t == ScalarType::kInt32 || t == ScalarType::kInt64;
+}
+
+const char* ScalarTypeName(ScalarType t);
+
+struct Type {
+  ScalarType scalar = ScalarType::kVoid;
+  bool is_pointer = false;  ///< T* — an array parameter
+  bool is_const = false;
+
+  bool IsScalar() const { return !is_pointer && scalar != ScalarType::kVoid; }
+  bool IsArray() const { return is_pointer; }
+  std::size_t ElementSize() const { return ScalarSize(scalar); }
+  std::string ToString() const;
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.scalar == b.scalar && a.is_pointer == b.is_pointer;
+  }
+};
+
+/// Usual C arithmetic conversion for a binary operation.
+ScalarType CommonType(ScalarType a, ScalarType b);
+
+}  // namespace accmg::frontend

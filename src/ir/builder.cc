@@ -1,0 +1,178 @@
+#include "ir/builder.h"
+
+#include "common/error.h"
+
+namespace accmg::ir {
+
+KernelBuilder::KernelBuilder(std::string name) {
+  kernel_.name = std::move(name);
+  kernel_.thread_id_reg = 0;
+}
+
+int KernelBuilder::AddArray(std::string name, ValType elem) {
+  ACCMG_REQUIRE(kernel_.scalars.empty() && kernel_.code.empty(),
+                "arrays must be added before scalars and code");
+  ArrayParam param;
+  param.name = std::move(name);
+  param.elem = elem;
+  kernel_.arrays.push_back(std::move(param));
+  return static_cast<int>(kernel_.arrays.size()) - 1;
+}
+
+int KernelBuilder::AddScalar(std::string name, ValType type) {
+  ACCMG_REQUIRE(kernel_.code.empty(), "scalars must be added before code");
+  kernel_.scalars.push_back(ScalarParam{std::move(name), type});
+  return next_reg_++;  // the launch contract: scalar s -> register 1+s
+}
+
+int KernelBuilder::AddScalarReduction(std::string name, RedOp op,
+                                      ValType type) {
+  kernel_.scalar_reductions.push_back(
+      ScalarReduction{std::move(name), op, type});
+  return static_cast<int>(kernel_.scalar_reductions.size()) - 1;
+}
+
+int KernelBuilder::AddArrayReduction(int array_index, RedOp op, ValType type) {
+  ACCMG_REQUIRE(array_index >= 0 &&
+                    array_index < static_cast<int>(kernel_.arrays.size()),
+                "bad array index for array reduction");
+  ArrayReduction red;
+  red.name = kernel_.arrays[static_cast<std::size_t>(array_index)].name;
+  red.array_index = array_index;
+  red.op = op;
+  red.type = type;
+  kernel_.array_reductions.push_back(std::move(red));
+  return static_cast<int>(kernel_.array_reductions.size()) - 1;
+}
+
+int KernelBuilder::NewReg() { return next_reg_++; }
+
+Instr& KernelBuilder::Emit(Opcode op) {
+  kernel_.code.push_back(Instr{});
+  kernel_.code.back().op = op;
+  return kernel_.code.back();
+}
+
+int KernelBuilder::ConstI(std::int64_t value) {
+  const int dst = NewReg();
+  Instr& in = Emit(Opcode::kConstI);
+  in.dst = dst;
+  in.imm.i = value;
+  return dst;
+}
+
+int KernelBuilder::ConstF(double value) {
+  const int dst = NewReg();
+  Instr& in = Emit(Opcode::kConstF);
+  in.dst = dst;
+  in.imm.f = value;
+  return dst;
+}
+
+int KernelBuilder::Unary(Opcode op, int a) {
+  const int dst = NewReg();
+  Instr& in = Emit(op);
+  in.dst = dst;
+  in.a = a;
+  return dst;
+}
+
+int KernelBuilder::Binary(Opcode op, int a, int b) {
+  const int dst = NewReg();
+  Instr& in = Emit(op);
+  in.dst = dst;
+  in.a = a;
+  in.b = b;
+  return dst;
+}
+
+void KernelBuilder::MovTo(int dst, int src) {
+  if (dst == src) return;
+  Instr& in = Emit(Opcode::kMov);
+  in.dst = dst;
+  in.a = src;
+}
+
+int KernelBuilder::Load(int array_index, int index_reg) {
+  const int dst = NewReg();
+  Instr& in = Emit(Opcode::kLoad);
+  in.dst = dst;
+  in.a = index_reg;
+  in.arr = array_index;
+  kernel_.arrays[static_cast<std::size_t>(array_index)].is_read = true;
+  return dst;
+}
+
+void KernelBuilder::Store(int array_index, int index_reg, int value_reg) {
+  Instr& in = Emit(Opcode::kStore);
+  in.a = index_reg;
+  in.b = value_reg;
+  in.arr = array_index;
+  kernel_.arrays[static_cast<std::size_t>(array_index)].is_written = true;
+}
+
+void KernelBuilder::DirtyMark(int array_index, int index_reg) {
+  Instr& in = Emit(Opcode::kDirtyMark);
+  in.a = index_reg;
+  in.arr = array_index;
+}
+
+void KernelBuilder::RedScalar(int slot, int value_reg) {
+  Instr& in = Emit(Opcode::kRedScalar);
+  in.a = value_reg;
+  in.imm.i = slot;
+}
+
+void KernelBuilder::RedArray(int slot, int index_reg, int value_reg) {
+  Instr& in = Emit(Opcode::kRedArray);
+  in.a = index_reg;
+  in.b = value_reg;
+  in.imm.i = slot;
+}
+
+void KernelBuilder::Ret() { Emit(Opcode::kRet); }
+
+std::size_t KernelBuilder::Br() {
+  Emit(Opcode::kBr).imm.i = -1;
+  return kernel_.code.size() - 1;
+}
+
+std::size_t KernelBuilder::BrIf(int cond_reg) {
+  Instr& in = Emit(Opcode::kBrIf);
+  in.a = cond_reg;
+  in.imm.i = -1;
+  return kernel_.code.size() - 1;
+}
+
+std::size_t KernelBuilder::BrIfNot(int cond_reg) {
+  Instr& in = Emit(Opcode::kBrIfNot);
+  in.a = cond_reg;
+  in.imm.i = -1;
+  return kernel_.code.size() - 1;
+}
+
+void KernelBuilder::PatchTarget(std::size_t branch_pc, std::size_t target) {
+  ACCMG_REQUIRE(branch_pc < kernel_.code.size(), "patch of unknown branch");
+  Instr& in = kernel_.code[branch_pc];
+  ACCMG_REQUIRE(in.op == Opcode::kBr || in.op == Opcode::kBrIf ||
+                    in.op == Opcode::kBrIfNot,
+                "patch target on a non-branch");
+  in.imm.i = static_cast<std::int64_t>(target);
+}
+
+ArrayParam& KernelBuilder::array(int index) {
+  ACCMG_REQUIRE(index >= 0 && index < static_cast<int>(kernel_.arrays.size()),
+                "bad array index");
+  return kernel_.arrays[static_cast<std::size_t>(index)];
+}
+
+KernelIR KernelBuilder::Build() {
+  // Always terminate with ret: forward branches routinely target the
+  // one-past-the-end position (loop exits, if-joins at the end of the body).
+  Ret();
+  kernel_.num_regs = next_reg_;
+  Verify(kernel_);
+  return std::move(kernel_);
+}
+
+}  // namespace accmg::ir

@@ -1,0 +1,62 @@
+// Convenience builder for KernelIR. Establishes the launch contract the
+// interpreter relies on: register 0 holds the thread (iteration) id and
+// registers 1..N hold the scalar parameters, in declaration order.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace accmg::ir {
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // --- signature ---
+  int AddArray(std::string name, ValType elem);
+  /// Returns the register the scalar parameter occupies at launch.
+  int AddScalar(std::string name, ValType type);
+  int AddScalarReduction(std::string name, RedOp op, ValType type);
+  int AddArrayReduction(int array_index, RedOp op, ValType type);
+
+  int thread_id_reg() const { return 0; }
+  int NewReg();
+
+  // --- instruction emission (each returns the destination register where
+  //     applicable) ---
+  int ConstI(std::int64_t value);
+  int ConstF(double value);
+  int Unary(Opcode op, int a);
+  int Binary(Opcode op, int a, int b);
+  /// Copies `src` into the existing register `dst` (variable home slots).
+  void MovTo(int dst, int src);
+  int Load(int array_index, int index_reg);
+  void Store(int array_index, int index_reg, int value_reg);
+  void DirtyMark(int array_index, int index_reg);
+  void RedScalar(int slot, int value_reg);
+  void RedArray(int slot, int index_reg, int value_reg);
+  void Ret();
+
+  /// Emits a branch with an unresolved target; returns its pc for PatchTarget.
+  std::size_t Br();
+  std::size_t BrIf(int cond_reg);
+  std::size_t BrIfNot(int cond_reg);
+  void PatchTarget(std::size_t branch_pc, std::size_t target);
+  std::size_t Here() const { return kernel_.code.size(); }
+
+  /// Marks flags on an array parameter (translator instrumentation decisions).
+  ArrayParam& array(int index);
+
+  /// Finalizes: appends kRet if the last instruction doesn't terminate,
+  /// verifies, and returns the kernel.
+  KernelIR Build();
+
+ private:
+  Instr& Emit(Opcode op);
+
+  KernelIR kernel_;
+  int next_reg_ = 1;  // reg 0 = thread id
+};
+
+}  // namespace accmg::ir

@@ -1,0 +1,200 @@
+#include "runtime/comm_manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace accmg::runtime {
+
+CommManager::CommManager(sim::Platform& platform, const ExecOptions& options,
+                         std::vector<int> devices)
+    : platform_(platform), options_(options), devices_(std::move(devices)) {}
+
+void CommManager::PropagateReplicated(ManagedArray& array) {
+  if (devices_.size() < 2) {
+    // Single GPU: no peers to update; just reset the dirty state.
+    for (int device : devices_) {
+      DeviceShard& shard = array.shard(device);
+      if (shard.dirty1 != nullptr) {
+        std::memset(shard.dirty1->bytes().data(), 0,
+                    shard.dirty1->size_bytes());
+        std::memset(shard.dirty2->bytes().data(), 0,
+                    shard.dirty2->size_bytes());
+      }
+      shard.valid = true;
+    }
+    array.set_host_valid(false);
+    return;
+  }
+  const std::size_t elem = array.elem_size();
+
+  // Snapshot every sender's dirty elements first so that overlapping writes
+  // from two GPUs cannot clobber each other mid-merge. One snapshot entry per
+  // (sender, element) with the written value.
+  struct SenderDirty {
+    int device = 0;
+    std::vector<std::int64_t> indices;       // local == global (replica lo=0)
+    std::vector<std::byte> values;           // indices.size() * elem bytes
+    std::vector<std::int64_t> dirty_chunks;  // second-level dirty chunk ids
+  };
+  std::vector<SenderDirty> snapshots;
+
+  for (int sender : devices_) {
+    DeviceShard& src = array.shard(sender);
+    if (src.dirty1 == nullptr) continue;
+    const std::int64_t n = src.loaded.size();
+    const std::int64_t chunk_elems = src.chunk_elems;
+    const std::int64_t chunks = (n + chunk_elems - 1) / chunk_elems;
+
+    // The manager inspects the second-level bits on the host: one byte per
+    // chunk comes back over the bus (this is what makes the two-level scheme
+    // cheap — without it the whole level-1 array would travel).
+    std::vector<std::uint8_t> level2(static_cast<std::size_t>(chunks));
+    std::memcpy(level2.data(), src.dirty2->bytes().data(),
+                static_cast<std::size_t>(chunks));
+    platform_.BillDeviceToHost(sender, static_cast<std::size_t>(chunks));
+
+    SenderDirty snapshot;
+    snapshot.device = sender;
+    const std::uint8_t* dirty1 =
+        reinterpret_cast<const std::uint8_t*>(src.dirty1->bytes().data());
+    const std::byte* data = src.data->bytes().data();
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      if (level2[static_cast<std::size_t>(c)] == 0) {
+        ++stats_.clean_chunks_skipped;
+        continue;
+      }
+      snapshot.dirty_chunks.push_back(c);
+      const std::int64_t chunk_lo = c * chunk_elems;
+      const std::int64_t chunk_hi =
+          std::min<std::int64_t>(n, chunk_lo + chunk_elems);
+      for (std::int64_t i = chunk_lo; i < chunk_hi; ++i) {
+        if (dirty1[i] == 0) continue;
+        snapshot.indices.push_back(i);
+        const std::size_t offset = snapshot.values.size();
+        snapshot.values.resize(offset + elem);
+        std::memcpy(snapshot.values.data() + offset,
+                    data + static_cast<std::size_t>(i) * elem, elem);
+      }
+    }
+    if (!snapshot.dirty_chunks.empty()) {
+      snapshots.push_back(std::move(snapshot));
+    }
+  }
+
+  // Transfer + merge: each dirty chunk travels (data + level-1 bits) to every
+  // other replica; the receiver-side merge kernel applies dirty elements.
+  for (const auto& snapshot : snapshots) {
+    const DeviceShard& src = array.shard(snapshot.device);
+    const std::int64_t n = src.loaded.size();
+    const std::int64_t chunk_elems = src.chunk_elems;
+    for (int receiver : devices_) {
+      if (receiver == snapshot.device) continue;
+      DeviceShard& dst = array.shard(receiver);
+      ACCMG_CHECK(dst.data != nullptr && dst.loaded == src.loaded,
+                  "replica shards out of sync for '" + array.name() + "'");
+      for (std::int64_t c : snapshot.dirty_chunks) {
+        const std::int64_t chunk_lo = c * chunk_elems;
+        const std::int64_t chunk_hi =
+            std::min<std::int64_t>(n, chunk_lo + chunk_elems);
+        const std::size_t chunk_bytes =
+            static_cast<std::size_t>(chunk_hi - chunk_lo) * elem +
+            static_cast<std::size_t>(chunk_hi - chunk_lo);  // + dirty bits
+        platform_.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes);
+        ++stats_.dirty_chunks_sent;
+      }
+      // Apply the dirty elements (functional effect of the merge kernel).
+      std::byte* dst_data = dst.data->bytes().data();
+      for (std::size_t k = 0; k < snapshot.indices.size(); ++k) {
+        const std::int64_t i = snapshot.indices[k];
+        std::memcpy(dst_data + static_cast<std::size_t>(i) * elem,
+                    snapshot.values.data() + k * elem, elem);
+      }
+    }
+  }
+
+  // All replicas coherent again; clear every participant's dirty state.
+  for (int device : devices_) {
+    DeviceShard& shard = array.shard(device);
+    if (shard.dirty1 != nullptr) {
+      std::memset(shard.dirty1->bytes().data(), 0, shard.dirty1->size_bytes());
+      std::memset(shard.dirty2->bytes().data(), 0, shard.dirty2->size_bytes());
+    }
+    shard.valid = true;
+  }
+  array.set_host_valid(false);
+}
+
+void CommManager::ReplayWriteMisses(ManagedArray& array) {
+  const std::size_t elem = array.elem_size();
+  for (int sender : devices_) {
+    DeviceShard& src = array.shard(sender);
+    if (src.miss.records.empty()) continue;
+
+    // Group the (address, data) records by owning GPU.
+    std::unordered_map<int, std::vector<ir::WriteMissRecord>> by_owner;
+    for (const auto& record : src.miss.records) {
+      const int owner = array.OwnerOf(record.index);
+      ACCMG_REQUIRE(owner >= 0,
+                    "write-miss to element " + std::to_string(record.index) +
+                        " of '" + array.name() + "' which no GPU owns");
+      by_owner[owner].push_back(record);
+    }
+    for (auto& [owner, records] : by_owner) {
+      DeviceShard& dst = array.shard(owner);
+      // The record batch (16 bytes each: address + data) travels to the
+      // owner, where a small kernel applies the writes (Section IV-D2).
+      platform_.BillDeviceToDevice(sender, owner, records.size() * 16);
+      std::byte* dst_data = dst.data->bytes().data();
+      for (const auto& record : records) {
+        ACCMG_CHECK(dst.loaded.Contains(record.index),
+                    "owner segment does not contain missed element");
+        const std::size_t local =
+            static_cast<std::size_t>(record.index - dst.loaded.lo);
+        // The raw field holds the element bits in the low `elem` bytes.
+        std::memcpy(dst_data + local * elem, &record.raw, elem);
+      }
+      stats_.miss_records_replayed += records.size();
+    }
+    src.miss.records.clear();
+  }
+  array.set_host_valid(false);
+}
+
+void CommManager::RefreshHalos(ManagedArray& array) {
+  const std::size_t elem = array.elem_size();
+  for (int device : devices_) {
+    DeviceShard& shard = array.shard(device);
+    if (shard.data == nullptr) continue;
+    // Halo = loaded minus owned, split into the left and right pieces.
+    const Range left{shard.loaded.lo,
+                     std::min(shard.owned.lo, shard.loaded.hi)};
+    const Range right{std::max(shard.owned.hi, shard.loaded.lo),
+                      shard.loaded.hi};
+    for (const Range& halo : {left, right}) {
+      std::int64_t cursor = halo.lo;
+      while (cursor < halo.hi) {
+        const int owner = array.OwnerOf(cursor);
+        ACCMG_REQUIRE(owner >= 0, "halo element " + std::to_string(cursor) +
+                                      " of '" + array.name() +
+                                      "' has no owner");
+        DeviceShard& src = array.shard(owner);
+        const std::int64_t piece_hi = std::min(halo.hi, src.owned.hi);
+        ACCMG_CHECK(piece_hi > cursor, "halo owner makes no progress");
+        const std::size_t bytes =
+            static_cast<std::size_t>(piece_hi - cursor) * elem;
+        platform_.CopyDeviceToDevice(
+            *shard.data,
+            static_cast<std::size_t>(cursor - shard.loaded.lo) * elem,
+            *src.data, static_cast<std::size_t>(cursor - src.loaded.lo) * elem,
+            bytes);
+        ++stats_.halo_refreshes;
+        cursor = piece_hi;
+      }
+    }
+  }
+}
+
+}  // namespace accmg::runtime

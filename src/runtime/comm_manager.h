@@ -1,0 +1,52 @@
+// The inter-GPU communication manager (paper Section IV-D).
+//
+// Runs right after the kernels complete on every GPU:
+//  * replicated arrays — propagates written elements to the other replicas
+//    using the two-level dirty bits, transferring only dirty chunks;
+//  * distributed arrays — replays buffered write-miss records on the owning
+//    GPU and refreshes halo regions from their owners.
+// All transfers go device-to-device (directly when the topology supports
+// peer DMA) and overlap in simulated time when they use disjoint links.
+#pragma once
+
+#include <vector>
+
+#include "runtime/managed_array.h"
+#include "runtime/options.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime {
+
+struct CommStats {
+  std::uint64_t dirty_chunks_sent = 0;
+  std::uint64_t clean_chunks_skipped = 0;
+  std::uint64_t miss_records_replayed = 0;
+  std::uint64_t halo_refreshes = 0;
+};
+
+class CommManager {
+ public:
+  CommManager(sim::Platform& platform, const ExecOptions& options,
+              std::vector<int> devices);
+
+  /// Replicated array written by the last kernel: update the other replicas
+  /// from each writer's dirty chunks, then clear all dirty bits.
+  void PropagateReplicated(ManagedArray& array);
+
+  /// Distributed array: deliver buffered write-miss records to the owners.
+  void ReplayWriteMisses(ManagedArray& array);
+
+  /// Distributed array written by the last kernel: re-fetch halo elements
+  /// (loaded but not owned) from their owners.
+  void RefreshHalos(ManagedArray& array);
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  sim::Platform& platform_;
+  ExecOptions options_;
+  std::vector<int> devices_;
+  CommStats stats_;
+};
+
+}  // namespace accmg::runtime

@@ -1,0 +1,31 @@
+// CPU execution of offloaded loops — the "OpenMP" baseline of the paper's
+// Fig. 7. Runs the same KernelIR on a host thread pool over host arrays,
+// with simulated time charged to the host compute category using the
+// platform's CpuSpec (gcc -O2 with 12/24 OpenMP threads in the paper).
+#pragma once
+
+#include <functional>
+
+#include "sim/platform.h"
+#include "translator/eval.h"
+#include "translator/offload.h"
+
+namespace accmg::runtime {
+
+using HostArrayResolver =
+    std::function<translator::HostArray(const frontend::VarDecl&)>;
+
+class CpuExecutor {
+ public:
+  explicit CpuExecutor(sim::Platform& platform);
+
+  /// Runs the loop over host memory on the worker pool; scalar reduction
+  /// results are folded back into `env`, array reductions into host memory.
+  void RunOffload(const translator::LoopOffload& offload,
+                  translator::HostEnv& env, const HostArrayResolver& resolve);
+
+ private:
+  sim::Platform& platform_;
+};
+
+}  // namespace accmg::runtime

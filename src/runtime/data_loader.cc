@@ -1,0 +1,242 @@
+#include "runtime/data_loader.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace accmg::runtime {
+
+DataLoader::DataLoader(sim::Platform& platform, const ExecOptions& options,
+                       std::vector<int> devices)
+    : platform_(platform), options_(options), devices_(std::move(devices)) {
+  ACCMG_REQUIRE(!devices_.empty(), "data loader needs at least one device");
+}
+
+void DataLoader::EnsurePlacement(const ArrayRequirement& req) {
+  ACCMG_REQUIRE(req.array != nullptr, "requirement without an array");
+  ACCMG_REQUIRE(req.read_ranges.size() == devices_.size() &&
+                    req.own_ranges.size() == devices_.size(),
+                "requirement ranges must match the device list");
+  if (req.distributed) {
+    LoadDistributed(req);
+  } else {
+    LoadReplicated(req);
+  }
+  EnsureSystemBuffers(req);
+}
+
+void DataLoader::LoadReplicated(const ArrayRequirement& req) {
+  ManagedArray& array = *req.array;
+  const Range full{0, array.count()};
+
+  // Reload-skip: already replicated and valid everywhere we need it.
+  bool satisfied = array.placement() == Placement::kReplicated;
+  if (satisfied) {
+    for (int device : devices_) {
+      const DeviceShard& shard = array.shard(device);
+      satisfied &= shard.valid && shard.loaded == full;
+    }
+  }
+  if (satisfied) {
+    ++stats_.loads_skipped;
+    return;
+  }
+
+  // Transitioning placements: make the host copy authoritative first.
+  if (!array.host_valid()) GatherToHost(array);
+
+  for (int device : devices_) {
+    DeviceShard& shard = array.shard(device);
+    if (shard.valid && shard.loaded == full &&
+        array.placement() == Placement::kReplicated) {
+      continue;  // this replica is already current
+    }
+    if (shard.data == nullptr || shard.loaded != full) {
+      shard.data = platform_.device(device).Allocate(
+          "user:" + array.name(), array.total_bytes());
+      shard.loaded = full;
+    }
+    platform_.CopyHostToDevice(*shard.data, 0, array.host_data(),
+                               array.total_bytes());
+    shard.owned = full;
+    shard.valid = true;
+    ++stats_.loads_performed;
+  }
+  // Devices outside the participating set no longer hold valid replicas.
+  for (int d = 0; d < array.num_shards(); ++d) {
+    bool participating = false;
+    for (int device : devices_) participating |= device == d;
+    if (!participating) array.shard(d).valid = false;
+  }
+  array.set_placement(Placement::kReplicated);
+}
+
+void DataLoader::LoadDistributed(const ArrayRequirement& req) {
+  ManagedArray& array = *req.array;
+
+  // Reload-skip: same ownership and the loaded range already covers the
+  // request (a superset is fine — e.g. a halo-free kernel following a halo
+  // kernel; the comm manager keeps the whole loaded range coherent).
+  bool satisfied = array.placement() == Placement::kDistributed;
+  if (satisfied) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      const DeviceShard& shard = array.shard(devices_[i]);
+      satisfied &= shard.valid && shard.owned == req.own_ranges[i] &&
+                   shard.loaded.lo <= req.read_ranges[i].lo &&
+                   shard.loaded.hi >= req.read_ranges[i].hi;
+    }
+  }
+  if (satisfied) {
+    ++stats_.loads_skipped;
+    return;
+  }
+
+  if (!array.host_valid()) GatherToHost(array);
+
+  const std::size_t elem = array.elem_size();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const int device = devices_[i];
+    DeviceShard& shard = array.shard(device);
+    const Range read = req.read_ranges[i];
+    ACCMG_CHECK(read.lo >= 0 && read.hi <= array.count(),
+                "segment range outside array '" + array.name() + "'");
+    if (shard.data == nullptr || shard.loaded != read) {
+      shard.data = platform_.device(device).Allocate(
+          "user:" + array.name(),
+          static_cast<std::size_t>(read.size()) * elem);
+      shard.loaded = read;
+    }
+    platform_.CopyHostToDevice(
+        *shard.data, 0,
+        static_cast<const std::byte*>(array.host_data()) +
+            static_cast<std::size_t>(read.lo) * elem,
+        static_cast<std::size_t>(read.size()) * elem);
+    shard.owned = req.own_ranges[i];
+    shard.valid = true;
+    ++stats_.loads_performed;
+  }
+  for (int d = 0; d < array.num_shards(); ++d) {
+    bool participating = false;
+    for (int device : devices_) participating |= device == d;
+    if (!participating) array.shard(d).valid = false;
+  }
+  array.set_placement(Placement::kDistributed);
+}
+
+void DataLoader::EnsureSystemBuffers(const ArrayRequirement& req) {
+  ManagedArray& array = *req.array;
+  const std::size_t elem = array.elem_size();
+  const auto chunk_elems = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, options_.dirty_chunk_bytes / elem));
+
+  for (int device : devices_) {
+    DeviceShard& shard = array.shard(device);
+    if (req.dirty_tracked) {
+      const std::int64_t n = shard.loaded.size();
+      const std::int64_t chunks = (n + chunk_elems - 1) / chunk_elems;
+      if (shard.dirty1 == nullptr ||
+          shard.dirty1->size_bytes() != static_cast<std::size_t>(n) ||
+          shard.chunk_elems != chunk_elems) {
+        shard.dirty1 = platform_.device(device).Allocate(
+            "sys:dirty1:" + array.name(), static_cast<std::size_t>(n));
+        shard.dirty2 = platform_.device(device).Allocate(
+            "sys:dirty2:" + array.name(), static_cast<std::size_t>(chunks));
+        // Staging area for receiving one in-flight dirty chunk (+ its
+        // level-1 bits) from each peer during the merge, capped by the
+        // array's own footprint for small arrays.
+        const std::size_t peers = devices_.size() - 1;
+        if (peers > 0) {
+          const std::size_t per_peer =
+              std::min(options_.dirty_chunk_bytes +
+                           static_cast<std::size_t>(chunk_elems),
+                       static_cast<std::size_t>(n) * (elem + 1));
+          shard.staging = platform_.device(device).Allocate(
+              "sys:staging:" + array.name(), peers * per_peer);
+        }
+        shard.chunk_elems = chunk_elems;
+      }
+      std::memset(shard.dirty1->bytes().data(), 0,
+                  shard.dirty1->size_bytes());
+      std::memset(shard.dirty2->bytes().data(), 0,
+                  shard.dirty2->size_bytes());
+    } else {
+      shard.dirty1.reset();
+      shard.dirty2.reset();
+      shard.staging.reset();
+      shard.chunk_elems = 0;
+    }
+    if (req.miss_checked) {
+      if (shard.miss_capacity == nullptr) {
+        shard.miss_capacity = platform_.device(device).Allocate(
+            "sys:miss:" + array.name(), options_.miss_buffer_bytes);
+      }
+      shard.miss.records.clear();
+    } else {
+      shard.miss_capacity.reset();
+      shard.miss.records.clear();
+    }
+  }
+}
+
+void DataLoader::GatherToHost(ManagedArray& array) {
+  if (array.host_valid()) return;
+  const std::size_t elem = array.elem_size();
+  auto* host = static_cast<std::byte*>(array.host_data());
+  switch (array.placement()) {
+    case Placement::kHostOnly:
+      ACCMG_CHECK(false, "array '" + array.name() +
+                             "' is host-only but the host copy is stale");
+      break;
+    case Placement::kReplicated: {
+      // Any valid replica is authoritative.
+      for (int d = 0; d < array.num_shards(); ++d) {
+        const DeviceShard& shard = array.shard(d);
+        if (shard.valid) {
+          platform_.CopyDeviceToHost(host, *shard.data, 0,
+                                     array.total_bytes());
+          array.set_host_valid(true);
+          ++stats_.gathers;
+          return;
+        }
+      }
+      ACCMG_CHECK(false, "replicated array '" + array.name() +
+                             "' has no valid replica to gather from");
+      break;
+    }
+    case Placement::kDistributed: {
+      for (int d = 0; d < array.num_shards(); ++d) {
+        const DeviceShard& shard = array.shard(d);
+        if (!shard.valid || shard.owned.empty()) continue;
+        const std::size_t offset_in_segment =
+            static_cast<std::size_t>(shard.owned.lo - shard.loaded.lo) * elem;
+        platform_.CopyDeviceToHost(
+            host + static_cast<std::size_t>(shard.owned.lo) * elem,
+            *shard.data, offset_in_segment,
+            static_cast<std::size_t>(shard.owned.size()) * elem);
+      }
+      array.set_host_valid(true);
+      ++stats_.gathers;
+      break;
+    }
+  }
+}
+
+void DataLoader::ScatterFromHost(ManagedArray& array) {
+  ACCMG_REQUIRE(array.host_valid(),
+                "update device from a stale host copy of '" + array.name() +
+                    "'");
+  const std::size_t elem = array.elem_size();
+  const auto* host = static_cast<const std::byte*>(array.host_data());
+  for (int d = 0; d < array.num_shards(); ++d) {
+    DeviceShard& shard = array.shard(d);
+    if (shard.data == nullptr) continue;
+    platform_.CopyHostToDevice(
+        *shard.data, 0,
+        host + static_cast<std::size_t>(shard.loaded.lo) * elem,
+        static_cast<std::size_t>(shard.loaded.size()) * elem);
+    shard.valid = true;
+  }
+}
+
+}  // namespace accmg::runtime

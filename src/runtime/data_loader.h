@@ -1,0 +1,68 @@
+// The data loader (paper Section IV-C).
+//
+// Guarantees OpenACC data-movement semantics while transparently managing
+// multiple GPU memories. Arrays without localaccess information use the
+// replica-based policy (full copy on every GPU); arrays with localaccess use
+// the distribution-based policy (owner segments + halos). Reloads are skipped
+// when the previously loaded ranges still satisfy the request and the device
+// contents are valid — the cache that makes iterative algorithms cheap.
+#pragma once
+
+#include <vector>
+
+#include "runtime/managed_array.h"
+#include "runtime/options.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime {
+
+/// Placement request for one array before one kernel launch.
+struct ArrayRequirement {
+  ManagedArray* array = nullptr;
+  bool distributed = false;
+  bool written = false;
+  bool dirty_tracked = false;  ///< replicated + written: needs dirty bits
+  bool miss_checked = false;   ///< distributed + unproven writes: miss buffer
+  /// Per participating device (indexed by position in the device list).
+  std::vector<Range> read_ranges;
+  std::vector<Range> own_ranges;
+};
+
+struct LoaderStats {
+  std::uint64_t loads_performed = 0;
+  std::uint64_t loads_skipped = 0;   ///< the reload-skip cache hits
+  std::uint64_t gathers = 0;
+};
+
+class DataLoader {
+ public:
+  DataLoader(sim::Platform& platform, const ExecOptions& options,
+             std::vector<int> devices);
+
+  /// Makes the array satisfy `req` on every participating device, issuing
+  /// host<->device transfers as needed. Also (re)allocates the system
+  /// buffers (dirty bits / miss buffer) the instrumentation requires.
+  void EnsurePlacement(const ArrayRequirement& req);
+
+  /// Copies the authoritative bytes back to the host buffer (used at data
+  /// region exits, update-host directives, and placement transitions).
+  void GatherToHost(ManagedArray& array);
+
+  /// Pushes the host copy to wherever the array currently lives on devices
+  /// (update-device directive).
+  void ScatterFromHost(ManagedArray& array);
+
+  const LoaderStats& stats() const { return stats_; }
+
+ private:
+  void LoadReplicated(const ArrayRequirement& req);
+  void LoadDistributed(const ArrayRequirement& req);
+  void EnsureSystemBuffers(const ArrayRequirement& req);
+
+  sim::Platform& platform_;
+  ExecOptions options_;
+  std::vector<int> devices_;
+  LoaderStats stats_;
+};
+
+}  // namespace accmg::runtime

@@ -1,0 +1,350 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <bit>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "ir/exec.h"
+
+namespace accmg::runtime {
+
+using translator::EvalIndexExpr;
+using translator::HostEnv;
+using translator::LoopOffload;
+using translator::TypedValue;
+
+namespace {
+
+/// TypedValue -> raw element bits of `type` (as CombineRaw expects).
+std::uint64_t ToElementRaw(ir::ValType type, const TypedValue& value) {
+  switch (type) {
+    case ir::ValType::kI32:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(value.AsInt()));
+    case ir::ValType::kI64:
+      return static_cast<std::uint64_t>(value.AsInt());
+    case ir::ValType::kF32: {
+      const float f = static_cast<float>(value.AsDouble());
+      return std::bit_cast<std::uint32_t>(f);
+    }
+    case ir::ValType::kF64:
+      return std::bit_cast<std::uint64_t>(value.AsDouble());
+  }
+  return 0;
+}
+
+/// Raw element bits of `type` -> TypedValue.
+TypedValue FromElementRaw(ir::ValType type, std::uint64_t raw) {
+  switch (type) {
+    case ir::ValType::kI32:
+      return TypedValue::OfInt(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(raw)),
+          ir::ValType::kI32);
+    case ir::ValType::kI64:
+      return TypedValue::OfInt(static_cast<std::int64_t>(raw),
+                               ir::ValType::kI64);
+    case ir::ValType::kF32:
+      return TypedValue::OfDouble(
+          std::bit_cast<float>(static_cast<std::uint32_t>(raw)),
+          ir::ValType::kF32);
+    case ir::ValType::kF64:
+      return TypedValue::OfDouble(std::bit_cast<double>(raw),
+                                  ir::ValType::kF64);
+  }
+  return TypedValue{};
+}
+
+}  // namespace
+
+Executor::Executor(sim::Platform& platform, ExecOptions options,
+                   std::vector<int> devices)
+    : platform_(platform),
+      options_(options),
+      devices_(std::move(devices)),
+      loader_(platform, options_, devices_),
+      comm_(platform, options_, devices_) {
+  ACCMG_REQUIRE(!devices_.empty(), "executor needs at least one device");
+  for (int d : devices_) {
+    ACCMG_REQUIRE(d >= 0 && d < platform.num_devices(),
+                  "executor device id out of range");
+  }
+}
+
+void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
+                          const ArrayResolver& resolve) {
+  const std::int64_t lower = EvalIndexExpr(*offload.lower_bound, env);
+  std::int64_t upper = EvalIndexExpr(*offload.upper_bound, env);
+  if (offload.upper_inclusive) ++upper;
+  const std::int64_t total = std::max<std::int64_t>(0, upper - lower);
+  const auto num_devices = static_cast<std::int64_t>(devices_.size());
+
+  // --- 1. Task mapping: equal contiguous division (Section IV-B2), or
+  // throughput-weighted division (extension) for heterogeneous GPUs. ---
+  std::vector<Range> tasks(devices_.size());
+  if (options_.weighted_task_mapping) {
+    double total_weight = 0;
+    std::vector<double> prefix(devices_.size() + 1, 0);
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      total_weight += platform_.device(devices_[g]).spec().instr_per_sec;
+      prefix[g + 1] = total_weight;
+    }
+    std::int64_t cursor = 0;
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      const auto hi =
+          g + 1 == devices_.size()
+              ? total
+              : static_cast<std::int64_t>(
+                    static_cast<double>(total) * prefix[g + 1] / total_weight);
+      tasks[g] = Range{cursor, std::max(cursor, hi)};
+      cursor = tasks[g].hi;
+    }
+  } else {
+    for (std::int64_t g = 0; g < num_devices; ++g) {
+      tasks[static_cast<std::size_t>(g)] =
+          Range{total * g / num_devices, total * (g + 1) / num_devices};
+    }
+  }
+
+  // --- 2. Placement requirements per array + data loading. ---
+  struct BoundArray {
+    ManagedArray* array = nullptr;
+    const translator::ArrayConfig* config = nullptr;
+    bool distributed = false;
+  };
+  std::vector<BoundArray> bound;
+  bound.reserve(offload.arrays.size());
+
+  for (const auto& config : offload.arrays) {
+    ManagedArray& array = resolve(*config.decl);
+    const auto& param =
+        offload.kernel.arrays[static_cast<std::size_t>(
+            config.kernel_array_index)];
+
+    ArrayRequirement req;
+    req.array = &array;
+    req.written = config.is_written;
+    req.dirty_tracked = param.dirty_tracked;
+    req.miss_checked = param.miss_checked;
+    // Reduction destinations stay replicated: the combined result must fold
+    // into the pre-kernel value exactly once, which the replica path does.
+    req.distributed = options_.honor_localaccess && config.has_localaccess &&
+                      !config.is_reduction_dest && num_devices > 1;
+    req.read_ranges.resize(devices_.size());
+    req.own_ranges.resize(devices_.size());
+
+    if (req.distributed) {
+      const std::int64_t stride =
+          config.stride != nullptr ? EvalIndexExpr(*config.stride, env) : 1;
+      const std::int64_t left =
+          config.left != nullptr ? EvalIndexExpr(*config.left, env) : 0;
+      const std::int64_t right =
+          config.right != nullptr ? EvalIndexExpr(*config.right, env) : 0;
+      ACCMG_REQUIRE(stride >= 1, "localaccess stride must be >= 1");
+      ACCMG_REQUIRE(left >= 0 && right >= 0,
+                    "localaccess halo extents must be >= 0");
+      // Ownership is a complete partition of [0, count): boundaries at the
+      // start of each GPU's first iteration, with the ends pinned to the
+      // array bounds so that every element has exactly one owner.
+      std::vector<std::int64_t> boundary(devices_.size() + 1);
+      boundary[0] = 0;
+      for (std::size_t g = 1; g < devices_.size(); ++g) {
+        boundary[g] = std::clamp<std::int64_t>(
+            stride * (lower + tasks[g].lo), 0, array.count());
+      }
+      boundary[devices_.size()] = array.count();
+      for (std::size_t g = 1; g < devices_.size(); ++g) {
+        boundary[g] = std::max(boundary[g], boundary[g - 1]);
+      }
+      for (std::size_t g = 0; g < devices_.size(); ++g) {
+        const std::int64_t iter_lo = lower + tasks[g].lo;
+        const std::int64_t iter_hi = lower + tasks[g].hi;
+        Range read{stride * iter_lo - left, stride * iter_hi + right};
+        read.lo = std::clamp<std::int64_t>(read.lo, 0, array.count());
+        read.hi = std::clamp<std::int64_t>(read.hi, 0, array.count());
+        const Range own{boundary[g], boundary[g + 1]};
+        // Owner range must be resident: widen the loaded range over it.
+        read.lo = std::min(read.lo, own.lo);
+        read.hi = std::max(read.hi, own.hi);
+        req.read_ranges[g] = read;
+        req.own_ranges[g] = own;
+      }
+    } else {
+      for (std::size_t g = 0; g < devices_.size(); ++g) {
+        req.read_ranges[g] = Range{0, array.count()};
+        req.own_ranges[g] = Range{0, array.count()};
+      }
+    }
+    loader_.EnsurePlacement(req);
+    bound.push_back(BoundArray{&array, &config, req.distributed});
+  }
+  platform_.Barrier(sim::TimeCategory::kCpuGpu);
+
+  // --- 3. Resolve launch-time values. ---
+  std::vector<std::uint64_t> scalar_values(offload.scalars.size());
+  for (std::size_t s = 0; s < offload.scalars.size(); ++s) {
+    const auto& arg = offload.scalars[s];
+    const TypedValue value = env.GetScalar(*arg.decl);
+    const ir::ValType t =
+        offload.kernel.scalars[s].type;
+    scalar_values[s] = ir::EncodeScalar(t, value.AsDouble(), value.AsInt());
+  }
+  std::vector<std::int64_t> red_lower(offload.array_reds.size(), 0);
+  std::vector<std::int64_t> red_length(offload.array_reds.size(), 0);
+  for (std::size_t r = 0; r < offload.array_reds.size(); ++r) {
+    const auto& red = offload.array_reds[r];
+    ManagedArray& dest = resolve(*red.decl);
+    red_lower[r] =
+        red.lower != nullptr ? EvalIndexExpr(*red.lower, env) : 0;
+    red_length[r] = red.length != nullptr
+                        ? EvalIndexExpr(*red.length, env)
+                        : dest.count() - red_lower[r];
+    ACCMG_REQUIRE(red_lower[r] >= 0 &&
+                      red_lower[r] + red_length[r] <= dest.count(),
+                  "reductiontoarray section outside array '" + dest.name() +
+                      "'");
+  }
+
+  // --- 4. Launch kernels (they overlap in simulated time). ---
+  std::vector<std::unique_ptr<ir::KernelExec>> execs;
+  execs.reserve(devices_.size());
+  for (std::size_t g = 0; g < devices_.size(); ++g) {
+    auto exec = std::make_unique<ir::KernelExec>(offload.kernel);
+    exec->scalar_values = scalar_values;
+    exec->iteration_offset = lower + tasks[g].lo;
+    exec->array_red_lower = red_lower;
+    exec->array_red_length = red_length;
+    for (std::size_t a = 0; a < bound.size(); ++a) {
+      const BoundArray& ba = bound[a];
+      const auto& param = offload.kernel.arrays[a];
+      DeviceShard& shard = ba.array->shard(devices_[g]);
+      ir::ArrayBinding& binding = exec->bindings[a];
+      binding.data = shard.data->bytes().data();
+      binding.lo = shard.loaded.lo;
+      binding.hi = shard.loaded.hi;
+      if (ba.distributed) {
+        binding.write_lo = shard.owned.lo;
+        binding.write_hi = shard.owned.hi;
+      } else {
+        binding.write_lo = shard.loaded.lo;
+        binding.write_hi = shard.loaded.hi;
+      }
+      binding.logical_size = ba.array->count();
+      if (param.dirty_tracked) {
+        binding.dirty.level1 = reinterpret_cast<std::uint8_t*>(
+            shard.dirty1->bytes().data());
+        binding.dirty.level2 = reinterpret_cast<std::uint8_t*>(
+            shard.dirty2->bytes().data());
+        binding.dirty.chunk_elems = shard.chunk_elems;
+      }
+      if (param.miss_checked) binding.miss = &shard.miss;
+    }
+    exec->ResetOutputs();
+
+    sim::KernelLaunch launch;
+    launch.body = exec.get();
+    launch.num_threads = tasks[g].size();
+    launch.block_size = options_.block_size;
+    launch.name = offload.name;
+    platform_.LaunchKernel(devices_[g], launch);
+    execs.push_back(std::move(exec));
+  }
+  platform_.Barrier(sim::TimeCategory::kKernel);
+  ++stats_.offload_runs;
+
+  // --- 5. Communication step. ---
+
+  // 5a. Scalar reductions: per-GPU partials come back to the host (a few
+  // bytes each) and fold into the variable's pre-loop value.
+  for (std::size_t r = 0; r < offload.scalar_reds.size(); ++r) {
+    const auto& red = offload.scalar_reds[r];
+    const auto& slot = offload.kernel.scalar_reductions[r];
+    const TypedValue initial = env.GetScalar(*red.decl);
+    std::uint64_t acc = ToElementRaw(slot.type, initial);
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      acc = ir::CombineRaw(slot.op, slot.type, acc,
+                           execs[g]->scalar_red_results()[r]);
+      platform_.BillDeviceToHost(devices_[g], ir::ValTypeSize(slot.type));
+    }
+    env.SetScalar(*red.decl, FromElementRaw(slot.type, acc));
+  }
+
+  // 5b. Array reductions (hierarchical, Section IV-B4): per-GPU dense
+  // partials combine pairwise across GPUs, then the result folds into every
+  // replica of the destination array.
+  for (std::size_t r = 0; r < offload.array_reds.size(); ++r) {
+    const auto& red = offload.array_reds[r];
+    const auto& slot = offload.kernel.array_reductions[r];
+    ManagedArray& dest = resolve(*red.decl);
+    const std::size_t elem = dest.elem_size();
+    const auto length = static_cast<std::size_t>(red_length[r]);
+
+    std::vector<std::uint64_t> combined(
+        length, ir::ReductionIdentity(slot.op, slot.type));
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      const auto& partial = execs[g]->array_red_partials()[r];
+      for (std::size_t j = 0; j < length; ++j) {
+        combined[j] =
+            ir::CombineRaw(slot.op, slot.type, combined[j], partial[j]);
+      }
+      if (g != 0) {
+        // Partial travels to the combining GPU.
+        platform_.BillDeviceToDevice(devices_[g], devices_[0],
+                                     length * elem);
+      }
+    }
+    // Fold into the destination and broadcast the result to every replica.
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      DeviceShard& shard = dest.shard(devices_[g]);
+      ACCMG_CHECK(shard.data != nullptr,
+                  "reduction destination has no device copy");
+      std::byte* data = shard.data->bytes().data();
+      for (std::size_t j = 0; j < length; ++j) {
+        const std::int64_t index = red_lower[r] + static_cast<std::int64_t>(j);
+        if (!shard.loaded.Contains(index)) continue;
+        const std::size_t local =
+            static_cast<std::size_t>(index - shard.loaded.lo);
+        std::uint64_t current = 0;
+        std::memcpy(&current, data + local * elem, elem);
+        if (g == 0) {
+          // Fold the pre-kernel value in exactly once.
+          combined[j] =
+              ir::CombineRaw(slot.op, slot.type, current, combined[j]);
+        }
+        std::memcpy(data + local * elem, &combined[j], elem);
+      }
+      if (g != 0) {
+        platform_.BillDeviceToDevice(devices_[0], devices_[g],
+                                     length * elem);
+      }
+      shard.valid = true;
+    }
+    dest.set_host_valid(false);
+  }
+
+  // 5c. Replicated written arrays: dirty-bit propagation.
+  // 5d. Distributed arrays: write-miss replay, then halo refresh.
+  for (std::size_t a = 0; a < bound.size(); ++a) {
+    const BoundArray& ba = bound[a];
+    const auto& param = offload.kernel.arrays[a];
+    if (param.dirty_tracked) {
+      comm_.PropagateReplicated(*ba.array);
+    }
+    if (param.miss_checked) {
+      comm_.ReplayWriteMisses(*ba.array);
+    }
+    if (ba.distributed && ba.config->is_written &&
+        !ba.config->is_reduction_dest) {
+      comm_.RefreshHalos(*ba.array);
+    }
+    if (ba.config->is_written) {
+      for (int device : devices_) ba.array->shard(device).valid = true;
+      ba.array->set_host_valid(false);
+    }
+  }
+  platform_.Barrier(sim::TimeCategory::kGpuGpu);
+}
+
+}  // namespace accmg::runtime

@@ -1,0 +1,55 @@
+// BSP execution of one offloaded parallel loop on the multi-GPU platform
+// (paper Section III-A): map tasks & load data -> run kernels in parallel ->
+// handle inter-GPU communication, then a global barrier.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/comm_manager.h"
+#include "runtime/data_loader.h"
+#include "runtime/managed_array.h"
+#include "runtime/options.h"
+#include "sim/platform.h"
+#include "translator/eval.h"
+#include "translator/offload.h"
+
+namespace accmg::runtime {
+
+/// Resolves a mini-C array parameter to its managed placement state.
+using ArrayResolver =
+    std::function<ManagedArray&(const frontend::VarDecl&)>;
+
+struct ExecutorStats {
+  std::uint64_t offload_runs = 0;   ///< kernel executions (Table II column C)
+};
+
+class Executor {
+ public:
+  Executor(sim::Platform& platform, ExecOptions options,
+           std::vector<int> devices);
+
+  /// Executes the offloaded loop: evaluates bounds in `env`, splits the
+  /// iteration space equally across the participating GPUs, loads data per
+  /// placement policy, launches the kernels, and runs the communication
+  /// manager. Scalar reduction results are written back into `env`.
+  void RunOffload(const translator::LoopOffload& offload,
+                  translator::HostEnv& env, const ArrayResolver& resolve);
+
+  DataLoader& loader() { return loader_; }
+  CommManager& comm() { return comm_; }
+  const ExecutorStats& stats() const { return stats_; }
+  const std::vector<int>& devices() const { return devices_; }
+  const ExecOptions& options() const { return options_; }
+
+ private:
+  sim::Platform& platform_;
+  ExecOptions options_;
+  std::vector<int> devices_;
+  DataLoader loader_;
+  CommManager comm_;
+  ExecutorStats stats_;
+};
+
+}  // namespace accmg::runtime

@@ -1,0 +1,74 @@
+#include "runtime/managed_array.h"
+
+#include "common/error.h"
+
+namespace accmg::runtime {
+
+const char* PlacementName(Placement p) {
+  switch (p) {
+    case Placement::kHostOnly: return "host-only";
+    case Placement::kReplicated: return "replicated";
+    case Placement::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+ManagedArray::ManagedArray(std::string name, ir::ValType elem,
+                           std::int64_t count, void* host_data,
+                           int num_devices)
+    : name_(std::move(name)),
+      elem_(elem),
+      count_(count),
+      host_data_(host_data),
+      shards_(static_cast<std::size_t>(num_devices)) {
+  ACCMG_REQUIRE(count > 0, "managed array '" + name_ + "' has no elements");
+  ACCMG_REQUIRE(host_data != nullptr,
+                "managed array '" + name_ + "' lacks host storage");
+}
+
+int ManagedArray::OwnerOf(std::int64_t i) const {
+  for (std::size_t d = 0; d < shards_.size(); ++d) {
+    if (shards_[d].valid && shards_[d].owned.Contains(i)) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+std::size_t ManagedArray::UserBytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard.data != nullptr) total += shard.data->size_bytes();
+  }
+  return total;
+}
+
+std::size_t ManagedArray::SystemBytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard.dirty1 != nullptr) total += shard.dirty1->size_bytes();
+    if (shard.dirty2 != nullptr) total += shard.dirty2->size_bytes();
+    if (shard.staging != nullptr) total += shard.staging->size_bytes();
+    if (shard.miss_capacity != nullptr) {
+      total += shard.miss_capacity->size_bytes();
+    }
+  }
+  return total;
+}
+
+void ManagedArray::DropDeviceState() {
+  for (auto& shard : shards_) {
+    shard.data.reset();
+    shard.dirty1.reset();
+    shard.dirty2.reset();
+    shard.staging.reset();
+    shard.miss_capacity.reset();
+    shard.miss.records.clear();
+    shard.loaded = Range{};
+    shard.owned = Range{};
+    shard.valid = false;
+  }
+  placement_ = Placement::kHostOnly;
+}
+
+}  // namespace accmg::runtime

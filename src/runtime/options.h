@@ -1,0 +1,30 @@
+// Tunables of the multi-GPU runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace accmg::runtime {
+
+struct ExecOptions {
+  /// Honour `localaccess` directives (distribution-based placement). When
+  /// false every array uses the replica-based policy, which is what a stock
+  /// single-GPU OpenACC compiler effectively does.
+  bool honor_localaccess = true;
+
+  /// Second-level dirty-bit chunk size (paper Section IV-D1 picks 1 MB).
+  std::size_t dirty_chunk_bytes = 1 << 20;
+
+  /// Capacity reserved per GPU for the write-miss system buffer.
+  std::size_t miss_buffer_bytes = 4u << 20;
+
+  /// Logical CUDA block size used for grid geometry.
+  int block_size = 256;
+
+  /// Extension beyond the paper: split the iteration space proportionally
+  /// to each device's compute throughput instead of equally (Section IV-B2
+  /// divides equally, which wastes time when the GPUs differ).
+  bool weighted_task_mapping = false;
+};
+
+}  // namespace accmg::runtime

@@ -1,0 +1,66 @@
+#include "runtime/program.h"
+
+#include "common/error.h"
+#include "frontend/sema.h"
+#include "runtime/host_interp.h"
+
+namespace accmg::runtime {
+
+AccProgram AccProgram::FromSource(const std::string& name,
+                                  const std::string& source) {
+  AccProgram program;
+  program.name_ = name;
+  frontend::SourceBuffer buffer(name, source);
+  program.ast_ = frontend::ParseAndAnalyze(buffer);
+  program.compiled_ = translator::Compile(*program.ast_);
+  return program;
+}
+
+ProgramRunner::ProgramRunner(const AccProgram& program, RunConfig config)
+    : program_(program), config_(config) {
+  ACCMG_REQUIRE(config_.platform != nullptr, "RunConfig.platform is required");
+}
+
+ProgramRunner::~ProgramRunner() = default;
+
+void ProgramRunner::BindArray(const std::string& name, void* data,
+                              ir::ValType elem, std::int64_t count) {
+  translator::HostArray array;
+  array.data = data;
+  array.elem = elem;
+  array.count = count;
+  array_bindings_[name] = array;
+}
+
+void ProgramRunner::BindScalar(const std::string& name, std::int64_t value) {
+  scalar_bindings_[name] =
+      translator::TypedValue::OfInt(value, ir::ValType::kI64);
+}
+
+void ProgramRunner::BindScalar(const std::string& name, double value) {
+  scalar_bindings_[name] =
+      translator::TypedValue::OfDouble(value, ir::ValType::kF64);
+}
+
+void ProgramRunner::BindScalarF32(const std::string& name, float value) {
+  scalar_bindings_[name] =
+      translator::TypedValue::OfDouble(value, ir::ValType::kF32);
+}
+
+RunReport ProgramRunner::Run(const std::string& function) {
+  const translator::CompiledFunction* fn =
+      program_.compiled().FindFunction(function);
+  ACCMG_REQUIRE(fn != nullptr, "no function named '" + function + "'");
+  HostInterpreter interp(*this, *fn);
+  return interp.Run();
+}
+
+translator::TypedValue ProgramRunner::ScalarAfterRun(
+    const std::string& name) const {
+  auto it = scalar_results_.find(name);
+  ACCMG_REQUIRE(it != scalar_results_.end(),
+                "no scalar result named '" + name + "'");
+  return it->second;
+}
+
+}  // namespace accmg::runtime

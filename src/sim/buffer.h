@@ -1,0 +1,64 @@
+// Device memory buffers.
+//
+// Each simulated GPU owns a disjoint set of buffers; a buffer's bytes live in
+// host RAM but are only legally touchable by kernels launched on the owning
+// device and by explicit platform copy operations. This disjointness is what
+// makes the runtime's data-placement logic falsifiable: a missing transfer
+// yields a wrong answer, exactly as on real hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace accmg::sim {
+
+class Device;
+
+class DeviceBuffer {
+ public:
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer();
+
+  int device_id() const { return device_id_; }
+  std::size_t size_bytes() const { return bytes_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Raw byte access, used by the platform's copy engines.
+  std::span<std::byte> bytes() { return bytes_; }
+  std::span<const std::byte> bytes() const { return bytes_; }
+
+  /// Typed view over the whole buffer. The buffer size must be a multiple of
+  /// sizeof(T).
+  template <typename T>
+  std::span<T> Typed() {
+    ACCMG_REQUIRE(bytes_.size() % sizeof(T) == 0,
+                  "buffer '" + name_ + "' size is not a multiple of sizeof(T)");
+    return std::span<T>(reinterpret_cast<T*>(bytes_.data()),
+                        bytes_.size() / sizeof(T));
+  }
+  template <typename T>
+  std::span<const T> Typed() const {
+    ACCMG_REQUIRE(bytes_.size() % sizeof(T) == 0,
+                  "buffer '" + name_ + "' size is not a multiple of sizeof(T)");
+    return std::span<const T>(reinterpret_cast<const T*>(bytes_.data()),
+                              bytes_.size() / sizeof(T));
+  }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* owner, int device_id, std::string name,
+               std::size_t size);
+
+  Device* owner_;  ///< for releasing the allocation accounting on destruction
+  int device_id_;
+  std::string name_;
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace accmg::sim

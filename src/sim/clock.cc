@@ -1,0 +1,83 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace accmg::sim {
+
+const char* TimeCategoryName(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kKernel:
+      return "KERNELS";
+    case TimeCategory::kCpuGpu:
+      return "CPU-GPU";
+    case TimeCategory::kGpuGpu:
+      return "GPU-GPU";
+    case TimeCategory::kHostCompute:
+      return "HOST";
+    case TimeCategory::kOther:
+      return "OTHER";
+  }
+  return "?";
+}
+
+double TimeBreakdown::Total() const {
+  double total = 0;
+  for (double s : seconds) total += s;
+  return total;
+}
+
+double TimeBreakdown::Communication() const {
+  return (*this)[TimeCategory::kCpuGpu] + (*this)[TimeCategory::kGpuGpu];
+}
+
+SimClock::Resource SimClock::NewResource(std::string name) {
+  free_at_.push_back(now_);
+  names_.push_back(std::move(name));
+  return static_cast<Resource>(free_at_.size() - 1);
+}
+
+double SimClock::Schedule(const std::vector<Resource>& resources,
+                          double duration) {
+  ACCMG_REQUIRE(duration >= 0, "negative operation duration");
+  ACCMG_REQUIRE(!resources.empty(), "operation uses no resources");
+  double start = now_;
+  for (Resource r : resources) {
+    ACCMG_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < free_at_.size(),
+                  "unknown resource");
+    start = std::max(start, free_at_[static_cast<std::size_t>(r)]);
+  }
+  const double end = start + duration;
+  for (Resource r : resources) free_at_[static_cast<std::size_t>(r)] = end;
+  return end;
+}
+
+double SimClock::Schedule(Resource resource, double duration) {
+  return Schedule(std::vector<Resource>{resource}, duration);
+}
+
+double SimClock::Barrier(TimeCategory category) {
+  double end = now_;
+  for (double f : free_at_) end = std::max(end, f);
+  const double elapsed = end - now_;
+  breakdown_.seconds[static_cast<int>(category)] += elapsed;
+  now_ = end;
+  return elapsed;
+}
+
+void SimClock::AddSerial(TimeCategory category, double seconds) {
+  ACCMG_REQUIRE(seconds >= 0, "negative serial time");
+  Barrier(category);  // attribute any outstanding overlap first
+  now_ += seconds;
+  for (double& f : free_at_) f = now_;
+  breakdown_.seconds[static_cast<int>(category)] += seconds;
+}
+
+void SimClock::Reset() {
+  now_ = 0;
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  breakdown_ = TimeBreakdown{};
+}
+
+}  // namespace accmg::sim

@@ -1,0 +1,45 @@
+// Analytic cost model parameters for the virtual platform.
+//
+// The paper evaluates on two machines (Table I): a desktop with one Core i7
+// and two Tesla C2075, and a TSUBAME2.0 thin node with two Xeon X5670 and
+// three Tesla M2050. We model each processor with a peak instruction
+// throughput and a memory bandwidth; a kernel's simulated duration is the
+// roofline max of its compute and memory times plus a fixed launch overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace accmg::sim {
+
+/// Specification of one simulated GPU.
+struct DeviceSpec {
+  std::string name;
+  std::uint64_t memory_bytes = 0;     ///< device memory capacity
+  double instr_per_sec = 0;           ///< aggregate dynamic-instruction rate
+  double mem_bandwidth_bps = 0;       ///< device-memory bandwidth (bytes/s)
+  double launch_overhead_s = 0;       ///< fixed per-kernel-launch cost
+};
+
+/// Specification of the host CPU(s) used by the "OpenMP" baseline.
+struct CpuSpec {
+  std::string name;
+  int threads = 1;                    ///< OpenMP thread count in the paper
+  double instr_per_sec = 0;           ///< aggregate rate across all threads
+  double mem_bandwidth_bps = 0;
+};
+
+/// Tesla C2075 (desktop machine): 6 GB GDDR5, 144 GB/s, ~1.0 TFLOP SP peak.
+/// The instruction rate folds real-world efficiency (~35 %) into the peak.
+DeviceSpec TeslaC2075();
+
+/// Tesla M2050 (TSUBAME2.0 thin node): 3 GB GDDR5, 148 GB/s.
+DeviceSpec TeslaM2050();
+
+/// Core i7 (6 cores + HT, paper runs 12 OpenMP threads).
+CpuSpec CoreI7Desktop();
+
+/// 2x Xeon X5670 (12 cores + HT, paper runs 24 OpenMP threads).
+CpuSpec DualXeonNode();
+
+}  // namespace accmg::sim

@@ -1,0 +1,40 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace accmg::sim {
+
+DeviceBuffer::DeviceBuffer(Device* owner, int device_id, std::string name,
+                           std::size_t size)
+    : owner_(owner),
+      device_id_(device_id),
+      name_(std::move(name)),
+      bytes_(size) {}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (owner_ != nullptr) owner_->Release(bytes_.size());
+}
+
+std::unique_ptr<DeviceBuffer> Device::Allocate(std::string name,
+                                               std::size_t bytes) {
+  if (used_bytes_ + bytes > spec_.memory_bytes) {
+    throw DeviceError("device " + std::to_string(id_) + " (" + spec_.name +
+                      "): out of memory allocating '" + name + "' (" +
+                      FormatBytes(bytes) + " requested, " +
+                      FormatBytes(spec_.memory_bytes - used_bytes_) +
+                      " free)");
+  }
+  used_bytes_ += bytes;
+  peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
+  return std::unique_ptr<DeviceBuffer>(
+      new DeviceBuffer(this, id_, std::move(name), bytes));
+}
+
+void Device::Release(std::size_t bytes) {
+  ACCMG_CHECK(bytes <= used_bytes_, "device memory accounting underflow");
+  used_bytes_ -= bytes;
+}
+
+}  // namespace accmg::sim

@@ -1,0 +1,50 @@
+// One simulated GPU: a memory arena with capacity accounting plus the
+// device's performance specification.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sim/buffer.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+
+namespace accmg::sim {
+
+class Device {
+ public:
+  Device(int id, DeviceSpec spec, SimClock::Resource compute,
+         SimClock::Resource dma)
+      : id_(id), spec_(std::move(spec)), compute_(compute), dma_(dma) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const { return id_; }
+  const DeviceSpec& spec() const { return spec_; }
+  SimClock::Resource compute_resource() const { return compute_; }
+  SimClock::Resource dma_resource() const { return dma_; }
+
+  /// Allocates `bytes` of device memory. Throws DeviceError when the device
+  /// is out of memory (matches cudaMalloc failure).
+  std::unique_ptr<DeviceBuffer> Allocate(std::string name, std::size_t bytes);
+
+  std::size_t used_bytes() const { return used_bytes_; }
+  std::size_t capacity_bytes() const { return spec_.memory_bytes; }
+  /// High-water mark of used_bytes over the device's lifetime.
+  std::size_t peak_used_bytes() const { return peak_used_bytes_; }
+
+ private:
+  friend class DeviceBuffer;
+  void Release(std::size_t bytes);
+
+  int id_;
+  DeviceSpec spec_;
+  SimClock::Resource compute_;
+  SimClock::Resource dma_;
+  std::size_t used_bytes_ = 0;
+  std::size_t peak_used_bytes_ = 0;
+};
+
+}  // namespace accmg::sim

@@ -1,0 +1,68 @@
+// Kernel execution interface of the virtual GPU.
+//
+// A kernel body is executed for a 1-D grid of `num_threads` logical threads
+// (one per loop task, as in the paper's translator). The engine hands the
+// body contiguous thread ranges on a host thread pool; the body reports its
+// dynamic cost (instructions executed, bytes touched) which feeds the
+// roofline timing model. Functional effects happen for real on device
+// buffers, so results are bit-exact and placement bugs surface as wrong
+// answers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace accmg::sim {
+
+/// Dynamic cost of a slice of kernel execution.
+struct KernelStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  KernelStats& operator+=(const KernelStats& other) {
+    instructions += other.instructions;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    return *this;
+  }
+};
+
+/// Executable body of a kernel. Implementations must be safe to call
+/// concurrently on disjoint thread ranges.
+class KernelBody {
+ public:
+  virtual ~KernelBody() = default;
+
+  /// Runs logical threads [tid_begin, tid_end) and accumulates their cost
+  /// into `stats`.
+  virtual void Execute(std::int64_t tid_begin, std::int64_t tid_end,
+                       KernelStats& stats) const = 0;
+};
+
+/// Adapts a lambda `void(int64 tid, KernelStats&)` to KernelBody. Used by the
+/// hand-written "CUDA" baseline kernels.
+class LambdaKernel final : public KernelBody {
+ public:
+  using Fn = std::function<void(std::int64_t tid, KernelStats& stats)>;
+  explicit LambdaKernel(Fn fn) : fn_(std::move(fn)) {}
+
+  void Execute(std::int64_t tid_begin, std::int64_t tid_end,
+               KernelStats& stats) const override {
+    for (std::int64_t tid = tid_begin; tid < tid_end; ++tid) fn_(tid, stats);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// A kernel launch request.
+struct KernelLaunch {
+  const KernelBody* body = nullptr;
+  std::int64_t num_threads = 0;
+  int block_size = 256;     ///< logical CUDA block size (grid geometry)
+  std::string name;         ///< for logs and error messages
+};
+
+}  // namespace accmg::sim

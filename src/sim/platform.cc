@@ -1,0 +1,187 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace accmg::sim {
+
+Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
+                   CpuSpec host, std::size_t worker_threads)
+    : topology_(std::move(topology)),
+      host_(std::move(host)),
+      workers_(worker_threads) {
+  ACCMG_REQUIRE(!gpus.empty(), "platform needs at least one GPU");
+  ACCMG_REQUIRE(topology_.io_group.size() == gpus.size(),
+                "topology io_group size must match GPU count");
+  const int groups = topology_.num_io_groups();
+  io_root_resources_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    io_root_resources_.push_back(
+        clock_.NewResource("io_root" + std::to_string(g)));
+  }
+  devices_.reserve(gpus.size());
+  for (std::size_t d = 0; d < gpus.size(); ++d) {
+    const auto compute =
+        clock_.NewResource("gpu" + std::to_string(d) + ".compute");
+    const auto dma = clock_.NewResource("gpu" + std::to_string(d) + ".dma");
+    devices_.push_back(std::make_unique<Device>(static_cast<int>(d),
+                                                std::move(gpus[d]), compute,
+                                                dma));
+  }
+}
+
+Device& Platform::device(int id) {
+  ACCMG_REQUIRE(id >= 0 && id < num_devices(), "bad device id");
+  return *devices_[static_cast<std::size_t>(id)];
+}
+
+const Device& Platform::device(int id) const {
+  ACCMG_REQUIRE(id >= 0 && id < num_devices(), "bad device id");
+  return *devices_[static_cast<std::size_t>(id)];
+}
+
+std::vector<SimClock::Resource> Platform::RootResources(int device_id) const {
+  const int group = topology_.io_group[static_cast<std::size_t>(device_id)];
+  return {io_root_resources_[static_cast<std::size_t>(group)]};
+}
+
+void Platform::BillHostToDevice(int device_id, std::size_t bytes) {
+  if (bytes == 0) return;
+  auto resources = RootResources(device_id);
+  resources.push_back(device(device_id).dma_resource());
+  clock_.Schedule(resources, topology_.host_link.TransferSeconds(bytes));
+  ++counters_.h2d_transfers;
+  counters_.h2d_bytes += bytes;
+}
+
+void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
+  if (bytes == 0) return;
+  auto resources = RootResources(device_id);
+  resources.push_back(device(device_id).dma_resource());
+  clock_.Schedule(resources, topology_.host_link.TransferSeconds(bytes));
+  ++counters_.d2h_transfers;
+  counters_.d2h_bytes += bytes;
+}
+
+void Platform::BillDeviceToDevice(int src_device, int dst_device,
+                                  std::size_t bytes) {
+  if (bytes == 0) return;
+  std::vector<SimClock::Resource> resources;
+  resources.push_back(device(src_device).dma_resource());
+  if (src_device != dst_device) {
+    resources.push_back(device(dst_device).dma_resource());
+  }
+  for (auto r : RootResources(src_device)) resources.push_back(r);
+  if (topology_.io_group[static_cast<std::size_t>(src_device)] !=
+      topology_.io_group[static_cast<std::size_t>(dst_device)]) {
+    for (auto r : RootResources(dst_device)) resources.push_back(r);
+  }
+
+  double duration;
+  if (topology_.peer_dma || src_device == dst_device) {
+    duration = topology_.PeerLink(src_device, dst_device)
+                   .TransferSeconds(bytes);
+  } else {
+    // Staged through host memory: down the source link, up the destination
+    // link, serialized.
+    duration = 2 * topology_.host_link.TransferSeconds(bytes);
+  }
+  clock_.Schedule(resources, duration);
+  ++counters_.p2p_transfers;
+  counters_.p2p_bytes += bytes;
+}
+
+void Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                                const void* src, std::size_t bytes) {
+  if (bytes == 0) return;
+  ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
+                "H2D copy out of range for buffer '" + dst.name() + "'");
+  std::memcpy(dst.bytes().data() + dst_offset, src, bytes);
+  BillHostToDevice(dst.device_id(), bytes);
+}
+
+void Platform::CopyDeviceToHost(void* dst, const DeviceBuffer& src,
+                                std::size_t src_offset, std::size_t bytes) {
+  if (bytes == 0) return;
+  ACCMG_REQUIRE(src_offset + bytes <= src.size_bytes(),
+                "D2H copy out of range for buffer '" + src.name() + "'");
+  std::memcpy(dst, src.bytes().data() + src_offset, bytes);
+  BillDeviceToHost(src.device_id(), bytes);
+}
+
+void Platform::CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                                  const DeviceBuffer& src,
+                                  std::size_t src_offset, std::size_t bytes) {
+  if (bytes == 0) return;
+  ACCMG_REQUIRE(src_offset + bytes <= src.size_bytes(),
+                "P2P copy out of range for source '" + src.name() + "'");
+  ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
+                "P2P copy out of range for destination '" + dst.name() + "'");
+  std::memcpy(dst.bytes().data() + dst_offset,
+              src.bytes().data() + src_offset, bytes);
+  BillDeviceToDevice(src.device_id(), dst.device_id(), bytes);
+}
+
+KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch) {
+  ACCMG_REQUIRE(launch.body != nullptr, "kernel launch without a body");
+  ACCMG_REQUIRE(launch.num_threads >= 0, "negative thread count");
+  ACCMG_REQUIRE(launch.block_size > 0, "non-positive block size");
+  Device& dev = device(device_id);
+
+  KernelStats total;
+  std::mutex stats_mutex;
+  if (launch.num_threads > 0) {
+    workers_.ParallelForChunks(
+        0, launch.num_threads,
+        [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+          KernelStats local;
+          launch.body->Execute(lo, hi, local);
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          total += local;
+        });
+  }
+
+  const double compute_s =
+      static_cast<double>(total.instructions) / dev.spec().instr_per_sec;
+  const double memory_s =
+      static_cast<double>(total.bytes_read + total.bytes_written) /
+      dev.spec().mem_bandwidth_bps;
+  const double duration =
+      dev.spec().launch_overhead_s + std::max(compute_s, memory_s);
+  clock_.Schedule(dev.compute_resource(), duration);
+  ++counters_.kernel_launches;
+  return total;
+}
+
+std::size_t Platform::TotalPeakDeviceBytes() const {
+  std::size_t total = 0;
+  for (const auto& dev : devices_) total += dev->peak_used_bytes();
+  return total;
+}
+
+void Platform::ResetAccounting() {
+  clock_.Reset();
+  counters_ = PlatformCounters{};
+}
+
+std::unique_ptr<Platform> MakeDesktopMachine(int num_gpus) {
+  std::vector<DeviceSpec> gpus(static_cast<std::size_t>(num_gpus),
+                               TeslaC2075());
+  return std::make_unique<Platform>(std::move(gpus),
+                                    DesktopTopology(num_gpus),
+                                    CoreI7Desktop());
+}
+
+std::unique_ptr<Platform> MakeSupercomputerNode(int num_gpus) {
+  std::vector<DeviceSpec> gpus(static_cast<std::size_t>(num_gpus),
+                               TeslaM2050());
+  return std::make_unique<Platform>(std::move(gpus),
+                                    SupercomputerTopology(num_gpus),
+                                    DualXeonNode());
+}
+
+}  // namespace accmg::sim

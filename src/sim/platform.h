@@ -1,0 +1,108 @@
+// The virtual multi-GPU node: devices, interconnect, simulated clock, and the
+// execution engine. This layer plays the role CUDA 4.0 plays in the paper.
+//
+// Concurrency/timing model: data effects of copies and kernels are applied
+// synchronously (sequentially consistent), while their *durations* are
+// scheduled on the SimClock's serializing resources, so operations issued
+// between two Barrier() calls overlap in simulated time exactly when they use
+// disjoint hardware resources. The BSP structure of the runtime (Section III-A
+// of the paper) makes this model exact for the executions we reproduce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "sim/kernel.h"
+#include "sim/topology.h"
+
+namespace accmg::sim {
+
+/// Counters of everything the platform executed, for Table II style reports.
+struct PlatformCounters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+  std::uint64_t p2p_transfers = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+};
+
+class Platform {
+ public:
+  Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology, CpuSpec host,
+           std::size_t worker_threads = 0);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Device& device(int id);
+  const Device& device(int id) const;
+  const CpuSpec& host_spec() const { return host_; }
+  const TopologyConfig& topology() const { return topology_; }
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  ThreadPool& workers() { return workers_; }
+  const PlatformCounters& counters() const { return counters_; }
+
+  /// --- Copy engines (immediate data effect, simulated duration) ---
+
+  void CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                        const void* src, std::size_t bytes);
+  void CopyDeviceToHost(void* dst, const DeviceBuffer& src,
+                        std::size_t src_offset, std::size_t bytes);
+  /// Peer copy; staged through the host when the topology lacks peer DMA.
+  void CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                          const DeviceBuffer& src, std::size_t src_offset,
+                          std::size_t bytes);
+
+  /// --- Cost-only transfer accounting ---
+  /// Schedule the simulated duration and counters of a transfer without
+  /// moving bytes. Used where the functional effect is applied element-wise
+  /// by the runtime (e.g. dirty-element merges) but the wire cost is that of
+  /// a bulk transfer.
+  void BillHostToDevice(int device_id, std::size_t bytes);
+  void BillDeviceToHost(int device_id, std::size_t bytes);
+  void BillDeviceToDevice(int src_device, int dst_device, std::size_t bytes);
+
+  /// --- Kernel execution ---
+
+  /// Runs `launch` on `device_id`. Threads execute on the worker pool; the
+  /// simulated duration is launch overhead + roofline(instructions, bytes)
+  /// and is scheduled on the device's compute resource, so kernels launched
+  /// on different devices between two barriers overlap.
+  KernelStats LaunchKernel(int device_id, const KernelLaunch& launch);
+
+  /// BSP phase boundary; see SimClock::Barrier.
+  double Barrier(TimeCategory category) { return clock_.Barrier(category); }
+
+  /// Sum of peak device-memory use across devices.
+  std::size_t TotalPeakDeviceBytes() const;
+
+  /// Resets simulated time and counters (not device memory).
+  void ResetAccounting();
+
+ private:
+  std::vector<SimClock::Resource> RootResources(int device_id) const;
+
+  SimClock clock_;
+  TopologyConfig topology_;
+  CpuSpec host_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<SimClock::Resource> io_root_resources_;  // one per IO group
+  ThreadPool workers_;
+  PlatformCounters counters_;
+};
+
+/// Table I presets.
+std::unique_ptr<Platform> MakeDesktopMachine(int num_gpus = 2);
+std::unique_ptr<Platform> MakeSupercomputerNode(int num_gpus = 3);
+
+}  // namespace accmg::sim

@@ -1,0 +1,61 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace accmg::sim {
+
+namespace {
+constexpr double kGB = 1e9;
+}
+
+int TopologyConfig::num_io_groups() const {
+  int max_group = -1;
+  for (int g : io_group) max_group = std::max(max_group, g);
+  return max_group + 1;
+}
+
+LinkSpec TopologyConfig::PeerLink(int src, int dst) const {
+  ACCMG_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < io_group.size(),
+                "bad src device");
+  ACCMG_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < io_group.size(),
+                "bad dst device");
+  LinkSpec link = peer_link;
+  if (io_group[static_cast<std::size_t>(src)] !=
+      io_group[static_cast<std::size_t>(dst)]) {
+    link.bandwidth_bps *= cross_group_bandwidth_factor;
+    link.latency_s *= 2;  // extra QPI hop
+  }
+  return link;
+}
+
+TopologyConfig DesktopTopology(int num_gpus) {
+  ACCMG_REQUIRE(num_gpus >= 1, "need at least one GPU");
+  TopologyConfig cfg;
+  // PCIe gen2 x16: 8 GB/s theoretical, ~5.8 GB/s effective for pinned pages.
+  cfg.host_link = LinkSpec{.bandwidth_bps = 5.8 * kGB, .latency_s = 12e-6};
+  cfg.peer_link = LinkSpec{.bandwidth_bps = 5.2 * kGB, .latency_s = 15e-6};
+  cfg.cross_group_bandwidth_factor = 1.0;
+  cfg.peer_dma = true;
+  cfg.io_group.assign(static_cast<std::size_t>(num_gpus), 0);
+  return cfg;
+}
+
+TopologyConfig SupercomputerTopology(int num_gpus) {
+  ACCMG_REQUIRE(num_gpus >= 1, "need at least one GPU");
+  TopologyConfig cfg;
+  cfg.host_link = LinkSpec{.bandwidth_bps = 5.7 * kGB, .latency_s = 14e-6};
+  cfg.peer_link = LinkSpec{.bandwidth_bps = 4.6 * kGB, .latency_s = 18e-6};
+  // Crossing the IOH pair costs a QPI traversal.
+  cfg.cross_group_bandwidth_factor = 0.55;
+  cfg.peer_dma = true;
+  cfg.io_group.resize(static_cast<std::size_t>(num_gpus));
+  for (int d = 0; d < num_gpus; ++d) {
+    // Two GPUs under IOH 0, the third under IOH 1 (TSUBAME2.0 thin node).
+    cfg.io_group[static_cast<std::size_t>(d)] = d >= 2 ? 1 : 0;
+  }
+  return cfg;
+}
+
+}  // namespace accmg::sim

@@ -1,0 +1,55 @@
+// Interconnect topology of a multi-GPU node.
+//
+// GPUs hang off PCIe roots ("IO groups"); every transfer serializes on the
+// root(s) it crosses and on the DMA engine of each involved device. Peer
+// transfers between GPUs under the same root use the PCIe switch directly;
+// transfers crossing roots traverse QPI at reduced bandwidth; platforms
+// without peer DMA stage through host memory (two bus crossings).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace accmg::sim {
+
+/// One bus segment: effective bandwidth and per-transfer latency.
+struct LinkSpec {
+  double bandwidth_bps = 0;
+  double latency_s = 0;
+
+  /// Time to move `bytes` over this link.
+  double TransferSeconds(std::uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+};
+
+/// Static description of the node interconnect.
+struct TopologyConfig {
+  /// PCIe link between host memory and each GPU.
+  LinkSpec host_link;
+  /// Direct GPU<->GPU path under one PCIe root.
+  LinkSpec peer_link;
+  /// Derating applied to peer transfers that cross IO groups (QPI hop);
+  /// 1.0 means no penalty.
+  double cross_group_bandwidth_factor = 1.0;
+  /// Whether the platform supports direct peer DMA at all. When false, every
+  /// device-to-device copy is staged through host memory.
+  bool peer_dma = true;
+  /// io_group[d] = PCIe root the device is attached to.
+  std::vector<int> io_group;
+
+  int num_io_groups() const;
+
+  /// Effective link for a peer copy src -> dst.
+  LinkSpec PeerLink(int src, int dst) const;
+};
+
+/// Desktop machine from Table I: both C2075 under a single PCIe gen2 root.
+TopologyConfig DesktopTopology(int num_gpus);
+
+/// TSUBAME2.0 thin node from Table I: three M2050 split across two IOHs
+/// (two on the first, one on the second), peer traffic across the QPI hop
+/// is slower.
+TopologyConfig SupercomputerTopology(int num_gpus);
+
+}  // namespace accmg::sim

@@ -1,0 +1,621 @@
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "translator/eval.h"
+#include "translator/lowering.h"
+#include "translator/offload.h"
+#include "translator/type_map.h"
+
+namespace accmg::translator {
+
+using frontend::As;
+using accmg::CompileError;
+using frontend::Directive;
+using frontend::DirectiveKind;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ForStmt;
+using frontend::Function;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::VarDecl;
+
+namespace {
+
+[[noreturn]] void Fail(frontend::SourceLocation loc,
+                       const std::string& message) {
+  throw CompileError(loc.ToString() + ": " + message);
+}
+
+// --- generic AST walking helpers -------------------------------------------
+
+void WalkExprs(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  switch (expr.kind) {
+    case ExprKind::kSubscript: {
+      const auto& s = As<frontend::SubscriptExpr>(expr);
+      WalkExprs(*s.base, fn);
+      WalkExprs(*s.index, fn);
+      break;
+    }
+    case ExprKind::kUnary:
+      WalkExprs(*As<frontend::UnaryExpr>(expr).operand, fn);
+      break;
+    case ExprKind::kBinary:
+      WalkExprs(*As<frontend::BinaryExpr>(expr).lhs, fn);
+      WalkExprs(*As<frontend::BinaryExpr>(expr).rhs, fn);
+      break;
+    case ExprKind::kCall:
+      for (const auto& arg : As<frontend::CallExpr>(expr).args) {
+        WalkExprs(*arg, fn);
+      }
+      break;
+    case ExprKind::kCast:
+      WalkExprs(*As<frontend::CastExpr>(expr).operand, fn);
+      break;
+    case ExprKind::kConditional: {
+      const auto& c = As<frontend::ConditionalExpr>(expr);
+      WalkExprs(*c.cond, fn);
+      WalkExprs(*c.then_expr, fn);
+      WalkExprs(*c.else_expr, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void WalkStmts(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  switch (stmt.kind) {
+    case StmtKind::kIf: {
+      const auto& s = As<frontend::IfStmt>(stmt);
+      WalkStmts(*s.then_stmt, fn);
+      if (s.else_stmt != nullptr) WalkStmts(*s.else_stmt, fn);
+      break;
+    }
+    case StmtKind::kFor: {
+      const auto& s = As<frontend::ForStmt>(stmt);
+      if (s.init != nullptr) WalkStmts(*s.init, fn);
+      if (s.step != nullptr) WalkStmts(*s.step, fn);
+      WalkStmts(*s.body, fn);
+      break;
+    }
+    case StmtKind::kWhile:
+      WalkStmts(*As<frontend::WhileStmt>(stmt).body, fn);
+      break;
+    case StmtKind::kCompound:
+      for (const auto& child : As<frontend::CompoundStmt>(stmt).body) {
+        WalkStmts(*child, fn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ForEachExprInStmt(const Stmt& stmt,
+                       const std::function<void(const Expr&)>& fn) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl:
+      if (As<frontend::DeclStmt>(stmt).init != nullptr) {
+        WalkExprs(*As<frontend::DeclStmt>(stmt).init, fn);
+      }
+      break;
+    case StmtKind::kAssign:
+      WalkExprs(*As<frontend::AssignStmt>(stmt).target, fn);
+      WalkExprs(*As<frontend::AssignStmt>(stmt).value, fn);
+      break;
+    case StmtKind::kExpr:
+      WalkExprs(*As<frontend::ExprStmt>(stmt).expr, fn);
+      break;
+    case StmtKind::kIf:
+      WalkExprs(*As<frontend::IfStmt>(stmt).cond, fn);
+      break;
+    case StmtKind::kFor:
+      if (As<frontend::ForStmt>(stmt).cond != nullptr) {
+        WalkExprs(*As<frontend::ForStmt>(stmt).cond, fn);
+      }
+      break;
+    case StmtKind::kWhile:
+      WalkExprs(*As<frontend::WhileStmt>(stmt).cond, fn);
+      break;
+    case StmtKind::kReturn:
+      if (As<frontend::ReturnStmt>(stmt).value != nullptr) {
+        WalkExprs(*As<frontend::ReturnStmt>(stmt).value, fn);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// --- canonical loop form ----------------------------------------------------
+
+struct CanonicalLoop {
+  const VarDecl* induction = nullptr;
+  const Expr* lower = nullptr;
+  const Expr* upper = nullptr;
+  bool inclusive = false;
+};
+
+CanonicalLoop ExtractCanonicalLoop(const ForStmt& loop) {
+  CanonicalLoop canonical;
+  // init:  int i = lo   or   i = lo
+  if (loop.init == nullptr) {
+    Fail(loop.loc, "parallel loop must initialize its induction variable");
+  }
+  const Expr* lower = nullptr;
+  if (loop.init->kind == StmtKind::kDecl) {
+    const auto& decl = As<frontend::DeclStmt>(*loop.init);
+    if (decl.init == nullptr) {
+      Fail(loop.loc, "parallel loop induction variable lacks an initializer");
+    }
+    canonical.induction = decl.decl.get();
+    lower = decl.init.get();
+  } else if (loop.init->kind == StmtKind::kAssign) {
+    const auto& assign = As<frontend::AssignStmt>(*loop.init);
+    if (assign.target->kind != ExprKind::kVarRef ||
+        assign.op != frontend::AssignOp::kAssign) {
+      Fail(loop.loc, "unsupported parallel loop initialization");
+    }
+    canonical.induction = As<frontend::VarRef>(*assign.target).decl;
+    lower = assign.value.get();
+  } else {
+    Fail(loop.loc, "unsupported parallel loop initialization");
+  }
+  canonical.lower = lower;
+
+  // cond:  i < ub  or  i <= ub
+  if (loop.cond == nullptr || loop.cond->kind != ExprKind::kBinary) {
+    Fail(loop.loc, "parallel loop condition must be i < bound or i <= bound");
+  }
+  const auto& cond = As<frontend::BinaryExpr>(*loop.cond);
+  if ((cond.op != frontend::BinaryOp::kLt &&
+       cond.op != frontend::BinaryOp::kLe) ||
+      cond.lhs->kind != ExprKind::kVarRef ||
+      As<frontend::VarRef>(*cond.lhs).decl != canonical.induction) {
+    Fail(loop.loc, "parallel loop condition must be i < bound or i <= bound");
+  }
+  canonical.upper = cond.rhs.get();
+  canonical.inclusive = cond.op == frontend::BinaryOp::kLe;
+
+  // step:  i++ / i += 1
+  if (loop.step == nullptr || loop.step->kind != StmtKind::kAssign) {
+    Fail(loop.loc, "parallel loop step must be i++ or i += 1");
+  }
+  const auto& step = As<frontend::AssignStmt>(*loop.step);
+  bool ok = step.target->kind == ExprKind::kVarRef &&
+            As<frontend::VarRef>(*step.target).decl == canonical.induction &&
+            step.op == frontend::AssignOp::kAddAssign &&
+            step.value->kind == ExprKind::kIntLiteral &&
+            As<frontend::IntLiteral>(*step.value).value == 1;
+  if (!ok) {
+    Fail(loop.loc, "parallel loop step must be i++ or i += 1 (unit stride)");
+  }
+  return canonical;
+}
+
+// --- offload construction ----------------------------------------------------
+
+class FunctionCompiler {
+ public:
+  explicit FunctionCompiler(const Function& function)
+      : function_(function) {}
+
+  CompiledFunction Run() {
+    CompiledFunction compiled;
+    compiled.function = &function_;
+    VisitStmt(*function_.body, /*region=*/nullptr, compiled);
+    return compiled;
+  }
+
+ private:
+  /// Walks host-level statements looking for offloadable loops. `region`
+  /// carries an enclosing `parallel`/`kernels` region directive whose
+  /// clauses apply to contained `loop` directives.
+  void VisitStmt(const Stmt& stmt, const Directive* region,
+                 CompiledFunction& compiled) {
+    const Directive* parallel =
+        stmt.FindDirective(DirectiveKind::kParallel);
+    if (parallel == nullptr) {
+      parallel = stmt.FindDirective(DirectiveKind::kKernels);
+    }
+    const Directive* loop_directive =
+        stmt.FindDirective(DirectiveKind::kLoop);
+
+    if (stmt.kind == StmtKind::kFor &&
+        (parallel != nullptr || loop_directive != nullptr ||
+         (region != nullptr && loop_directive != nullptr))) {
+      // An offloadable parallel loop. Combined form (`parallel loop` on the
+      // for) or a `loop` directive inside a parallel region.
+      if (parallel == nullptr && region == nullptr) {
+        Fail(stmt.loc, "#pragma acc loop outside of a parallel region");
+      }
+      BuildOffload(As<ForStmt>(stmt), parallel != nullptr ? parallel : region,
+                   loop_directive, compiled);
+      return;
+    }
+
+    if (parallel != nullptr && stmt.kind == StmtKind::kCompound) {
+      // `#pragma acc parallel { ... #pragma acc loop for(...) ... }`.
+      for (const auto& child : As<frontend::CompoundStmt>(stmt).body) {
+        VisitStmt(*child, parallel, compiled);
+      }
+      return;
+    }
+
+    switch (stmt.kind) {
+      case StmtKind::kIf: {
+        const auto& s = As<frontend::IfStmt>(stmt);
+        VisitStmt(*s.then_stmt, region, compiled);
+        if (s.else_stmt != nullptr) VisitStmt(*s.else_stmt, region, compiled);
+        break;
+      }
+      case StmtKind::kFor:
+        VisitStmt(*As<ForStmt>(stmt).body, region, compiled);
+        break;
+      case StmtKind::kWhile:
+        VisitStmt(*As<frontend::WhileStmt>(stmt).body, region, compiled);
+        break;
+      case StmtKind::kCompound:
+        for (const auto& child : As<frontend::CompoundStmt>(stmt).body) {
+          VisitStmt(*child, region, compiled);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void BuildOffload(const ForStmt& loop, const Directive* parallel,
+                    const Directive* loop_directive,
+                    CompiledFunction& compiled) {
+    LoopOffload offload;
+    offload.id = static_cast<int>(compiled.offloads.size());
+    offload.name =
+        function_.name + "_kernel" + std::to_string(offload.id);
+    offload.loop = &loop;
+
+    const CanonicalLoop canonical = ExtractCanonicalLoop(loop);
+    offload.induction = canonical.induction;
+    offload.lower_bound = canonical.lower;
+    offload.upper_bound = canonical.upper;
+    offload.upper_inclusive = canonical.inclusive;
+
+    // --- gather directives that apply to this loop ---
+    std::vector<const Directive*> applicable;
+    if (parallel != nullptr) applicable.push_back(parallel);
+    if (loop_directive != nullptr && loop_directive != parallel) {
+      applicable.push_back(loop_directive);
+    }
+    const Directive* local_access_directive =
+        loop.FindDirective(DirectiveKind::kLocalAccess);
+
+    // --- body analysis: arrays, scalars, locals, reductions ---
+    std::unordered_set<int> declared_inside;
+    declared_inside.insert(offload.induction->id);
+    WalkStmts(*loop.body, [&](const Stmt& s) {
+      if (s.kind == StmtKind::kDecl) {
+        declared_inside.insert(As<frontend::DeclStmt>(s).decl->id);
+      }
+      if (s.kind == StmtKind::kFor &&
+          As<ForStmt>(s).init != nullptr &&
+          As<ForStmt>(s).init->kind == StmtKind::kDecl) {
+        declared_inside.insert(
+            As<frontend::DeclStmt>(*As<ForStmt>(s).init).decl->id);
+      }
+    });
+
+    std::vector<const VarDecl*> array_order;
+    std::vector<const VarDecl*> scalar_order;
+    std::unordered_set<int> seen_arrays;
+    std::unordered_set<int> seen_scalars;
+    std::unordered_set<int> written_arrays;
+    std::unordered_set<int> read_arrays;
+    std::unordered_set<int> written_scalars;
+
+    auto note_expr = [&](const Expr& e) {
+      if (e.kind != ExprKind::kVarRef) return;
+      const auto& ref = As<frontend::VarRef>(e);
+      ACCMG_CHECK(ref.decl != nullptr, "unresolved reference in offload body");
+      if (ref.decl->type.is_pointer) {
+        if (seen_arrays.insert(ref.decl->id).second) {
+          array_order.push_back(ref.decl);
+        }
+      } else if (!declared_inside.contains(ref.decl->id)) {
+        if (seen_scalars.insert(ref.decl->id).second) {
+          scalar_order.push_back(ref.decl);
+        }
+      }
+    };
+    WalkStmts(*loop.body, [&](const Stmt& s) {
+      ForEachExprInStmt(s, note_expr);
+      if (s.kind == StmtKind::kAssign) {
+        const auto& assign = As<frontend::AssignStmt>(s);
+        if (assign.target->kind == ExprKind::kSubscript) {
+          const auto& base = As<frontend::VarRef>(
+              *As<frontend::SubscriptExpr>(*assign.target).base);
+          written_arrays.insert(base.decl->id);
+          if (assign.op != frontend::AssignOp::kAssign) {
+            read_arrays.insert(base.decl->id);
+          }
+        } else if (assign.target->kind == ExprKind::kVarRef) {
+          const auto& ref = As<frontend::VarRef>(*assign.target);
+          if (!declared_inside.contains(ref.decl->id)) {
+            written_scalars.insert(ref.decl->id);
+          }
+        }
+      }
+    });
+    // Reads: any subscript appearing outside a store-target position. A
+    // conservative approximation — mark arrays read when they occur in any
+    // non-target subscript.
+    WalkStmts(*loop.body, [&](const Stmt& s) {
+      auto note_reads = [&](const Expr& e) {
+        WalkExprs(e, [&](const Expr& inner) {
+          if (inner.kind == ExprKind::kSubscript) {
+            const auto& base = As<frontend::VarRef>(
+                *As<frontend::SubscriptExpr>(inner).base);
+            read_arrays.insert(base.decl->id);
+          }
+        });
+      };
+      switch (s.kind) {
+        case StmtKind::kDecl:
+          if (As<frontend::DeclStmt>(s).init != nullptr) {
+            note_reads(*As<frontend::DeclStmt>(s).init);
+          }
+          break;
+        case StmtKind::kAssign: {
+          const auto& assign = As<frontend::AssignStmt>(s);
+          note_reads(*assign.value);
+          if (assign.target->kind == ExprKind::kSubscript) {
+            // The index expression of the target is a read context.
+            note_reads(*As<frontend::SubscriptExpr>(*assign.target).index);
+          }
+          break;
+        }
+        case StmtKind::kExpr:
+          note_reads(*As<frontend::ExprStmt>(s).expr);
+          break;
+        case StmtKind::kIf:
+          note_reads(*As<frontend::IfStmt>(s).cond);
+          break;
+        case StmtKind::kFor:
+          if (As<ForStmt>(s).cond != nullptr) {
+            note_reads(*As<ForStmt>(s).cond);
+          }
+          break;
+        case StmtKind::kWhile:
+          note_reads(*As<frontend::WhileStmt>(s).cond);
+          break;
+        default:
+          break;
+      }
+    });
+
+    // --- reductions ---
+    for (const Directive* d : applicable) {
+      for (const auto& clause : d->reductions) {
+        for (const auto& var : clause.vars) {
+          const VarDecl* decl = nullptr;
+          for (const VarDecl* s : scalar_order) {
+            if (s->name == var) decl = s;
+          }
+          if (decl == nullptr) {
+            // The reduction variable may not be read in the body at all
+            // (accumulate-only); look it up among written scalars via the
+            // function's parameters and enclosing decls is handled by sema,
+            // so simply skip silently if unused.
+            continue;
+          }
+          ScalarRedTarget target;
+          target.decl = decl;
+          target.op = ToRedOp(clause.op);
+          offload.scalar_reds.push_back(target);
+          // Reduction variables are not scalar params.
+          scalar_order.erase(
+              std::remove(scalar_order.begin(), scalar_order.end(), decl),
+              scalar_order.end());
+          written_scalars.erase(decl->id);
+        }
+      }
+    }
+
+    // reductiontoarray specs attached to inner statements.
+    WalkStmts(*loop.body, [&](const Stmt& s) {
+      const Directive* d =
+          s.FindDirective(DirectiveKind::kReductionToArray);
+      if (d == nullptr) return;
+      const auto& spec = *d->reduction_to_array;
+      const VarDecl* decl = nullptr;
+      for (const VarDecl* a : array_order) {
+        if (a->name == spec.array) decl = a;
+      }
+      if (decl == nullptr) {
+        Fail(spec.loc, "reductiontoarray names array '" + spec.array +
+                           "' which is not used in the loop");
+      }
+      for (const auto& existing : offload.array_reds) {
+        if (existing.decl == decl) return;  // same destination annotated twice
+      }
+      ArrayRedTarget target;
+      target.decl = decl;
+      target.op = ToRedOp(spec.op);
+      target.lower = spec.lower.get();
+      target.length = spec.length.get();
+      offload.array_reds.push_back(target);
+    });
+
+    if (!written_scalars.empty()) {
+      for (const VarDecl* s : scalar_order) {
+        if (written_scalars.contains(s->id)) {
+          Fail(loop.loc,
+               "scalar '" + s->name +
+                   "' is written inside the parallel loop but is not a "
+                   "reduction variable; declare it inside the loop body");
+        }
+      }
+    }
+
+    // --- array configs ---
+    for (const VarDecl* decl : array_order) {
+      ArrayConfig config;
+      config.decl = decl;
+      config.name = decl->name;
+      config.elem = ToValType(decl->type.scalar);
+      config.is_read = read_arrays.contains(decl->id);
+      config.is_written = written_arrays.contains(decl->id);
+      for (const auto& red : offload.array_reds) {
+        if (red.decl == decl) {
+          config.is_reduction_dest = true;
+          config.is_written = true;
+        }
+      }
+      if (local_access_directive != nullptr) {
+        for (const auto& spec : local_access_directive->local_access) {
+          if (spec.array == decl->name) {
+            config.has_localaccess = true;
+            config.stride = spec.stride.get();
+            config.left = spec.left.get();
+            config.right = spec.right.get();
+          }
+        }
+      }
+      offload.arrays.push_back(config);
+    }
+
+    // --- write-locality proof (eliminates the miss check, Section IV-D2) ---
+    for (auto& config : offload.arrays) {
+      if (!config.has_localaccess || !config.is_written ||
+          config.is_reduction_dest) {
+        continue;
+      }
+      std::int64_t stride = 1, left = 0, right = 0;
+      bool const_spec = true;
+      if (config.stride != nullptr) {
+        const_spec &= TryFoldConstant(*config.stride, &stride);
+      }
+      if (config.left != nullptr) {
+        const_spec &= TryFoldConstant(*config.left, &left);
+      }
+      if (config.right != nullptr) {
+        const_spec &= TryFoldConstant(*config.right, &right);
+      }
+      if (!const_spec) continue;
+
+      bool all_local = true;
+      WalkStmts(*loop.body, [&](const Stmt& s) {
+        if (s.kind != StmtKind::kAssign) return;
+        const auto& assign = As<frontend::AssignStmt>(s);
+        if (assign.target->kind != ExprKind::kSubscript) return;
+        const auto& subscript =
+            As<frontend::SubscriptExpr>(*assign.target);
+        if (As<frontend::VarRef>(*subscript.base).decl != config.decl) return;
+        std::int64_t a, b;
+        if (!MatchAffine(*subscript.index, *offload.induction, &a, &b) ||
+            a != stride || b < -left || b > stride - 1 + right) {
+          all_local = false;
+        }
+      });
+      config.writes_proven_local = all_local;
+    }
+
+    for (const VarDecl* decl : scalar_order) {
+      ScalarArg arg;
+      arg.decl = decl;
+      offload.scalars.push_back(arg);
+    }
+
+    // --- lower to IR ---
+    compiled.offloads.push_back(std::move(offload));
+    KernelLowering lowering(compiled.offloads.back());
+    lowering.Lower();
+    compiled.offload_of_stmt[&loop] =
+        static_cast<int>(compiled.offloads.size()) - 1;
+  }
+
+  const Function& function_;
+};
+
+}  // namespace
+
+bool MatchAffine(const Expr& expr, const VarDecl& induction, std::int64_t* a,
+                 std::int64_t* b) {
+  switch (expr.kind) {
+    case ExprKind::kIntLiteral:
+      *a = 0;
+      *b = As<frontend::IntLiteral>(expr).value;
+      return true;
+    case ExprKind::kVarRef:
+      if (As<frontend::VarRef>(expr).decl == &induction) {
+        *a = 1;
+        *b = 0;
+        return true;
+      }
+      return false;
+    case ExprKind::kCast:
+      return MatchAffine(*As<frontend::CastExpr>(expr).operand, induction, a,
+                         b);
+    case ExprKind::kUnary: {
+      const auto& unary = As<frontend::UnaryExpr>(expr);
+      std::int64_t ia, ib;
+      if (unary.op == frontend::UnaryOp::kNeg &&
+          MatchAffine(*unary.operand, induction, &ia, &ib)) {
+        *a = -ia;
+        *b = -ib;
+        return true;
+      }
+      return false;
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = As<frontend::BinaryExpr>(expr);
+      std::int64_t la, lb, ra, rb;
+      const bool lhs_ok = MatchAffine(*binary.lhs, induction, &la, &lb);
+      const bool rhs_ok = MatchAffine(*binary.rhs, induction, &ra, &rb);
+      if (!lhs_ok || !rhs_ok) return false;
+      switch (binary.op) {
+        case frontend::BinaryOp::kAdd:
+          *a = la + ra;
+          *b = lb + rb;
+          return true;
+        case frontend::BinaryOp::kSub:
+          *a = la - ra;
+          *b = lb - rb;
+          return true;
+        case frontend::BinaryOp::kMul:
+          // One side must be a pure constant for the result to stay affine.
+          if (la == 0) {
+            *a = lb * ra;
+            *b = lb * rb;
+            return true;
+          }
+          if (ra == 0) {
+            *a = la * rb;
+            *b = lb * rb;
+            return true;
+          }
+          return false;
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+CompiledProgram Compile(const frontend::Program& program) {
+  CompiledProgram compiled;
+  compiled.program = &program;
+  for (const auto& function : program.functions) {
+    FunctionCompiler compiler(*function);
+    compiled.functions.push_back(compiler.Run());
+  }
+  return compiled;
+}
+
+}  // namespace accmg::translator

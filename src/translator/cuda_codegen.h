@@ -1,0 +1,34 @@
+// Textual CUDA code generation — the source-to-source artifact of the
+// translator (paper Section IV-B).
+//
+// The emitted code is what the paper's ROSE-based translator would hand to
+// nvcc: one __global__ kernel per offloaded loop with
+//  * layout-rewritten array subscripts (`a[idx - a_lo]`),
+//  * two-level dirty-bit instrumentation after stores to replicated arrays,
+//  * write-miss checks around stores to distributed arrays (elided when the
+//    translator proved locality),
+//  * privatized hierarchical reductions,
+// plus a host-side launch sketch showing the runtime calls.
+//
+// Inside this repository the kernels execute through the IR interpreter; the
+// CUDA text is a faithful, golden-tested rendering of the same lowering for
+// inspection and documentation.
+#pragma once
+
+#include <string>
+
+#include "translator/offload.h"
+
+namespace accmg::translator {
+
+/// Renders the CUDA kernel for one offloaded loop.
+std::string GenerateCudaKernel(const LoopOffload& offload);
+
+/// Renders a host-code sketch for a whole compiled function: data-region
+/// management, kernel launches and communication-manager calls.
+std::string GenerateHostSketch(const CompiledFunction& function);
+
+/// Convenience: kernels + host sketch for every function in the program.
+std::string GenerateCudaProgram(const CompiledProgram& program);
+
+}  // namespace accmg::translator

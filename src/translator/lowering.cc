@@ -1,0 +1,731 @@
+#include "translator/lowering.h"
+
+#include "common/error.h"
+#include "translator/type_map.h"
+
+namespace accmg::translator {
+
+using frontend::As;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::ScalarType;
+using frontend::Stmt;
+using frontend::StmtKind;
+using ir::Opcode;
+
+namespace {
+
+bool IsFloat(ScalarType t) { return frontend::IsFloatType(t); }
+
+/// Structural equality of expressions (used to recognize `a[i] = a[i] op v`).
+bool ExprEquals(const Expr& x, const Expr& y) {
+  if (x.kind != y.kind) return false;
+  switch (x.kind) {
+    case ExprKind::kIntLiteral:
+      return As<frontend::IntLiteral>(x).value ==
+             As<frontend::IntLiteral>(y).value;
+    case ExprKind::kFloatLiteral:
+      return As<frontend::FloatLiteral>(x).value ==
+             As<frontend::FloatLiteral>(y).value;
+    case ExprKind::kVarRef:
+      return As<frontend::VarRef>(x).decl == As<frontend::VarRef>(y).decl;
+    case ExprKind::kSubscript:
+      return ExprEquals(*As<frontend::SubscriptExpr>(x).base,
+                        *As<frontend::SubscriptExpr>(y).base) &&
+             ExprEquals(*As<frontend::SubscriptExpr>(x).index,
+                        *As<frontend::SubscriptExpr>(y).index);
+    case ExprKind::kUnary:
+      return As<frontend::UnaryExpr>(x).op == As<frontend::UnaryExpr>(y).op &&
+             ExprEquals(*As<frontend::UnaryExpr>(x).operand,
+                        *As<frontend::UnaryExpr>(y).operand);
+    case ExprKind::kBinary:
+      return As<frontend::BinaryExpr>(x).op ==
+                 As<frontend::BinaryExpr>(y).op &&
+             ExprEquals(*As<frontend::BinaryExpr>(x).lhs,
+                        *As<frontend::BinaryExpr>(y).lhs) &&
+             ExprEquals(*As<frontend::BinaryExpr>(x).rhs,
+                        *As<frontend::BinaryExpr>(y).rhs);
+    default:
+      return false;
+  }
+}
+
+ir::RedOp AssignOpToRedOp(frontend::AssignOp op) {
+  switch (op) {
+    case frontend::AssignOp::kAddAssign: return ir::RedOp::kAdd;
+    case frontend::AssignOp::kMulAssign: return ir::RedOp::kMul;
+    default:
+      break;
+  }
+  ACCMG_UNREACHABLE("assign op is not a reduction");
+}
+
+frontend::BinaryOp RedOpToBinaryOp(ir::RedOp op) {
+  switch (op) {
+    case ir::RedOp::kAdd: return frontend::BinaryOp::kAdd;
+    case ir::RedOp::kMul: return frontend::BinaryOp::kMul;
+    default:
+      break;
+  }
+  ACCMG_UNREACHABLE("reduction op has no binary form");
+}
+
+}  // namespace
+
+KernelLowering::KernelLowering(LoopOffload& offload)
+    : offload_(offload), builder_(offload.name) {}
+
+void KernelLowering::Fail(frontend::SourceLocation loc,
+                          const std::string& message) const {
+  throw CompileError("offload '" + offload_.name + "' at " +
+                               loc.ToString() + ": " + message);
+}
+
+int KernelLowering::VarReg(const frontend::VarDecl& decl) {
+  auto it = var_regs_.find(decl.id);
+  ACCMG_CHECK(it != var_regs_.end(),
+              "no register for variable '" + decl.name + "'");
+  return it->second;
+}
+
+bool KernelLowering::IsScalarRedVar(const frontend::VarDecl& decl, int* slot,
+                                    ir::RedOp* op) const {
+  for (const auto& red : offload_.scalar_reds) {
+    if (red.decl == &decl) {
+      *slot = red.slot;
+      *op = red.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+const ArrayRedTarget* KernelLowering::FindArrayRed(
+    const frontend::VarDecl& decl) const {
+  for (const auto& red : offload_.array_reds) {
+    if (red.decl == &decl) return &red;
+  }
+  return nullptr;
+}
+
+int KernelLowering::ArrayIndexOf(const frontend::VarDecl& decl) const {
+  for (const auto& config : offload_.arrays) {
+    if (config.decl == &decl) return config.kernel_array_index;
+  }
+  ACCMG_UNREACHABLE("array '" + decl.name + "' missing from offload config");
+}
+
+void KernelLowering::Lower() {
+  // Signature: arrays first, then scalar params (register contract).
+  for (auto& config : offload_.arrays) {
+    config.kernel_array_index = builder_.AddArray(config.name, config.elem);
+    auto& param = builder_.array(config.kernel_array_index);
+    param.is_read = config.is_read;
+    param.is_written = config.is_written;
+    // Instrumentation decisions (paper Section IV-D):
+    //  * replicated (no localaccess) + written  -> two-level dirty bits
+    //  * distributed (localaccess) + written without a locality proof
+    //    -> write-miss check
+    if (config.is_written && !config.is_reduction_dest) {
+      if (!config.has_localaccess) {
+        param.dirty_tracked = true;
+      } else if (!config.writes_proven_local) {
+        param.miss_checked = true;
+      }
+    }
+  }
+  for (auto& scalar : offload_.scalars) {
+    const int reg = builder_.AddScalar(scalar.decl->name,
+                                       ToValType(scalar.decl->type.scalar));
+    scalar.kernel_scalar_index =
+        static_cast<int>(&scalar - offload_.scalars.data());
+    var_regs_[scalar.decl->id] = reg;
+  }
+  for (auto& red : offload_.scalar_reds) {
+    red.slot = builder_.AddScalarReduction(red.decl->name, red.op,
+                                           ToValType(red.decl->type.scalar));
+  }
+  for (auto& red : offload_.array_reds) {
+    red.slot = builder_.AddArrayReduction(ArrayIndexOf(*red.decl), red.op,
+                                          ToValType(red.decl->type.scalar));
+  }
+  var_regs_[offload_.induction->id] = builder_.thread_id_reg();
+
+  LowerStmt(*offload_.loop->body);
+  offload_.kernel = builder_.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void KernelLowering::LowerStmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      const auto& decl_stmt = As<frontend::DeclStmt>(stmt);
+      const int reg = builder_.NewReg();
+      var_regs_[decl_stmt.decl->id] = reg;
+      if (decl_stmt.init != nullptr) {
+        const int value =
+            LowerExprAs(*decl_stmt.init, decl_stmt.decl->type.scalar);
+        builder_.MovTo(reg, value);
+      }
+      break;
+    }
+    case StmtKind::kAssign:
+      LowerAssign(As<frontend::AssignStmt>(stmt));
+      break;
+    case StmtKind::kExpr:
+      // Calls are pure builtins; an expression statement has no effect.
+      break;
+    case StmtKind::kIf:
+      LowerIf(As<frontend::IfStmt>(stmt));
+      break;
+    case StmtKind::kFor:
+      LowerFor(As<frontend::ForStmt>(stmt));
+      break;
+    case StmtKind::kWhile:
+      LowerWhile(As<frontend::WhileStmt>(stmt));
+      break;
+    case StmtKind::kCompound:
+      for (const auto& child : As<frontend::CompoundStmt>(stmt).body) {
+        LowerStmt(*child);
+      }
+      break;
+    case StmtKind::kReturn:
+      Fail(stmt.loc, "'return' is not allowed inside a parallel loop");
+    case StmtKind::kBreak: {
+      if (loop_stack_.empty()) {
+        Fail(stmt.loc, "'break' outside of an inner loop");
+      }
+      loop_stack_.back().break_branches.push_back(builder_.Br());
+      break;
+    }
+    case StmtKind::kContinue: {
+      if (loop_stack_.empty()) {
+        Fail(stmt.loc, "'continue' outside of an inner loop");
+      }
+      loop_stack_.back().continue_branches.push_back(builder_.Br());
+      break;
+    }
+  }
+}
+
+void KernelLowering::LowerAssign(const frontend::AssignStmt& stmt) {
+  // Reduction-to-array statement?
+  const frontend::Directive* red_directive =
+      stmt.FindDirective(frontend::DirectiveKind::kReductionToArray);
+
+  if (stmt.target->kind == ExprKind::kSubscript) {
+    const auto& subscript = As<frontend::SubscriptExpr>(*stmt.target);
+    const auto& base = As<frontend::VarRef>(*subscript.base);
+    const int array_index = ArrayIndexOf(*base.decl);
+    const ArrayRedTarget* red = FindArrayRed(*base.decl);
+
+    if (red != nullptr) {
+      // This array is a reduction destination: the statement must be the
+      // annotated reduction (compound `a[e] op= v` or `a[e] = a[e] op v`).
+      const Expr* contribution = nullptr;
+      if (stmt.op == frontend::AssignOp::kAddAssign ||
+          stmt.op == frontend::AssignOp::kMulAssign) {
+        if (AssignOpToRedOp(stmt.op) != red->op) {
+          Fail(stmt.loc, "reduction statement operator does not match the "
+                         "reductiontoarray directive");
+        }
+        contribution = stmt.value.get();
+      } else if (stmt.op == frontend::AssignOp::kAssign &&
+                 stmt.value->kind == ExprKind::kBinary &&
+                 (red->op == ir::RedOp::kAdd ||
+                  red->op == ir::RedOp::kMul)) {
+        const auto& binary = As<frontend::BinaryExpr>(*stmt.value);
+        if (binary.op == RedOpToBinaryOp(red->op) &&
+            ExprEquals(*binary.lhs, *stmt.target)) {
+          contribution = binary.rhs.get();
+        } else if (binary.op == RedOpToBinaryOp(red->op) &&
+                   ExprEquals(*binary.rhs, *stmt.target)) {
+          contribution = binary.lhs.get();
+        }
+      } else if (stmt.op == frontend::AssignOp::kAssign &&
+                 stmt.value->kind == ExprKind::kCall) {
+        // min/max reductions spelled  a[e] = min(a[e], v).
+        const auto& call = As<frontend::CallExpr>(*stmt.value);
+        const bool is_min = (call.builtin == frontend::Builtin::kFmin ||
+                             call.builtin == frontend::Builtin::kMin);
+        const bool is_max = (call.builtin == frontend::Builtin::kFmax ||
+                             call.builtin == frontend::Builtin::kMax);
+        if (call.args.size() == 2 &&
+            ((is_min && red->op == ir::RedOp::kMin) ||
+             (is_max && red->op == ir::RedOp::kMax))) {
+          if (ExprEquals(*call.args[0], *stmt.target)) {
+            contribution = call.args[1].get();
+          } else if (ExprEquals(*call.args[1], *stmt.target)) {
+            contribution = call.args[0].get();
+          }
+        }
+      }
+      if (contribution == nullptr) {
+        Fail(stmt.loc,
+             "statement does not match the reductiontoarray pattern "
+             "a[e] op= v  or  a[e] = a[e] op v");
+      }
+      if (red_directive == nullptr) {
+        Fail(stmt.loc,
+             "write to reduction destination array '" + base.decl->name +
+                 "' without a reductiontoarray annotation");
+      }
+      const int index =
+          LowerExprAs(*subscript.index, ScalarType::kInt64);
+      const int value = LowerExprAs(*contribution, base.decl->type.scalar);
+      builder_.RedArray(red->slot, index, value);
+      return;
+    }
+
+    // Ordinary (possibly compound) store.
+    const int index = LowerExprAs(*subscript.index, ScalarType::kInt64);
+    int value;
+    if (stmt.op == frontend::AssignOp::kAssign) {
+      value = LowerExprAs(*stmt.value, base.decl->type.scalar);
+    } else {
+      const int old_value = builder_.Load(array_index, index);
+      // Element loads produce canonical representation already.
+      const int rhs = LowerExprAs(*stmt.value, base.decl->type.scalar);
+      const bool fp = IsFloat(base.decl->type.scalar);
+      Opcode op;
+      switch (stmt.op) {
+        case frontend::AssignOp::kAddAssign:
+          op = fp ? Opcode::kAddF : Opcode::kAddI;
+          break;
+        case frontend::AssignOp::kSubAssign:
+          op = fp ? Opcode::kSubF : Opcode::kSubI;
+          break;
+        case frontend::AssignOp::kMulAssign:
+          op = fp ? Opcode::kMulF : Opcode::kMulI;
+          break;
+        case frontend::AssignOp::kDivAssign:
+          op = fp ? Opcode::kDivF : Opcode::kDivI;
+          break;
+        default:
+          ACCMG_UNREACHABLE("bad compound assign");
+      }
+      value = builder_.Binary(op, old_value, rhs);
+      if (base.decl->type.scalar == ScalarType::kFloat32) {
+        value = builder_.Unary(Opcode::kRoundF32, value);
+      } else if (base.decl->type.scalar == ScalarType::kInt32) {
+        value = builder_.Unary(Opcode::kTruncI32, value);
+      }
+    }
+    builder_.Store(array_index, index, value);
+    if (builder_.array(array_index).dirty_tracked) {
+      builder_.DirtyMark(array_index, index);
+    }
+    return;
+  }
+
+  // Scalar target.
+  const auto& ref = As<frontend::VarRef>(*stmt.target);
+  int slot;
+  ir::RedOp red_op;
+  if (IsScalarRedVar(*ref.decl, &slot, &red_op)) {
+    const Expr* contribution = nullptr;
+    if ((stmt.op == frontend::AssignOp::kAddAssign &&
+         red_op == ir::RedOp::kAdd) ||
+        (stmt.op == frontend::AssignOp::kMulAssign &&
+         red_op == ir::RedOp::kMul)) {
+      contribution = stmt.value.get();
+    } else if (stmt.op == frontend::AssignOp::kAssign &&
+               stmt.value->kind == ExprKind::kBinary) {
+      const auto& binary = As<frontend::BinaryExpr>(*stmt.value);
+      if (binary.op == RedOpToBinaryOp(red_op)) {
+        if (ExprEquals(*binary.lhs, *stmt.target)) {
+          contribution = binary.rhs.get();
+        } else if (ExprEquals(*binary.rhs, *stmt.target)) {
+          contribution = binary.lhs.get();
+        }
+      }
+    } else if (stmt.op == frontend::AssignOp::kAssign &&
+               stmt.value->kind == ExprKind::kCall) {
+      // min/max reductions spelled  s = fmin(s, v).
+      const auto& call = As<frontend::CallExpr>(*stmt.value);
+      const bool is_min = (call.builtin == frontend::Builtin::kFmin ||
+                           call.builtin == frontend::Builtin::kMin);
+      const bool is_max = (call.builtin == frontend::Builtin::kFmax ||
+                           call.builtin == frontend::Builtin::kMax);
+      if ((is_min && red_op == ir::RedOp::kMin) ||
+          (is_max && red_op == ir::RedOp::kMax)) {
+        if (ExprEquals(*call.args[0], *stmt.target)) {
+          contribution = call.args[1].get();
+        } else if (ExprEquals(*call.args[1], *stmt.target)) {
+          contribution = call.args[0].get();
+        }
+      }
+    }
+    if (contribution == nullptr) {
+      Fail(stmt.loc, "statement does not match the reduction pattern for "
+                     "variable '" + ref.decl->name + "'");
+    }
+    const int value = LowerExprAs(*contribution, ref.decl->type.scalar);
+    builder_.RedScalar(slot, value);
+    return;
+  }
+
+  // Private scalar assignment.
+  const int home = VarReg(*ref.decl);
+  int value;
+  if (stmt.op == frontend::AssignOp::kAssign) {
+    value = LowerExprAs(*stmt.value, ref.decl->type.scalar);
+  } else {
+    const int rhs = LowerExprAs(*stmt.value, ref.decl->type.scalar);
+    const bool fp = IsFloat(ref.decl->type.scalar);
+    Opcode op;
+    switch (stmt.op) {
+      case frontend::AssignOp::kAddAssign:
+        op = fp ? Opcode::kAddF : Opcode::kAddI;
+        break;
+      case frontend::AssignOp::kSubAssign:
+        op = fp ? Opcode::kSubF : Opcode::kSubI;
+        break;
+      case frontend::AssignOp::kMulAssign:
+        op = fp ? Opcode::kMulF : Opcode::kMulI;
+        break;
+      case frontend::AssignOp::kDivAssign:
+        op = fp ? Opcode::kDivF : Opcode::kDivI;
+        break;
+      default:
+        ACCMG_UNREACHABLE("bad compound assign");
+    }
+    value = builder_.Binary(op, home, rhs);
+    if (ref.decl->type.scalar == ScalarType::kFloat32) {
+      value = builder_.Unary(Opcode::kRoundF32, value);
+    } else if (ref.decl->type.scalar == ScalarType::kInt32) {
+      value = builder_.Unary(Opcode::kTruncI32, value);
+    }
+  }
+  builder_.MovTo(home, value);
+}
+
+void KernelLowering::LowerIf(const frontend::IfStmt& stmt) {
+  const int cond = LowerExprAs(*stmt.cond, ScalarType::kInt64);
+  const std::size_t skip_then = builder_.BrIfNot(cond);
+  LowerStmt(*stmt.then_stmt);
+  if (stmt.else_stmt == nullptr) {
+    builder_.PatchTarget(skip_then, builder_.Here());
+    return;
+  }
+  const std::size_t skip_else = builder_.Br();
+  builder_.PatchTarget(skip_then, builder_.Here());
+  LowerStmt(*stmt.else_stmt);
+  builder_.PatchTarget(skip_else, builder_.Here());
+}
+
+void KernelLowering::LowerFor(const frontend::ForStmt& stmt) {
+  if (stmt.init != nullptr) LowerStmt(*stmt.init);
+  const std::size_t loop_head = builder_.Here();
+  std::size_t exit_branch = static_cast<std::size_t>(-1);
+  if (stmt.cond != nullptr) {
+    const int cond = LowerExprAs(*stmt.cond, ScalarType::kInt64);
+    exit_branch = builder_.BrIfNot(cond);
+  }
+  loop_stack_.emplace_back();
+  LowerStmt(*stmt.body);
+  const std::size_t continue_target = builder_.Here();
+  if (stmt.step != nullptr) LowerStmt(*stmt.step);
+  const std::size_t back_branch = builder_.Br();
+  builder_.PatchTarget(back_branch, loop_head);
+  const std::size_t loop_exit = builder_.Here();
+  if (exit_branch != static_cast<std::size_t>(-1)) {
+    builder_.PatchTarget(exit_branch, loop_exit);
+  }
+  LoopContext context = std::move(loop_stack_.back());
+  loop_stack_.pop_back();
+  for (std::size_t branch : context.break_branches) {
+    builder_.PatchTarget(branch, loop_exit);
+  }
+  for (std::size_t branch : context.continue_branches) {
+    builder_.PatchTarget(branch, continue_target);
+  }
+}
+
+void KernelLowering::LowerWhile(const frontend::WhileStmt& stmt) {
+  if (stmt.is_do_while) {
+    // do { body } while (cond): body first, conditional back-branch.
+    const std::size_t loop_head = builder_.Here();
+    loop_stack_.emplace_back();
+    LowerStmt(*stmt.body);
+    const std::size_t continue_target = builder_.Here();
+    const int cond = LowerExprAs(*stmt.cond, ScalarType::kInt64);
+    const std::size_t back_branch = builder_.BrIf(cond);
+    builder_.PatchTarget(back_branch, loop_head);
+    const std::size_t loop_exit = builder_.Here();
+    LoopContext context = std::move(loop_stack_.back());
+    loop_stack_.pop_back();
+    for (std::size_t branch : context.break_branches) {
+      builder_.PatchTarget(branch, loop_exit);
+    }
+    for (std::size_t branch : context.continue_branches) {
+      builder_.PatchTarget(branch, continue_target);
+    }
+    return;
+  }
+  const std::size_t loop_head = builder_.Here();
+  const int cond = LowerExprAs(*stmt.cond, ScalarType::kInt64);
+  const std::size_t exit_branch = builder_.BrIfNot(cond);
+  loop_stack_.emplace_back();
+  LowerStmt(*stmt.body);
+  const std::size_t back_branch = builder_.Br();
+  builder_.PatchTarget(back_branch, loop_head);
+  const std::size_t loop_exit = builder_.Here();
+  builder_.PatchTarget(exit_branch, loop_exit);
+  LoopContext context = std::move(loop_stack_.back());
+  loop_stack_.pop_back();
+  for (std::size_t branch : context.break_branches) {
+    builder_.PatchTarget(branch, loop_exit);
+  }
+  for (std::size_t branch : context.continue_branches) {
+    builder_.PatchTarget(branch, loop_head);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+int KernelLowering::Convert(int reg, ScalarType from, ScalarType to) {
+  if (from == to) return reg;
+  const bool from_fp = IsFloat(from);
+  const bool to_fp = IsFloat(to);
+  if (!from_fp && to_fp) {
+    int r = builder_.Unary(Opcode::kI2F, reg);
+    if (to == ScalarType::kFloat32) r = builder_.Unary(Opcode::kRoundF32, r);
+    return r;
+  }
+  if (from_fp && !to_fp) {
+    int r = builder_.Unary(Opcode::kF2I, reg);
+    if (to == ScalarType::kInt32) r = builder_.Unary(Opcode::kTruncI32, r);
+    return r;
+  }
+  if (from_fp && to_fp) {
+    if (to == ScalarType::kFloat32) {
+      return builder_.Unary(Opcode::kRoundF32, reg);
+    }
+    return reg;  // f32 -> f64 is a widening no-op in register form
+  }
+  // int -> int
+  if (to == ScalarType::kInt32) return builder_.Unary(Opcode::kTruncI32, reg);
+  return reg;  // i32 -> i64 sign extension is implicit
+}
+
+int KernelLowering::LowerExprAs(const Expr& expr, ScalarType target) {
+  const int reg = LowerExpr(expr);
+  return Convert(reg, expr.type.scalar, target);
+}
+
+int KernelLowering::LowerExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLiteral:
+      return builder_.ConstI(As<frontend::IntLiteral>(expr).value);
+    case ExprKind::kFloatLiteral: {
+      const auto& lit = As<frontend::FloatLiteral>(expr);
+      const double value = lit.is_float32
+                               ? static_cast<double>(
+                                     static_cast<float>(lit.value))
+                               : lit.value;
+      return builder_.ConstF(value);
+    }
+    case ExprKind::kVarRef: {
+      const auto& ref = As<frontend::VarRef>(expr);
+      int slot;
+      ir::RedOp op;
+      if (IsScalarRedVar(*ref.decl, &slot, &op)) {
+        Fail(expr.loc, "reduction variable '" + ref.decl->name +
+                           "' may only appear in reduction statements");
+      }
+      return VarReg(*ref.decl);
+    }
+    case ExprKind::kSubscript: {
+      const auto& subscript = As<frontend::SubscriptExpr>(expr);
+      const auto& base = As<frontend::VarRef>(*subscript.base);
+      const int index = LowerExprAs(*subscript.index, ScalarType::kInt64);
+      return builder_.Load(ArrayIndexOf(*base.decl), index);
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = As<frontend::UnaryExpr>(expr);
+      switch (unary.op) {
+        case frontend::UnaryOp::kNeg: {
+          const int operand = LowerExpr(*unary.operand);
+          const bool fp = IsFloat(unary.operand->type.scalar);
+          return builder_.Unary(fp ? Opcode::kNegF : Opcode::kNegI, operand);
+        }
+        case frontend::UnaryOp::kNot: {
+          const int operand =
+              LowerExprAs(*unary.operand, ScalarType::kInt64);
+          const int zero = builder_.ConstI(0);
+          return builder_.Binary(Opcode::kCmpEqI, operand, zero);
+        }
+        case frontend::UnaryOp::kBitNot: {
+          const int operand =
+              LowerExprAs(*unary.operand, ScalarType::kInt64);
+          int r = builder_.Unary(Opcode::kNotI, operand);
+          if (expr.type.scalar == ScalarType::kInt32) {
+            r = builder_.Unary(Opcode::kTruncI32, r);
+          }
+          return r;
+        }
+      }
+      ACCMG_UNREACHABLE("bad unary op");
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = As<frontend::BinaryExpr>(expr);
+      using frontend::BinaryOp;
+
+      // Logical operators: short-circuit via branches into a result register.
+      if (binary.op == BinaryOp::kLogicalAnd ||
+          binary.op == BinaryOp::kLogicalOr) {
+        const int result = builder_.NewReg();
+        const bool is_and = binary.op == BinaryOp::kLogicalAnd;
+        const int lhs = LowerExprAs(*binary.lhs, ScalarType::kInt64);
+        const std::size_t short_branch =
+            is_and ? builder_.BrIfNot(lhs) : builder_.BrIf(lhs);
+        const int rhs = LowerExprAs(*binary.rhs, ScalarType::kInt64);
+        const int zero = builder_.ConstI(0);
+        const int rhs_bool = builder_.Binary(Opcode::kCmpNeI, rhs, zero);
+        builder_.MovTo(result, rhs_bool);
+        const std::size_t done = builder_.Br();
+        builder_.PatchTarget(short_branch, builder_.Here());
+        const int short_value = builder_.ConstI(is_and ? 0 : 1);
+        builder_.MovTo(result, short_value);
+        builder_.PatchTarget(done, builder_.Here());
+        return result;
+      }
+
+      const ScalarType common = frontend::CommonType(
+          binary.lhs->type.scalar, binary.rhs->type.scalar);
+      const int lhs = LowerExprAs(*binary.lhs, common);
+      const int rhs = LowerExprAs(*binary.rhs, common);
+      const bool fp = IsFloat(common);
+
+      auto arith = [&](Opcode int_op, Opcode float_op) {
+        int r = builder_.Binary(fp ? float_op : int_op, lhs, rhs);
+        if (expr.type.scalar == ScalarType::kFloat32) {
+          r = builder_.Unary(Opcode::kRoundF32, r);
+        } else if (expr.type.scalar == ScalarType::kInt32 && !fp) {
+          r = builder_.Unary(Opcode::kTruncI32, r);
+        }
+        return r;
+      };
+
+      switch (binary.op) {
+        case BinaryOp::kAdd: return arith(Opcode::kAddI, Opcode::kAddF);
+        case BinaryOp::kSub: return arith(Opcode::kSubI, Opcode::kSubF);
+        case BinaryOp::kMul: return arith(Opcode::kMulI, Opcode::kMulF);
+        case BinaryOp::kDiv: return arith(Opcode::kDivI, Opcode::kDivF);
+        case BinaryOp::kMod: return arith(Opcode::kModI, Opcode::kModI);
+        case BinaryOp::kBitAnd: return arith(Opcode::kAndI, Opcode::kAndI);
+        case BinaryOp::kBitOr: return arith(Opcode::kOrI, Opcode::kOrI);
+        case BinaryOp::kBitXor: return arith(Opcode::kXorI, Opcode::kXorI);
+        case BinaryOp::kShl: return arith(Opcode::kShlI, Opcode::kShlI);
+        case BinaryOp::kShr: return arith(Opcode::kShrI, Opcode::kShrI);
+        case BinaryOp::kLt:
+          return builder_.Binary(fp ? Opcode::kCmpLtF : Opcode::kCmpLtI,
+                                 lhs, rhs);
+        case BinaryOp::kLe:
+          return builder_.Binary(fp ? Opcode::kCmpLeF : Opcode::kCmpLeI,
+                                 lhs, rhs);
+        case BinaryOp::kGt:
+          return builder_.Binary(fp ? Opcode::kCmpLtF : Opcode::kCmpLtI,
+                                 rhs, lhs);
+        case BinaryOp::kGe:
+          return builder_.Binary(fp ? Opcode::kCmpLeF : Opcode::kCmpLeI,
+                                 rhs, lhs);
+        case BinaryOp::kEq:
+          return builder_.Binary(fp ? Opcode::kCmpEqF : Opcode::kCmpEqI,
+                                 lhs, rhs);
+        case BinaryOp::kNe:
+          return builder_.Binary(fp ? Opcode::kCmpNeF : Opcode::kCmpNeI,
+                                 lhs, rhs);
+        case BinaryOp::kLogicalAnd:
+        case BinaryOp::kLogicalOr:
+          break;  // handled above
+      }
+      ACCMG_UNREACHABLE("bad binary op");
+    }
+    case ExprKind::kCall: {
+      const auto& call = As<frontend::CallExpr>(expr);
+      using frontend::Builtin;
+      const bool fp_result = IsFloat(expr.type.scalar);
+      auto arg_as = [&](std::size_t i, ScalarType t) {
+        return LowerExprAs(*call.args[i], t);
+      };
+      const ScalarType farg = ScalarType::kFloat64;
+      int r;
+      switch (call.builtin) {
+        case Builtin::kSqrt:
+          r = builder_.Unary(Opcode::kSqrtF, arg_as(0, farg));
+          break;
+        case Builtin::kFabs:
+          r = builder_.Unary(Opcode::kFabsF, arg_as(0, farg));
+          break;
+        case Builtin::kExp:
+          r = builder_.Unary(Opcode::kExpF, arg_as(0, farg));
+          break;
+        case Builtin::kLog:
+          r = builder_.Unary(Opcode::kLogF, arg_as(0, farg));
+          break;
+        case Builtin::kPow:
+          r = builder_.Binary(Opcode::kPowF, arg_as(0, farg),
+                              arg_as(1, farg));
+          break;
+        case Builtin::kFmin:
+          r = builder_.Binary(Opcode::kFminF, arg_as(0, farg),
+                              arg_as(1, farg));
+          break;
+        case Builtin::kFmax:
+          r = builder_.Binary(Opcode::kFmaxF, arg_as(0, farg),
+                              arg_as(1, farg));
+          break;
+        case Builtin::kFloor:
+          r = builder_.Unary(Opcode::kFloorF, arg_as(0, farg));
+          break;
+        case Builtin::kCeil:
+          r = builder_.Unary(Opcode::kCeilF, arg_as(0, farg));
+          break;
+        case Builtin::kAbs:
+          return builder_.Unary(Opcode::kAbsI,
+                                arg_as(0, ScalarType::kInt64));
+        case Builtin::kMin:
+          return builder_.Binary(Opcode::kMinI, arg_as(0, ScalarType::kInt64),
+                                 arg_as(1, ScalarType::kInt64));
+        case Builtin::kMax:
+          return builder_.Binary(Opcode::kMaxI, arg_as(0, ScalarType::kInt64),
+                                 arg_as(1, ScalarType::kInt64));
+        default:
+          ACCMG_UNREACHABLE("bad builtin");
+      }
+      if (fp_result && expr.type.scalar == ScalarType::kFloat32) {
+        r = builder_.Unary(Opcode::kRoundF32, r);
+      }
+      return r;
+    }
+    case ExprKind::kCast: {
+      const auto& cast = As<frontend::CastExpr>(expr);
+      const int operand = LowerExpr(*cast.operand);
+      return Convert(operand, cast.operand->type.scalar, cast.target.scalar);
+    }
+    case ExprKind::kConditional: {
+      const auto& cond = As<frontend::ConditionalExpr>(expr);
+      const int result = builder_.NewReg();
+      const int c = LowerExprAs(*cond.cond, ScalarType::kInt64);
+      const std::size_t to_else = builder_.BrIfNot(c);
+      const int then_value = LowerExprAs(*cond.then_expr, expr.type.scalar);
+      builder_.MovTo(result, then_value);
+      const std::size_t done = builder_.Br();
+      builder_.PatchTarget(to_else, builder_.Here());
+      const int else_value = LowerExprAs(*cond.else_expr, expr.type.scalar);
+      builder_.MovTo(result, else_value);
+      builder_.PatchTarget(done, builder_.Here());
+      return result;
+    }
+  }
+  ACCMG_UNREACHABLE("bad expr kind");
+}
+
+}  // namespace accmg::translator

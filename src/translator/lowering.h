@@ -1,0 +1,58 @@
+// AST -> KernelIR lowering for the body of an offloaded parallel loop.
+#pragma once
+
+#include <unordered_map>
+
+#include "frontend/ast.h"
+#include "ir/builder.h"
+#include "translator/offload.h"
+
+namespace accmg::translator {
+
+/// Lowers `offload.loop`'s body into `offload.kernel`. The offload must
+/// already carry the signature information (arrays, scalars, reductions)
+/// produced by the analysis pass in Compile(). Throws CompileError on
+/// constructs that cannot run on the GPU.
+class KernelLowering {
+ public:
+  explicit KernelLowering(LoopOffload& offload);
+
+  void Lower();
+
+ private:
+  struct LoopContext {
+    std::vector<std::size_t> break_branches;
+    std::vector<std::size_t> continue_branches;
+  };
+
+  // Statement lowering.
+  void LowerStmt(const frontend::Stmt& stmt);
+  void LowerAssign(const frontend::AssignStmt& stmt);
+  void LowerIf(const frontend::IfStmt& stmt);
+  void LowerFor(const frontend::ForStmt& stmt);
+  void LowerWhile(const frontend::WhileStmt& stmt);
+
+  // Expression lowering; returns the register holding the value, whose
+  // runtime representation matches `expr.type` (floats widened to double,
+  // f32 results rounded; ints sign-extended to 64 bits).
+  int LowerExpr(const frontend::Expr& expr);
+  /// Lowers and converts to `target` representation.
+  int LowerExprAs(const frontend::Expr& expr, frontend::ScalarType target);
+  int Convert(int reg, frontend::ScalarType from, frontend::ScalarType to);
+
+  int VarReg(const frontend::VarDecl& decl);
+  bool IsScalarRedVar(const frontend::VarDecl& decl, int* slot,
+                      ir::RedOp* op) const;
+  const ArrayRedTarget* FindArrayRed(const frontend::VarDecl& decl) const;
+  int ArrayIndexOf(const frontend::VarDecl& decl) const;
+
+  [[noreturn]] void Fail(frontend::SourceLocation loc,
+                         const std::string& message) const;
+
+  LoopOffload& offload_;
+  ir::KernelBuilder builder_;
+  std::unordered_map<int, int> var_regs_;  ///< VarDecl::id -> register
+  std::vector<LoopContext> loop_stack_;
+};
+
+}  // namespace accmg::translator

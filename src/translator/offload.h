@@ -1,0 +1,120 @@
+// Translator output: one LoopOffload per annotated parallel loop, carrying
+// the generated KernelIR plus the "array configuration information" of the
+// paper (Section IV-B5) that the runtime's data loader and communication
+// manager consume.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "ir/ir.h"
+
+namespace accmg::translator {
+
+/// Placement-relevant facts about one array used in one parallel loop.
+struct ArrayConfig {
+  const frontend::VarDecl* decl = nullptr;
+  std::string name;
+  ir::ValType elem{};
+
+  bool is_read = false;
+  bool is_written = false;
+
+  /// localaccess extension given for this array in this loop: iteration i
+  /// reads [stride*i - left, stride*(i+1) - 1 + right]. Expressions are
+  /// evaluated in the host environment at launch time.
+  bool has_localaccess = false;
+  const frontend::Expr* stride = nullptr;  ///< null = 1
+  const frontend::Expr* left = nullptr;    ///< null = 0
+  const frontend::Expr* right = nullptr;   ///< null = 0
+
+  /// This array is the destination of a reductiontoarray statement.
+  bool is_reduction_dest = false;
+
+  /// Every write index was statically proven inside the localaccess range
+  /// (index = stride*i + c with -left <= c <= stride-1+right), so the
+  /// write-miss check is eliminated (paper Section IV-D2, last paragraph).
+  bool writes_proven_local = false;
+
+  int kernel_array_index = -1;  ///< into KernelIR::arrays
+};
+
+/// A loop-invariant scalar passed to the kernel at launch.
+struct ScalarArg {
+  const frontend::VarDecl* decl = nullptr;
+  int kernel_scalar_index = -1;
+};
+
+/// A scalar reduction target (OpenACC reduction clause).
+struct ScalarRedTarget {
+  const frontend::VarDecl* decl = nullptr;
+  ir::RedOp op{};
+  int slot = -1;
+};
+
+/// A reduction-to-array target (the paper's extension).
+struct ArrayRedTarget {
+  const frontend::VarDecl* decl = nullptr;
+  ir::RedOp op{};
+  int slot = -1;
+  const frontend::Expr* lower = nullptr;   ///< null = 0
+  const frontend::Expr* length = nullptr;  ///< null = whole array
+};
+
+struct LoopOffload {
+  int id = -1;
+  std::string name;
+  const frontend::ForStmt* loop = nullptr;
+  const frontend::VarDecl* induction = nullptr;
+  const frontend::Expr* lower_bound = nullptr;  ///< loop starts at this value
+  const frontend::Expr* upper_bound = nullptr;  ///< exclusive unless inclusive
+  bool upper_inclusive = false;
+
+  ir::KernelIR kernel;
+  std::vector<ArrayConfig> arrays;        ///< parallel to kernel.arrays
+  std::vector<ScalarArg> scalars;         ///< parallel to kernel.scalars
+  std::vector<ScalarRedTarget> scalar_reds;
+  std::vector<ArrayRedTarget> array_reds;
+
+  const ArrayConfig* FindArray(const std::string& array_name) const {
+    for (const auto& config : arrays) {
+      if (config.name == array_name) return &config;
+    }
+    return nullptr;
+  }
+};
+
+struct CompiledFunction {
+  const frontend::Function* function = nullptr;
+  std::vector<LoopOffload> offloads;
+  /// Statement (the annotated ForStmt) -> index into `offloads`.
+  std::unordered_map<const frontend::Stmt*, int> offload_of_stmt;
+};
+
+struct CompiledProgram {
+  /// Owned by the caller of Compile; kept for convenient lookups.
+  const frontend::Program* program = nullptr;
+  std::vector<CompiledFunction> functions;
+
+  const CompiledFunction* FindFunction(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.function->name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Translates every function of an analyzed program. Throws CompileError on
+/// constructs the translator cannot offload.
+CompiledProgram Compile(const frontend::Program& program);
+
+/// Matches `expr` as an affine function a*i + b of the induction variable
+/// with constant a, b. Returns false when the expression is not affine in i.
+bool MatchAffine(const frontend::Expr& expr,
+                 const frontend::VarDecl& induction, std::int64_t* a,
+                 std::int64_t* b);
+
+}  // namespace accmg::translator

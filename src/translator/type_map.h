@@ -1,0 +1,33 @@
+// Mappings between frontend types/operators and IR types/operators.
+#pragma once
+
+#include "common/error.h"
+#include "frontend/ast.h"
+#include "frontend/types.h"
+#include "ir/ir.h"
+
+namespace accmg::translator {
+
+inline ir::ValType ToValType(frontend::ScalarType t) {
+  switch (t) {
+    case frontend::ScalarType::kInt32: return ir::ValType::kI32;
+    case frontend::ScalarType::kInt64: return ir::ValType::kI64;
+    case frontend::ScalarType::kFloat32: return ir::ValType::kF32;
+    case frontend::ScalarType::kFloat64: return ir::ValType::kF64;
+    case frontend::ScalarType::kVoid:
+      break;
+  }
+  ACCMG_UNREACHABLE("void has no value type");
+}
+
+inline ir::RedOp ToRedOp(frontend::ReductionOp op) {
+  switch (op) {
+    case frontend::ReductionOp::kAdd: return ir::RedOp::kAdd;
+    case frontend::ReductionOp::kMul: return ir::RedOp::kMul;
+    case frontend::ReductionOp::kMin: return ir::RedOp::kMin;
+    case frontend::ReductionOp::kMax: return ir::RedOp::kMax;
+  }
+  ACCMG_UNREACHABLE("unknown reduction op");
+}
+
+}  // namespace accmg::translator

@@ -1,0 +1,155 @@
+// Application-level integration tests: the three paper workloads (MD,
+// KMEANS, BFS) on every execution backend, checked against native references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/bfs/bfs.h"
+#include "apps/kmeans/kmeans.h"
+#include "apps/md/md.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MD
+// ---------------------------------------------------------------------------
+
+class MdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MdTest, ForcesMatchReference) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(3);
+  const apps::MdInput input = apps::MakeMdInput(2048, 16);
+  const std::vector<float> expected = apps::MdReference(input);
+
+  std::vector<float> force;
+  const auto report = apps::RunMdAcc(input, *platform, gpus, &force);
+  ASSERT_EQ(force.size(), expected.size());
+  for (std::size_t i = 0; i < force.size(); ++i) {
+    ASSERT_EQ(force[i], expected[i]) << "component " << i;
+  }
+  // MD needs no inter-GPU communication (paper Section V-A).
+  EXPECT_EQ(report.comm.miss_records_replayed, 0u);
+  EXPECT_EQ(report.comm.dirty_chunks_sent, 0u);
+  EXPECT_EQ(report.time[sim::TimeCategory::kGpuGpu], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, MdTest, ::testing::Values(1, 2, 3));
+
+TEST(MdTest, OpenMpAndCudaBaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::MdInput input = apps::MakeMdInput(1024, 12);
+  const std::vector<float> expected = apps::MdReference(input);
+
+  std::vector<float> force;
+  apps::RunMdOpenMp(input, *platform, &force);
+  for (std::size_t i = 0; i < force.size(); ++i) {
+    ASSERT_EQ(force[i], expected[i]) << "openmp component " << i;
+  }
+  apps::RunMdCuda(input, *platform, &force);
+  for (std::size_t i = 0; i < force.size(); ++i) {
+    ASSERT_EQ(force[i], expected[i]) << "cuda component " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KMEANS
+// ---------------------------------------------------------------------------
+
+class KmeansTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmeansTest, ConvergesToReferenceCentroids) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(3);
+  const apps::KmeansInput input = apps::MakeKmeansInput(4000, 8, 4, 5);
+  const apps::KmeansResult expected = apps::KmeansReference(input);
+
+  apps::KmeansResult result;
+  apps::RunKmeansAcc(input, *platform, gpus, &result);
+  ASSERT_EQ(result.membership.size(), expected.membership.size());
+  // Membership must match exactly (distances are computed in identical
+  // float order per point).
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < result.membership.size(); ++i) {
+    if (result.membership[i] != expected.membership[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  // Centroids accumulate in different orders; compare with tolerance.
+  for (std::size_t i = 0; i < result.centroids.size(); ++i) {
+    EXPECT_NEAR(result.centroids[i], expected.centroids[i],
+                2e-3 * (1.0 + std::fabs(expected.centroids[i])))
+        << "centroid component " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, KmeansTest, ::testing::Values(1, 2, 3));
+
+TEST(KmeansTest, BaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::KmeansInput input = apps::MakeKmeansInput(2000, 6, 3, 4);
+  const apps::KmeansResult expected = apps::KmeansReference(input);
+
+  apps::KmeansResult omp;
+  apps::RunKmeansOpenMp(input, *platform, &omp);
+  EXPECT_EQ(omp.membership, expected.membership);
+
+  apps::KmeansResult cuda;
+  apps::RunKmeansCuda(input, *platform, &cuda);
+  EXPECT_EQ(cuda.membership, expected.membership);
+}
+
+// ---------------------------------------------------------------------------
+// BFS
+// ---------------------------------------------------------------------------
+
+class BfsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsTest, LevelsMatchReference) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(3);
+  const apps::BfsInput input = apps::MakeBfsInput(20000, 12);
+  const std::vector<std::int32_t> expected = apps::BfsReference(input);
+
+  std::vector<std::int32_t> cost;
+  const auto report = apps::RunBfsAcc(input, *platform, gpus, &cost);
+  ASSERT_EQ(cost.size(), expected.size());
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    ASSERT_EQ(cost[i], expected[i]) << "node " << i;
+  }
+  if (gpus > 1) {
+    // The replicated cost array must have exchanged dirty chunks.
+    EXPECT_GT(report.comm.dirty_chunks_sent, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, BfsTest, ::testing::Values(1, 2, 3));
+
+TEST(BfsTest, BaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::BfsInput input = apps::MakeBfsInput(10000, 10);
+  const std::vector<std::int32_t> expected = apps::BfsReference(input);
+
+  std::vector<std::int32_t> cost;
+  apps::RunBfsOpenMp(input, *platform, &cost);
+  EXPECT_EQ(cost, expected);
+
+  apps::RunBfsCuda(input, *platform, &cost);
+  EXPECT_EQ(cost, expected);
+}
+
+TEST(BfsTest, UsesRoughlyTenLevels) {
+  // The generator should produce diameters near the paper's 10 kernel
+  // launches for realistic sizes.
+  const apps::BfsInput input = apps::MakeBfsInput(100000, 32);
+  const std::vector<std::int32_t> levels = apps::BfsReference(input);
+  const std::int32_t max_level =
+      *std::max_element(levels.begin(), levels.end());
+  EXPECT_GE(max_level, 3);
+  EXPECT_LE(max_level, 24);
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,0 +1,168 @@
+// Unit tests for the common substrate: strings, RNG, thread pool, errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace accmg {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("pragma acc", "pragma"));
+  EXPECT_FALSE(StartsWith("prag", "pragma"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(1536), "1.5KB");
+  EXPECT_EQ(FormatBytes(466616320), "445.0MB");
+}
+
+TEST(StringUtilTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(1.0, 0), "1");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, IntRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::int64_t) { called = true; });
+  pool.ParallelFor(5, 3, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  pool.ParallelForChunks(10, 110,
+                         [&](std::int64_t lo, std::int64_t hi, std::size_t) {
+                           std::lock_guard<std::mutex> lock(mutex);
+                           chunks.emplace_back(lo, hi);
+                         });
+  std::sort(chunks.begin(), chunks.end());
+  EXPECT_EQ(chunks.front().first, 10);
+  EXPECT_EQ(chunks.back().second, 110);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i - 1].second, chunks[i].first);  // no gaps, no overlap
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::int64_t i) {
+                                  if (i == 42) throw Error("boom");
+                                }),
+               Error);
+}
+
+TEST(ThreadPoolTest, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(0, 10, [](std::int64_t) { throw Error("x"); });
+  } catch (const Error&) {
+  }
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ErrorTest, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(ACCMG_CHECK(false, "bad invariant"), InternalError);
+  EXPECT_NO_THROW(ACCMG_CHECK(true, "fine"));
+}
+
+TEST(ErrorTest, RequireMacroThrowsInvalidArgument) {
+  EXPECT_THROW(ACCMG_REQUIRE(1 == 2, "bad arg"), InvalidArgumentError);
+}
+
+TEST(ErrorTest, MessagesCarryContext) {
+  try {
+    ACCMG_REQUIRE(false, "the answer is 42");
+    FAIL();
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,0 +1,173 @@
+// Tests for the later language/directive additions: do-while statements and
+// unstructured enter/exit data regions.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "frontend/sema.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+using runtime::AccProgram;
+using runtime::ProgramRunner;
+using runtime::RunConfig;
+
+TEST(DoWhileTest, HostExecutionRunsBodyAtLeastOnce) {
+  constexpr char kSource[] = R"(
+void f(int start, int out) {
+  int x = start;
+  int count = 0;
+  do {
+    x = x - 1;
+    count++;
+  } while (x > 0);
+  out = count;
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  for (const auto& [start, expected] :
+       {std::pair{5, 5}, std::pair{1, 1}, std::pair{0, 1},
+        std::pair{-3, 1}}) {
+    ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+    runner.BindScalar("start", static_cast<std::int64_t>(start));
+    runner.BindScalar("out", static_cast<std::int64_t>(0));
+    runner.Run("f");
+    EXPECT_EQ(runner.ScalarAfterRun("out").AsInt(), expected)
+        << "start=" << start;
+  }
+}
+
+TEST(DoWhileTest, KernelExecutionMatchesReference) {
+  // Collatz step counts per element: a data-dependent do-while in a kernel.
+  constexpr char kSource[] = R"(
+void collatz(int n, int* seeds, int* steps) {
+  #pragma acc localaccess(seeds: stride(1)) (steps: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    int x = seeds[i];
+    int count = 0;
+    do {
+      if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+      count++;
+    } while (x != 1);
+    steps[i] = count;
+  }
+}
+)";
+  constexpr int n = 500;
+  std::vector<std::int32_t> seeds(n), steps(n, -1), expected(n);
+  for (int i = 0; i < n; ++i) {
+    seeds[i] = i + 2;
+    int x = seeds[i], count = 0;
+    do {
+      x = (x % 2 == 0) ? x / 2 : 3 * x + 1;
+      ++count;
+    } while (x != 1);
+    expected[i] = count;
+  }
+
+  const AccProgram program = AccProgram::FromSource("collatz", kSource);
+  for (int gpus : {1, 3}) {
+    auto platform = sim::MakeSupercomputerNode(3);
+    std::vector<std::int32_t> out(n, -1);
+    ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                            .num_gpus = gpus});
+    runner.BindArray("seeds", seeds.data(), ir::ValType::kI32, n);
+    runner.BindArray("steps", out.data(), ir::ValType::kI32, n);
+    runner.BindScalar("n", static_cast<std::int64_t>(n));
+    runner.Run("collatz");
+    EXPECT_EQ(out, expected) << "gpus=" << gpus;
+  }
+  (void)steps;
+}
+
+TEST(EnterExitDataTest, UnstructuredLifetimesSpanKernels) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a) {
+  #pragma acc enter data copyin(a[0:n])
+  ;
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + 1;
+  }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * 2;
+  }
+  #pragma acc exit data copyout(a[0:n])
+  ;
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(64, 10);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 64);
+  runner.BindScalar("n", static_cast<std::int64_t>(64));
+  const runtime::RunReport report = runner.Run("f");
+  for (auto v : a) EXPECT_EQ(v, 22);
+  // The lifetime spans both kernels: the array uploads once, not per kernel.
+  EXPECT_GE(report.loader.loads_skipped, 1u);
+  EXPECT_EQ(platform->device(0).used_bytes(), 0u);  // exit data released it
+}
+
+TEST(EnterExitDataTest, DeleteDiscardsDeviceWrites) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a) {
+  #pragma acc enter data copyin(a[0:n])
+  ;
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    a[i] = -777;
+  }
+  #pragma acc exit data delete(a)
+  ;
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(16, 5);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 16);
+  runner.BindScalar("n", static_cast<std::int64_t>(16));
+  runner.Run("f");
+  for (auto v : a) EXPECT_EQ(v, 5);  // device writes were discarded
+}
+
+TEST(EnterExitDataTest, ClauseValidation) {
+  EXPECT_THROW(AccProgram::FromSource("f", R"(
+void f(int n, int* a) {
+  #pragma acc enter data copyout(a[0:n])
+  ;
+})"),
+               CompileError);
+  EXPECT_THROW(AccProgram::FromSource("f", R"(
+void f(int n, int* a) {
+  #pragma acc exit data copyin(a[0:n])
+  ;
+})"),
+               CompileError);
+}
+
+TEST(EnterExitDataTest, ExitWithoutEnterIsAnError) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a) {
+  #pragma acc exit data copyout(a[0:n])
+  ;
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(4, 0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 4);
+  runner.BindScalar("n", static_cast<std::int64_t>(4));
+  EXPECT_THROW(runner.Run("f"), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,0 +1,244 @@
+// Assorted coverage: kernels-directive path, present clause, typed arrays
+// (i64/f64) end-to-end, managed-array edge cases, logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "runtime/managed_array.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+using runtime::AccProgram;
+using runtime::ProgramRunner;
+using runtime::RunConfig;
+
+TEST(MiscTest, KernelsDirectiveWorksLikeParallel) {
+  constexpr char kSource[] = R"(
+void f(int n, double* a) {
+  #pragma acc kernels loop copy(a[0:n])
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + 1.0;
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<double> a(32, 1.0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kF64, 32);
+  runner.BindScalar("n", static_cast<std::int64_t>(32));
+  runner.Run("f");
+  for (double v : a) EXPECT_EQ(v, 2.0);
+}
+
+TEST(MiscTest, PresentClauseAssertsEnclosingRegion) {
+  constexpr char kOk[] = R"(
+void f(int n, int* a) {
+  #pragma acc data copy(a[0:n])
+  {
+    #pragma acc data present(a)
+    {
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) { a[i] = 1; }
+    }
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram ok = AccProgram::FromSource("f", kOk);
+  std::vector<std::int32_t> a(8, 0);
+  ProgramRunner runner(ok, RunConfig{.platform = platform.get()});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 8);
+  runner.BindScalar("n", static_cast<std::int64_t>(8));
+  EXPECT_NO_THROW(runner.Run("f"));
+  EXPECT_EQ(a[3], 1);
+
+  constexpr char kBad[] = R"(
+void f(int n, int* a) {
+  #pragma acc data present(a)
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) { a[i] = 1; }
+  }
+}
+)";
+  const AccProgram bad = AccProgram::FromSource("f", kBad);
+  ProgramRunner bad_runner(bad, RunConfig{.platform = platform.get()});
+  bad_runner.BindArray("a", a.data(), ir::ValType::kI32, 8);
+  bad_runner.BindScalar("n", static_cast<std::int64_t>(8));
+  EXPECT_THROW(bad_runner.Run("f"), InvalidArgumentError);
+}
+
+TEST(MiscTest, Int64AndFloat64ArraysEndToEnd) {
+  constexpr char kSource[] = R"(
+void f(int n, long* keys, double* vals) {
+  #pragma acc localaccess(keys: stride(1)) (vals: stride(1))
+  #pragma acc parallel loop copy(keys[0:n], vals[0:n])
+  for (int i = 0; i < n; i++) {
+    keys[i] = keys[i] * 1000003;
+    vals[i] = vals[i] / 3.0;
+  }
+}
+)";
+  auto platform = sim::MakeSupercomputerNode(3);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  constexpr int n = 100;
+  std::vector<std::int64_t> keys(n);
+  std::vector<double> vals(n);
+  std::iota(keys.begin(), keys.end(), 1ll << 20);
+  for (int i = 0; i < n; ++i) vals[i] = i * 1.25;
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 3});
+  runner.BindArray("keys", keys.data(), ir::ValType::kI64, n);
+  runner.BindArray("vals", vals.data(), ir::ValType::kF64, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  runner.Run("f");
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[i], ((1ll << 20) + i) * 1000003ll);
+    EXPECT_EQ(vals[i], (i * 1.25) / 3.0);
+  }
+}
+
+TEST(MiscTest, OwnerOfRequiresValidShards) {
+  std::vector<float> host(30, 0.0f);
+  runtime::ManagedArray array("a", ir::ValType::kF32, 30, host.data(), 2);
+  EXPECT_EQ(array.OwnerOf(5), -1);  // nothing placed yet
+  array.shard(0).owned = runtime::Range{0, 15};
+  array.shard(0).valid = true;
+  array.shard(1).owned = runtime::Range{15, 30};
+  array.shard(1).valid = false;  // stale shard never owns
+  EXPECT_EQ(array.OwnerOf(5), 0);
+  EXPECT_EQ(array.OwnerOf(20), -1);
+}
+
+TEST(MiscTest, ManagedArrayValidation) {
+  std::vector<float> host(4);
+  EXPECT_THROW(
+      runtime::ManagedArray("a", ir::ValType::kF32, 0, host.data(), 2),
+      InvalidArgumentError);
+  EXPECT_THROW(runtime::ManagedArray("a", ir::ValType::kF32, 4, nullptr, 2),
+               InvalidArgumentError);
+}
+
+TEST(MiscTest, RangeHelpers) {
+  const runtime::Range r{3, 7};
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_TRUE(r.Contains(3));
+  EXPECT_FALSE(r.Contains(7));
+  EXPECT_TRUE((runtime::Range{5, 5}).empty());
+  EXPECT_EQ((runtime::Range{9, 2}).size(), 0);
+}
+
+TEST(MiscTest, LogLevelFiltering) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ACCMG_LOG(kDebug) << "should be filtered " << 42;
+  ACCMG_LOG(kError) << "visible";
+  SetLogLevel(before);
+}
+
+TEST(MiscTest, StopwatchAdvances) {
+  Stopwatch watch;
+  double last = watch.ElapsedSeconds();
+  EXPECT_GE(last, 0.0);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(MiscTest, ConditionalExpressionInKernel) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a) {
+  #pragma acc localaccess(a: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    a[i] = i % 3 == 0 ? -i : i * 10;
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(30, 0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 30);
+  runner.BindScalar("n", static_cast<std::int64_t>(30));
+  runner.Run("f");
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(a[i], i % 3 == 0 ? -i : i * 10) << i;
+  }
+}
+
+TEST(MiscTest, ShortCircuitEvaluationInKernel) {
+  // `i > 0 && a[i - 1] > 0` must not read a[-1] when i == 0; short-circuit
+  // lowering is load-bearing for residency safety.
+  constexpr char kSource[] = R"(
+void f(int n, int* a, int* b) {
+  #pragma acc localaccess(a: stride(1), left(1)) (b: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    if (i > 0 && a[i - 1] > 0) {
+      b[i] = 1;
+    } else {
+      b[i] = 0;
+    }
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  constexpr int n = 40;
+  std::vector<std::int32_t> a(n), b(n, -1);
+  for (int i = 0; i < n; ++i) a[i] = (i % 2 == 0) ? 1 : -1;
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, n);
+  runner.BindArray("b", b.data(), ir::ValType::kI32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  EXPECT_NO_THROW(runner.Run("f"));
+  EXPECT_EQ(b[0], 0);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(b[i], a[i - 1] > 0 ? 1 : 0) << i;
+  }
+}
+
+TEST(MiscTest, MinMaxScalarReductions) {
+  constexpr char kSource[] = R"(
+void f(int n, double* x, double lo, double hi) {
+  double lowest = 1.0e300;
+  double highest = -1.0e300;
+  #pragma acc parallel loop reduction(min:lowest) reduction(max:highest)
+  for (int i = 0; i < n; i++) {
+    lowest = fmin(lowest, x[i]);
+    highest = fmax(highest, x[i]);
+  }
+  lo = lowest;
+  hi = highest;
+}
+)";
+  auto platform = sim::MakeSupercomputerNode(3);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  constexpr int n = 1000;
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) x[i] = (i * 37 % 991) - 500.0;
+  const double expected_lo = *std::min_element(x.begin(), x.end());
+  const double expected_hi = *std::max_element(x.begin(), x.end());
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 3});
+  runner.BindArray("x", x.data(), ir::ValType::kF64, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  runner.BindScalar("lo", 0.0);
+  runner.BindScalar("hi", 0.0);
+  runner.Run("f");
+  EXPECT_EQ(runner.ScalarAfterRun("lo").AsDouble(), expected_lo);
+  EXPECT_EQ(runner.ScalarAfterRun("hi").AsDouble(), expected_hi);
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,0 +1,137 @@
+// Performance-model regression tests: pin the *orderings* the paper's
+// evaluation establishes so cost-model changes cannot silently break the
+// reproduced shapes. Absolute simulated times are never asserted — only
+// relations between configurations.
+#include <gtest/gtest.h>
+
+#include "apps/bfs/bfs.h"
+#include "apps/kmeans/kmeans.h"
+#include "apps/md/md.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+double MdTime(sim::Platform& platform, int gpus, bool cpu = false) {
+  const apps::MdInput input = apps::MakeMdInput(8192, 32);
+  std::vector<float> force;
+  if (cpu) return apps::RunMdOpenMp(input, platform, &force).total_seconds;
+  return apps::RunMdAcc(input, platform, gpus, &force).total_seconds;
+}
+
+double KmeansTime(sim::Platform& platform, int gpus, bool cpu = false) {
+  const apps::KmeansInput input = apps::MakeKmeansInput(20000, 16, 5, 8);
+  apps::KmeansResult result;
+  if (cpu) {
+    return apps::RunKmeansOpenMp(input, platform, &result).total_seconds;
+  }
+  return apps::RunKmeansAcc(input, platform, gpus, &result).total_seconds;
+}
+
+runtime::RunReport BfsReport(sim::Platform& platform, int gpus) {
+  const apps::BfsInput input = apps::MakeBfsInput(60000, 48);
+  std::vector<std::int32_t> cost;
+  return apps::RunBfsAcc(input, platform, gpus, &cost);
+}
+
+TEST(PerfModelTest, GpuBeatsOpenMpOnDesktopComputeApps) {
+  auto p1 = sim::MakeDesktopMachine(2);
+  const double omp = MdTime(*p1, 1, /*cpu=*/true);
+  auto p2 = sim::MakeDesktopMachine(2);
+  const double gpu = MdTime(*p2, 1);
+  EXPECT_LT(gpu, omp);
+
+  auto p3 = sim::MakeDesktopMachine(2);
+  const double omp_k = KmeansTime(*p3, 1, /*cpu=*/true);
+  auto p4 = sim::MakeDesktopMachine(2);
+  const double gpu_k = KmeansTime(*p4, 1);
+  EXPECT_LT(gpu_k, omp_k);
+}
+
+TEST(PerfModelTest, SecondGpuHelpsMdAndKmeans) {
+  auto p1 = sim::MakeDesktopMachine(2);
+  const double one = MdTime(*p1, 1);
+  auto p2 = sim::MakeDesktopMachine(2);
+  const double two = MdTime(*p2, 2);
+  EXPECT_LT(two, one);
+
+  auto p3 = sim::MakeDesktopMachine(2);
+  const double one_k = KmeansTime(*p3, 1);
+  auto p4 = sim::MakeDesktopMachine(2);
+  const double two_k = KmeansTime(*p4, 2);
+  EXPECT_LT(two_k, one_k);
+  // Kmeans is kernel-dominated: the second GPU should cut a large share.
+  EXPECT_LT(two_k, one_k * 0.75);
+}
+
+TEST(PerfModelTest, SpeedupIsSubLinearBecauseOfCpuGpuTransfers) {
+  // Paper Fig. 8: CPU-GPU transfer prevents linear scaling.
+  auto p1 = sim::MakeDesktopMachine(2);
+  const double one = MdTime(*p1, 1);
+  auto p2 = sim::MakeDesktopMachine(2);
+  const double two = MdTime(*p2, 2);
+  EXPECT_GT(two, one / 2);
+}
+
+TEST(PerfModelTest, DesktopSpeedupsExceedNodeSpeedups) {
+  // The weaker desktop CPU makes its GPU bars taller (6.75x vs 2.95x peaks).
+  auto d1 = sim::MakeDesktopMachine(2);
+  auto d2 = sim::MakeDesktopMachine(2);
+  const double desktop =
+      KmeansTime(*d1, 1, true) / KmeansTime(*d2, 2);
+  auto n1 = sim::MakeSupercomputerNode(3);
+  auto n2 = sim::MakeSupercomputerNode(3);
+  const double node = KmeansTime(*n1, 1, true) / KmeansTime(*n2, 2);
+  EXPECT_GT(desktop, node);
+}
+
+TEST(PerfModelTest, BfsGpuGpuShareGrowsWithGpuCount) {
+  auto p2 = sim::MakeSupercomputerNode(3);
+  const auto two = BfsReport(*p2, 2);
+  auto p3 = sim::MakeSupercomputerNode(3);
+  const auto three = BfsReport(*p3, 3);
+  const double share2 =
+      two.time[sim::TimeCategory::kGpuGpu] / two.total_seconds;
+  const double share3 =
+      three.time[sim::TimeCategory::kGpuGpu] / three.total_seconds;
+  EXPECT_GT(share3, share2);
+  EXPECT_GT(share3, 0.10);  // communication-dominated regime
+}
+
+TEST(PerfModelTest, MdHasZeroGpuGpuTime) {
+  auto platform = sim::MakeSupercomputerNode(3);
+  const apps::MdInput input = apps::MakeMdInput(4096, 16);
+  std::vector<float> force;
+  const auto report = apps::RunMdAcc(input, *platform, 3, &force);
+  EXPECT_EQ(report.time[sim::TimeCategory::kGpuGpu], 0.0);
+  EXPECT_EQ(report.counters.p2p_bytes, 0u);
+}
+
+TEST(PerfModelTest, CrossIohTransfersSlowerThanIntraIoh) {
+  auto platform = sim::MakeSupercomputerNode(3);
+  auto b0 = platform->device(0).Allocate("b0", 1 << 22);
+  auto b1 = platform->device(1).Allocate("b1", 1 << 22);
+  auto b2 = platform->device(2).Allocate("b2", 1 << 22);
+  platform->CopyDeviceToDevice(*b1, 0, *b0, 0, 1 << 22);  // same IOH
+  const double intra = platform->Barrier(sim::TimeCategory::kGpuGpu);
+  platform->CopyDeviceToDevice(*b2, 0, *b0, 0, 1 << 22);  // across QPI
+  const double cross = platform->Barrier(sim::TimeCategory::kGpuGpu);
+  EXPECT_GT(cross, intra * 1.3);
+}
+
+TEST(PerfModelTest, ReloadCacheSavesUploadsOnIterativeApps) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::KmeansInput input = apps::MakeKmeansInput(20000, 16, 5, 8);
+  apps::KmeansResult result;
+  const auto report = apps::RunKmeansAcc(input, *platform, 2, &result);
+  // The feature matrix uploads once; 8 iterations x 2 kernels would
+  // otherwise reload it 16 times.
+  EXPECT_GT(report.loader.loads_skipped, 8u);
+  const double upload_bytes =
+      static_cast<double>(report.counters.h2d_bytes);
+  EXPECT_LT(upload_bytes,
+            3.0 * static_cast<double>(input.features.size()) * 4);
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,0 +1,454 @@
+// Unit tests for the multi-GPU runtime: data loader policies and the
+// reload-skip cache, comm manager (dirty propagation, miss replay, halo
+// refresh), managed-array accounting, and host-interpreter semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/comm_manager.h"
+#include "runtime/data_loader.h"
+#include "runtime/managed_array.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime {
+namespace {
+
+class LoaderFixture : public ::testing::Test {
+ protected:
+  LoaderFixture()
+      : platform_(sim::MakeSupercomputerNode(3)),
+        loader_(*platform_, options_, {0, 1, 2}),
+        comm_(*platform_, options_, {0, 1, 2}) {}
+
+  ArrayRequirement ReplicaReq(ManagedArray& array, bool written = false) {
+    ArrayRequirement req;
+    req.array = &array;
+    req.written = written;
+    req.dirty_tracked = written;
+    req.read_ranges.assign(3, Range{0, array.count()});
+    req.own_ranges.assign(3, Range{0, array.count()});
+    return req;
+  }
+
+  ArrayRequirement DistributeReq(ManagedArray& array,
+                                 std::int64_t halo = 0) {
+    ArrayRequirement req;
+    req.array = &array;
+    req.distributed = true;
+    const std::int64_t n = array.count();
+    for (int g = 0; g < 3; ++g) {
+      const Range own{n * g / 3, n * (g + 1) / 3};
+      Range read{own.lo - halo, own.hi + halo};
+      read.lo = std::max<std::int64_t>(read.lo, 0);
+      read.hi = std::min(read.hi, n);
+      req.read_ranges.push_back(read);
+      req.own_ranges.push_back(own);
+    }
+    return req;
+  }
+
+  ExecOptions options_;
+  std::unique_ptr<sim::Platform> platform_;
+  DataLoader loader_;
+  CommManager comm_;
+};
+
+TEST_F(LoaderFixture, ReplicaPolicyCopiesEverywhere) {
+  std::vector<float> host(300);
+  std::iota(host.begin(), host.end(), 0.0f);
+  ManagedArray array("a", ir::ValType::kF32, 300, host.data(), 3);
+
+  loader_.EnsurePlacement(ReplicaReq(array));
+  EXPECT_EQ(array.placement(), Placement::kReplicated);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_TRUE(array.shard(d).valid);
+    EXPECT_EQ(array.shard(d).data->Typed<float>()[37], 37.0f);
+  }
+  EXPECT_EQ(array.UserBytes(), 3 * 300 * sizeof(float));
+}
+
+TEST_F(LoaderFixture, DistributionLoadsOnlySegments) {
+  std::vector<float> host(300);
+  std::iota(host.begin(), host.end(), 0.0f);
+  ManagedArray array("a", ir::ValType::kF32, 300, host.data(), 3);
+
+  loader_.EnsurePlacement(DistributeReq(array));
+  EXPECT_EQ(array.placement(), Placement::kDistributed);
+  EXPECT_EQ(array.UserBytes(), 300 * sizeof(float));  // no duplication
+  // Device 1 holds [100, 200) and sees global values.
+  EXPECT_EQ(array.shard(1).loaded, (Range{100, 200}));
+  EXPECT_EQ(array.shard(1).data->Typed<float>()[0], 100.0f);
+  EXPECT_EQ(array.OwnerOf(150), 1);
+  EXPECT_EQ(array.OwnerOf(299), 2);
+}
+
+TEST_F(LoaderFixture, HaloWidensLoadedRanges) {
+  std::vector<float> host(300, 1.0f);
+  ManagedArray array("a", ir::ValType::kF32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array, /*halo=*/2));
+  EXPECT_EQ(array.shard(1).loaded, (Range{98, 202}));
+  EXPECT_EQ(array.shard(1).owned, (Range{100, 200}));
+  EXPECT_EQ(array.shard(0).loaded, (Range{0, 102}));
+}
+
+TEST_F(LoaderFixture, ReloadSkipCacheHitsOnRepeat) {
+  std::vector<float> host(300, 1.0f);
+  ManagedArray array("a", ir::ValType::kF32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array));
+  const auto loads_before = loader_.stats().loads_performed;
+  loader_.EnsurePlacement(DistributeReq(array));
+  loader_.EnsurePlacement(DistributeReq(array));
+  EXPECT_EQ(loader_.stats().loads_performed, loads_before);
+  EXPECT_EQ(loader_.stats().loads_skipped, 2u);
+}
+
+TEST_F(LoaderFixture, PlacementTransitionGathersFirst) {
+  std::vector<std::int32_t> host(300);
+  std::iota(host.begin(), host.end(), 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+
+  loader_.EnsurePlacement(DistributeReq(array));
+  // Mutate device 2's owned segment, as a kernel would.
+  array.shard(2).data->Typed<std::int32_t>()[0] = -5;  // global index 200
+  array.set_host_valid(false);
+
+  // Switching to replication must preserve the device-side value.
+  loader_.EnsurePlacement(ReplicaReq(array));
+  EXPECT_EQ(array.shard(0).data->Typed<std::int32_t>()[200], -5);
+  EXPECT_EQ(host[200], -5);  // the gather refreshed the host copy
+}
+
+TEST_F(LoaderFixture, GatherFromReplicaUsesAnyValidShard) {
+  std::vector<float> host(64, 0.0f);
+  ManagedArray array("a", ir::ValType::kF32, 64, host.data(), 3);
+  loader_.EnsurePlacement(ReplicaReq(array));
+  array.shard(1).data->Typed<float>()[5] = 9.0f;
+  array.shard(0).valid = false;  // force the gather to look further
+  array.shard(2).valid = false;
+  array.set_host_valid(false);
+  loader_.GatherToHost(array);
+  EXPECT_EQ(host[5], 9.0f);
+}
+
+TEST_F(LoaderFixture, SystemBuffersFollowInstrumentation) {
+  std::vector<std::int32_t> host(1000, 0);
+  ManagedArray array("a", ir::ValType::kI32, 1000, host.data(), 3);
+  ArrayRequirement req = ReplicaReq(array, /*written=*/true);
+  loader_.EnsurePlacement(req);
+  EXPECT_GT(array.SystemBytes(), 0u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NE(array.shard(d).dirty1, nullptr);
+    EXPECT_NE(array.shard(d).dirty2, nullptr);
+  }
+  // Dropping the instrumentation frees the buffers.
+  req.dirty_tracked = false;
+  req.written = false;
+  loader_.EnsurePlacement(req);
+  EXPECT_EQ(array.SystemBytes(), 0u);
+}
+
+TEST_F(LoaderFixture, DirtyPropagationMakesReplicasCoherent) {
+  std::vector<std::int32_t> host(1000, 0);
+  ManagedArray array("a", ir::ValType::kI32, 1000, host.data(), 3);
+  loader_.EnsurePlacement(ReplicaReq(array, /*written=*/true));
+
+  // Device 0 writes element 10, device 2 writes element 900; both mark
+  // dirty bits as the instrumented kernel would.
+  auto write = [&](int device, std::int64_t index, std::int32_t value) {
+    DeviceShard& shard = array.shard(device);
+    shard.data->Typed<std::int32_t>()[static_cast<std::size_t>(index)] = value;
+    shard.dirty1->bytes()[static_cast<std::size_t>(index)] = std::byte{1};
+    shard.dirty2->bytes()[static_cast<std::size_t>(index / shard.chunk_elems)] =
+        std::byte{1};
+  };
+  write(0, 10, 111);
+  write(2, 900, 222);
+
+  comm_.PropagateReplicated(array);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(array.shard(d).data->Typed<std::int32_t>()[10], 111) << d;
+    EXPECT_EQ(array.shard(d).data->Typed<std::int32_t>()[900], 222) << d;
+  }
+  // Dirty state cleared afterwards.
+  for (int d = 0; d < 3; ++d) {
+    for (std::byte b : array.shard(d).dirty1->bytes()) {
+      EXPECT_EQ(b, std::byte{0});
+    }
+  }
+  EXPECT_GT(comm_.stats().dirty_chunks_sent, 0u);
+}
+
+TEST_F(LoaderFixture, CleanChunksAreNeverTransferred) {
+  // One small write in a large array: only one chunk should travel per peer.
+  std::vector<std::int32_t> host(1 << 20, 0);
+  ManagedArray array("a", ir::ValType::kI32, 1 << 20, host.data(), 3);
+  loader_.EnsurePlacement(ReplicaReq(array, /*written=*/true));
+  DeviceShard& shard = array.shard(0);
+  shard.data->Typed<std::int32_t>()[77] = 1;
+  shard.dirty1->bytes()[77] = std::byte{1};
+  shard.dirty2->bytes()[77 / shard.chunk_elems] = std::byte{1};
+
+  platform_->ResetAccounting();
+  comm_.PropagateReplicated(array);
+  EXPECT_EQ(comm_.stats().dirty_chunks_sent, 2u);  // one chunk x two peers
+  EXPECT_GT(comm_.stats().clean_chunks_skipped, 0u);
+  // Traffic is ~2 chunks, far below the full array size.
+  EXPECT_LT(platform_->counters().p2p_bytes, std::size_t{3} << 20);
+}
+
+TEST_F(LoaderFixture, MissReplayDeliversToOwners) {
+  std::vector<std::int32_t> host(300, 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  ArrayRequirement req = DistributeReq(array);
+  req.miss_checked = true;
+  req.written = true;
+  loader_.EnsurePlacement(req);
+
+  // Device 0 recorded writes destined for devices 1 and 2.
+  array.shard(0).miss.records.push_back(ir::WriteMissRecord{150, 42});
+  array.shard(0).miss.records.push_back(ir::WriteMissRecord{250, 43});
+  comm_.ReplayWriteMisses(array);
+
+  EXPECT_EQ(array.shard(1).data->Typed<std::int32_t>()[50], 42);   // 150-100
+  EXPECT_EQ(array.shard(2).data->Typed<std::int32_t>()[50], 43);   // 250-200
+  EXPECT_TRUE(array.shard(0).miss.records.empty());
+  EXPECT_EQ(comm_.stats().miss_records_replayed, 2u);
+}
+
+TEST_F(LoaderFixture, HaloRefreshPullsFromOwners) {
+  std::vector<std::int32_t> host(300);
+  std::iota(host.begin(), host.end(), 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array, /*halo=*/2));
+
+  // The owner of element 100 (device 1, loaded range [98, 202)) updates it;
+  // device 0 holds it as a stale halo element.
+  array.shard(1).data->Typed<std::int32_t>()[2] = 77;  // global index 100
+  comm_.RefreshHalos(array);
+  // Device 0 loaded [0, 102): element 100 sits at local offset 100.
+  EXPECT_EQ(array.shard(0).data->Typed<std::int32_t>()[100], 77);
+  EXPECT_GT(comm_.stats().halo_refreshes, 0u);
+}
+
+TEST_F(LoaderFixture, ScatterFromHostRefreshesSegments) {
+  std::vector<std::int32_t> host(300, 1);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array));
+  host[150] = 99;
+  loader_.ScatterFromHost(array);
+  EXPECT_EQ(array.shard(1).data->Typed<std::int32_t>()[50], 99);
+}
+
+TEST_F(LoaderFixture, DropDeviceStateFreesMemory) {
+  std::vector<float> host(256, 0.0f);
+  ManagedArray array("a", ir::ValType::kF32, 256, host.data(), 3);
+  loader_.EnsurePlacement(ReplicaReq(array, true));
+  const std::size_t used = platform_->device(0).used_bytes();
+  EXPECT_GT(used, 0u);
+  array.DropDeviceState();
+  EXPECT_EQ(platform_->device(0).used_bytes(), 0u);
+  EXPECT_EQ(array.placement(), Placement::kHostOnly);
+}
+
+// ---------------------------------------------------------------------------
+// Host interpreter semantics (through the public ProgramRunner)
+// ---------------------------------------------------------------------------
+
+TEST(HostInterpTest, HostControlFlowRuns) {
+  constexpr char kSource[] = R"(
+void collatz(int start, int steps) {
+  int x = start;
+  int count = 0;
+  while (x != 1) {
+    if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+    count++;
+  }
+  steps = count;
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("collatz", kSource);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  runner.BindScalar("start", static_cast<std::int64_t>(27));
+  runner.BindScalar("steps", static_cast<std::int64_t>(0));
+  runner.Run("collatz");
+  EXPECT_EQ(runner.ScalarAfterRun("steps").AsInt(), 111);
+}
+
+TEST(HostInterpTest, HostArrayAccessAutoSyncs) {
+  // The host reads a device-written array between kernels without an update
+  // directive; the runtime must gather transparently.
+  constexpr char kSource[] = R"(
+void f(int n, int* a, int total) {
+  #pragma acc data copy(a[0:n])
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      a[i] = i * 2;
+    }
+    int sum = 0;
+    for (int i = 0; i < n; i++) {
+      sum += a[i];
+    }
+    total = sum;
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(100, -1);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 100);
+  runner.BindScalar("n", static_cast<std::int64_t>(100));
+  runner.BindScalar("total", static_cast<std::int64_t>(0));
+  runner.Run("f");
+  EXPECT_EQ(runner.ScalarAfterRun("total").AsInt(), 99 * 100);
+}
+
+TEST(HostInterpTest, HostWritesInvalidateDeviceCopies) {
+  // Host rewrites the input between two kernels; the second kernel must see
+  // the new values.
+  constexpr char kSource[] = R"(
+void f(int n, int* a, int* b) {
+  #pragma acc data copy(a[0:n], b[0:n])
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      b[i] = a[i];
+    }
+    for (int i = 0; i < n; i++) {
+      a[i] = 100 + i;
+    }
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      b[i] = b[i] + a[i];
+    }
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(50), b(50, 0);
+  std::iota(a.begin(), a.end(), 0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 50);
+  runner.BindArray("b", b.data(), ir::ValType::kI32, 50);
+  runner.BindScalar("n", static_cast<std::int64_t>(50));
+  runner.Run("f");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], i + 100 + i) << i;
+  }
+}
+
+TEST(HostInterpTest, CopyinDoesNotWriteBack) {
+  constexpr char kSource[] = R"(
+void f(int n, int* in, int* out) {
+  #pragma acc data copyin(in[0:n]) copyout(out[0:n])
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      out[i] = in[i] + 1;
+      in[i] = -999;
+    }
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> in(20, 5), out(20, 0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("in", in.data(), ir::ValType::kI32, 20);
+  runner.BindArray("out", out.data(), ir::ValType::kI32, 20);
+  runner.BindScalar("n", static_cast<std::int64_t>(20));
+  runner.Run("f");
+  EXPECT_EQ(out[7], 6);
+  EXPECT_EQ(in[7], 5);  // device-side mutation never copied back
+}
+
+TEST(HostInterpTest, ImplicitDataRegionForUnmanagedArrays) {
+  // No data directive at all: the runtime creates a per-region lifetime.
+  constexpr char kSource[] = R"(
+void f(int n, float* a) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    a[i] = 3.0f;
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<float> a(40, 0.0f);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 2});
+  runner.BindArray("a", a.data(), ir::ValType::kF32, 40);
+  runner.BindScalar("n", static_cast<std::int64_t>(40));
+  runner.Run("f");
+  EXPECT_EQ(a[39], 3.0f);
+  // The implicit region ended: all device memory is released.
+  EXPECT_EQ(platform->device(0).used_bytes(), 0u);
+}
+
+TEST(HostInterpTest, UpdateDirectivesMoveData) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a, int probe) {
+  #pragma acc data copy(a[0:n])
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      a[i] = 7;
+    }
+    #pragma acc update host(a)
+    ;
+    probe = a[0];
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  std::vector<std::int32_t> a(10, 0);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  runner.BindArray("a", a.data(), ir::ValType::kI32, 10);
+  runner.BindScalar("n", static_cast<std::int64_t>(10));
+  runner.BindScalar("probe", static_cast<std::int64_t>(0));
+  runner.Run("f");
+  EXPECT_EQ(runner.ScalarAfterRun("probe").AsInt(), 7);
+}
+
+TEST(HostInterpTest, MissingBindingIsAnError) {
+  constexpr char kSource[] = R"(
+void f(int n, float* a) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 0.0f; }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  runner.BindScalar("n", static_cast<std::int64_t>(4));
+  EXPECT_THROW(runner.Run("f"), InvalidArgumentError);
+}
+
+TEST(HostInterpTest, UnknownFunctionIsAnError) {
+  auto platform = sim::MakeDesktopMachine(1);
+  const AccProgram program =
+      AccProgram::FromSource("f", "void f(int n) { }");
+  ProgramRunner runner(program, RunConfig{.platform = platform.get()});
+  EXPECT_THROW(runner.Run("nope"), InvalidArgumentError);
+}
+
+TEST(HostInterpTest, TooManyGpusRejected) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const AccProgram program =
+      AccProgram::FromSource("f", "void f(int n) { }");
+  ProgramRunner runner(program, RunConfig{.platform = platform.get(),
+                                          .num_gpus = 5});
+  runner.BindScalar("n", static_cast<std::int64_t>(1));
+  EXPECT_THROW(runner.Run("f"), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace accmg::runtime

@@ -1,0 +1,308 @@
+// Unit tests for the virtual multi-GPU platform: clock, topology, devices,
+// copies, kernel timing.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/platform.h"
+#include "sim/topology.h"
+
+namespace accmg::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------------
+
+TEST(SimClockTest, OperationsOnDisjointResourcesOverlap) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  const auto b = clock.NewResource("b");
+  clock.Schedule(a, 1.0);
+  clock.Schedule(b, 2.0);
+  EXPECT_DOUBLE_EQ(clock.Barrier(TimeCategory::kKernel), 2.0);  // not 3.0
+}
+
+TEST(SimClockTest, OperationsOnSameResourceSerialize) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  clock.Schedule(a, 1.0);
+  clock.Schedule(a, 2.0);
+  EXPECT_DOUBLE_EQ(clock.Barrier(TimeCategory::kKernel), 3.0);
+}
+
+TEST(SimClockTest, MultiResourceOperationHoldsAll) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  const auto b = clock.NewResource("b");
+  clock.Schedule(std::vector<SimClock::Resource>{a, b}, 1.0);
+  clock.Schedule(a, 1.0);
+  clock.Schedule(b, 1.0);  // can start only at t=1, overlaps with the a-op
+  EXPECT_DOUBLE_EQ(clock.Barrier(TimeCategory::kKernel), 2.0);
+}
+
+TEST(SimClockTest, BarrierAttributesToCategory) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  clock.Schedule(a, 1.5);
+  clock.Barrier(TimeCategory::kCpuGpu);
+  clock.Schedule(a, 0.5);
+  clock.Barrier(TimeCategory::kGpuGpu);
+  EXPECT_DOUBLE_EQ(clock.breakdown()[TimeCategory::kCpuGpu], 1.5);
+  EXPECT_DOUBLE_EQ(clock.breakdown()[TimeCategory::kGpuGpu], 0.5);
+  EXPECT_DOUBLE_EQ(clock.breakdown().Total(), 2.0);
+  EXPECT_DOUBLE_EQ(clock.breakdown().Communication(), 2.0);
+}
+
+TEST(SimClockTest, AddSerialAdvancesEverything) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  clock.AddSerial(TimeCategory::kHostCompute, 3.0);
+  clock.Schedule(a, 1.0);
+  clock.Barrier(TimeCategory::kKernel);
+  EXPECT_DOUBLE_EQ(clock.Now(), 4.0);
+}
+
+TEST(SimClockTest, ResetClearsTimeKeepsResources) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  clock.Schedule(a, 1.0);
+  clock.Barrier(TimeCategory::kKernel);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.breakdown().Total(), 0.0);
+  clock.Schedule(a, 1.0);  // resource still valid
+  EXPECT_DOUBLE_EQ(clock.Barrier(TimeCategory::kKernel), 1.0);
+}
+
+TEST(SimClockTest, RejectsBadInput) {
+  SimClock clock;
+  const auto a = clock.NewResource("a");
+  EXPECT_THROW(clock.Schedule(a, -1.0), InvalidArgumentError);
+  EXPECT_THROW(clock.Schedule(99, 1.0), InvalidArgumentError);
+  EXPECT_THROW(clock.Schedule(std::vector<SimClock::Resource>{}, 1.0),
+               InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, TransferSecondsIsLatencyPlusBandwidth) {
+  LinkSpec link{.bandwidth_bps = 1e9, .latency_s = 1e-6};
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1000000), 1e-6 + 1e-3);
+}
+
+TEST(TopologyTest, DesktopIsSingleIoGroup) {
+  const TopologyConfig cfg = DesktopTopology(2);
+  EXPECT_EQ(cfg.num_io_groups(), 1);
+  // Same-group peer link carries no derating.
+  EXPECT_DOUBLE_EQ(cfg.PeerLink(0, 1).bandwidth_bps,
+                   cfg.peer_link.bandwidth_bps);
+}
+
+TEST(TopologyTest, SupercomputerSplitsAcrossTwoGroups) {
+  const TopologyConfig cfg = SupercomputerTopology(3);
+  EXPECT_EQ(cfg.num_io_groups(), 2);
+  EXPECT_EQ(cfg.io_group[0], cfg.io_group[1]);
+  EXPECT_NE(cfg.io_group[0], cfg.io_group[2]);
+  // The cross-IOH link is derated and slower than the intra-IOH link.
+  EXPECT_LT(cfg.PeerLink(0, 2).bandwidth_bps,
+            cfg.PeerLink(0, 1).bandwidth_bps);
+  EXPECT_GT(cfg.PeerLink(0, 2).latency_s, cfg.PeerLink(0, 1).latency_s);
+}
+
+// ---------------------------------------------------------------------------
+// Device memory
+// ---------------------------------------------------------------------------
+
+TEST(DeviceTest, AllocationAccounting) {
+  auto platform = MakeDesktopMachine(1);
+  Device& dev = platform->device(0);
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  auto buffer = dev.Allocate("buf", 1024);
+  EXPECT_EQ(dev.used_bytes(), 1024u);
+  EXPECT_EQ(buffer->size_bytes(), 1024u);
+  EXPECT_EQ(buffer->device_id(), 0);
+  buffer.reset();
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  EXPECT_EQ(dev.peak_used_bytes(), 1024u);  // high-water mark survives
+}
+
+TEST(DeviceTest, OutOfMemoryThrowsDeviceError) {
+  // A tiny device so the capacity edge is cheap to hit.
+  DeviceSpec spec = TeslaC2075();
+  spec.memory_bytes = 4096;
+  Platform platform({spec}, DesktopTopology(1), CoreI7Desktop(), 1);
+  Device& dev = platform.device(0);
+  EXPECT_THROW(dev.Allocate("too big", dev.capacity_bytes() + 1),
+               DeviceError);
+  // Exactly-fitting allocation succeeds; the next byte does not.
+  auto all = dev.Allocate("all", dev.capacity_bytes());
+  EXPECT_THROW(dev.Allocate("one more", 1), DeviceError);
+}
+
+TEST(DeviceTest, TypedViewChecksElementSize) {
+  auto platform = MakeDesktopMachine(1);
+  auto buffer = platform->device(0).Allocate("buf", 10);  // not 4-divisible
+  EXPECT_THROW(buffer->Typed<float>(), InvalidArgumentError);
+  auto ok = platform->device(0).Allocate("ok", 12);
+  EXPECT_EQ(ok->Typed<float>().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Platform copies and timing
+// ---------------------------------------------------------------------------
+
+TEST(PlatformTest, CopiesMoveBytesAndBillTime) {
+  auto platform = MakeDesktopMachine(2);
+  auto src = platform->device(0).Allocate("src", 16);
+  auto dst = platform->device(1).Allocate("dst", 16);
+
+  const std::uint32_t magic[4] = {1, 2, 3, 4};
+  platform->CopyHostToDevice(*src, 0, magic, 16);
+  platform->CopyDeviceToDevice(*dst, 0, *src, 0, 16);
+  std::uint32_t out[4] = {};
+  platform->CopyDeviceToHost(out, *dst, 0, 16);
+
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[3], 4u);
+  EXPECT_EQ(platform->counters().h2d_transfers, 1u);
+  EXPECT_EQ(platform->counters().p2p_transfers, 1u);
+  EXPECT_EQ(platform->counters().d2h_transfers, 1u);
+  EXPECT_GT(platform->Barrier(TimeCategory::kCpuGpu), 0.0);
+}
+
+TEST(PlatformTest, CopyRangeChecks) {
+  auto platform = MakeDesktopMachine(1);
+  auto buffer = platform->device(0).Allocate("buf", 8);
+  char data[16] = {};
+  EXPECT_THROW(platform->CopyHostToDevice(*buffer, 4, data, 8),
+               InvalidArgumentError);
+  EXPECT_THROW(platform->CopyDeviceToHost(data, *buffer, 8, 1),
+               InvalidArgumentError);
+}
+
+TEST(PlatformTest, ZeroByteCopyIsFree) {
+  auto platform = MakeDesktopMachine(1);
+  auto buffer = platform->device(0).Allocate("buf", 8);
+  platform->CopyHostToDevice(*buffer, 0, nullptr, 0);
+  EXPECT_EQ(platform->counters().h2d_transfers, 0u);
+  EXPECT_DOUBLE_EQ(platform->Barrier(TimeCategory::kCpuGpu), 0.0);
+}
+
+TEST(PlatformTest, ConcurrentH2DToTwoGpusSharesTheHostLink) {
+  auto platform = MakeDesktopMachine(2);
+  auto b0 = platform->device(0).Allocate("b0", 1 << 20);
+  auto b1 = platform->device(1).Allocate("b1", 1 << 20);
+  std::vector<char> host(1 << 20);
+
+  platform->CopyHostToDevice(*b0, 0, host.data(), host.size());
+  const double serial = platform->Barrier(TimeCategory::kCpuGpu);
+
+  platform->ResetAccounting();
+  platform->CopyHostToDevice(*b0, 0, host.data(), host.size());
+  platform->CopyHostToDevice(*b1, 0, host.data(), host.size());
+  const double both = platform->Barrier(TimeCategory::kCpuGpu);
+  // Desktop: one PCIe root — the two transfers serialize on it.
+  EXPECT_NEAR(both, 2 * serial, serial * 0.01);
+}
+
+TEST(PlatformTest, CrossGroupTransfersOverlapOnTheNode) {
+  auto platform = MakeSupercomputerNode(3);
+  auto b0 = platform->device(0).Allocate("b0", 1 << 20);
+  auto b2 = platform->device(2).Allocate("b2", 1 << 20);
+  std::vector<char> host(1 << 20);
+
+  platform->CopyHostToDevice(*b0, 0, host.data(), host.size());
+  const double serial = platform->Barrier(TimeCategory::kCpuGpu);
+
+  platform->ResetAccounting();
+  // GPU 0 (IOH 0) and GPU 2 (IOH 1): independent roots, transfers overlap.
+  platform->CopyHostToDevice(*b0, 0, host.data(), host.size());
+  platform->CopyHostToDevice(*b2, 0, host.data(), host.size());
+  const double both = platform->Barrier(TimeCategory::kCpuGpu);
+  EXPECT_NEAR(both, serial, serial * 0.01);
+}
+
+TEST(PlatformTest, KernelTimeIsRooflineOfStats) {
+  auto platform = MakeDesktopMachine(1);
+  const auto& spec = platform->device(0).spec();
+
+  // Compute-bound kernel.
+  LambdaKernel compute([](std::int64_t, KernelStats& stats) {
+    stats.instructions += 1000000;
+  });
+  KernelLaunch launch{.body = &compute, .num_threads = 1, .block_size = 1,
+                      .name = "compute"};
+  platform->LaunchKernel(0, launch);
+  const double compute_time = platform->Barrier(TimeCategory::kKernel);
+  EXPECT_NEAR(compute_time,
+              spec.launch_overhead_s + 1e6 / spec.instr_per_sec, 1e-12);
+
+  // Memory-bound kernel.
+  LambdaKernel memory([](std::int64_t, KernelStats& stats) {
+    stats.bytes_read += 100 << 20;
+  });
+  launch.body = &memory;
+  platform->LaunchKernel(0, launch);
+  const double memory_time = platform->Barrier(TimeCategory::kKernel);
+  EXPECT_NEAR(memory_time,
+              spec.launch_overhead_s +
+                  static_cast<double>(100 << 20) / spec.mem_bandwidth_bps,
+              1e-12);
+}
+
+TEST(PlatformTest, KernelsOnDifferentDevicesOverlap) {
+  auto platform = MakeDesktopMachine(2);
+  LambdaKernel body([](std::int64_t, KernelStats& stats) {
+    stats.instructions += 1000000;
+  });
+  KernelLaunch launch{.body = &body, .num_threads = 1, .block_size = 1,
+                      .name = "k"};
+  platform->LaunchKernel(0, launch);
+  const double one = platform->Barrier(TimeCategory::kKernel);
+
+  platform->ResetAccounting();
+  platform->LaunchKernel(0, launch);
+  platform->LaunchKernel(1, launch);
+  const double both = platform->Barrier(TimeCategory::kKernel);
+  EXPECT_NEAR(both, one, one * 1e-9);  // parallel, not serial
+}
+
+TEST(PlatformTest, KernelExecutesAllThreads) {
+  auto platform = MakeDesktopMachine(1);
+  std::vector<std::atomic<int>> hits(500);
+  LambdaKernel body([&](std::int64_t tid, KernelStats&) {
+    hits[static_cast<std::size_t>(tid)].fetch_add(1);
+  });
+  KernelLaunch launch{.body = &body, .num_threads = 500, .block_size = 64,
+                      .name = "k"};
+  platform->LaunchKernel(0, launch);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(PlatformTest, PresetsMatchTableOne) {
+  auto desktop = MakeDesktopMachine(2);
+  EXPECT_EQ(desktop->num_devices(), 2);
+  EXPECT_EQ(desktop->device(0).spec().name, "Tesla C2075");
+  EXPECT_EQ(desktop->host_spec().threads, 12);
+
+  auto node = MakeSupercomputerNode(3);
+  EXPECT_EQ(node->num_devices(), 3);
+  EXPECT_EQ(node->device(0).spec().name, "Tesla M2050");
+  EXPECT_EQ(node->host_spec().threads, 24);
+  // M2050 has 3 GB, C2075 6 GB.
+  EXPECT_LT(node->device(0).capacity_bytes(),
+            desktop->device(0).capacity_bytes());
+}
+
+TEST(PlatformTest, BillApisCountWithoutTouchingMemory) {
+  auto platform = MakeDesktopMachine(2);
+  platform->BillDeviceToDevice(0, 1, 1 << 20);
+  EXPECT_EQ(platform->counters().p2p_transfers, 1u);
+  EXPECT_EQ(platform->counters().p2p_bytes, std::size_t{1} << 20);
+  EXPECT_GT(platform->Barrier(TimeCategory::kGpuGpu), 0.0);
+}
+
+}  // namespace
+}  // namespace accmg::sim

@@ -1,0 +1,60 @@
+// SpMV application tests: correctness on every backend, no inter-GPU
+// communication (matrix distributed, vector replicated, proven-local writes).
+#include <gtest/gtest.h>
+
+#include "apps/spmv/spmv.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+class SpmvTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmvTest, MatchesReference) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(3);
+  const apps::SpmvInput input = apps::MakeSpmvInput(3000, 24);
+  const std::vector<float> expected = apps::SpmvReference(input);
+
+  std::vector<float> y;
+  const auto report = apps::RunSpmvAcc(input, *platform, gpus, &y);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    ASSERT_EQ(y[r], expected[r]) << "row " << r;
+  }
+  // Like MD: no inter-GPU communication at all.
+  EXPECT_EQ(report.time[sim::TimeCategory::kGpuGpu], 0.0);
+  EXPECT_EQ(report.counters.p2p_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, SpmvTest, ::testing::Values(1, 2, 3));
+
+TEST(SpmvTest, BaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::SpmvInput input = apps::MakeSpmvInput(1500, 16);
+  const std::vector<float> expected = apps::SpmvReference(input);
+
+  std::vector<float> y;
+  apps::RunSpmvOpenMp(input, *platform, &y);
+  EXPECT_EQ(y, expected);
+  apps::RunSpmvCuda(input, *platform, &y);
+  EXPECT_EQ(y, expected);
+}
+
+TEST(SpmvTest, MatrixIsDistributedVectorReplicated) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::SpmvInput input = apps::MakeSpmvInput(4000, 16);
+  std::vector<float> y;
+  const auto report = apps::RunSpmvAcc(input, *platform, 2, &y);
+  // values + cols split across 2 GPUs (one copy total), x replicated (two
+  // copies), y split: total user memory ≈ matrix + 2x vector + y.
+  const std::size_t matrix_bytes =
+      input.values.size() * 4 + input.cols.size() * 4;
+  const std::size_t vec_bytes = input.x.size() * 4;
+  EXPECT_LT(report.peak_user_bytes,
+            matrix_bytes + 3 * vec_bytes + vec_bytes + 4096);
+  EXPECT_GT(report.peak_user_bytes, matrix_bytes);
+}
+
+}  // namespace
+}  // namespace accmg

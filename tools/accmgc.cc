@@ -1,0 +1,134 @@
+// accmgc — the command-line driver of the multi-GPU OpenACC translator.
+//
+// Usage:
+//   accmgc [--emit=cuda|ir|config|all] file.c
+//   accmgc --emit=cuda -            (read from stdin)
+//
+// Emits the translator's artifacts for every offloaded parallel loop:
+//   cuda    the generated CUDA kernels + host-code sketch (default)
+//   ir      the kernel IR listings
+//   config  the array configuration information
+//   all     everything
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "frontend/sema.h"
+#include "ir/ir.h"
+#include "translator/cuda_codegen.h"
+#include "translator/offload.h"
+
+namespace {
+
+void PrintConfig(const accmg::translator::LoopOffload& offload) {
+  std::printf("offload %s (line %d): %lld..%s iterations over '%s'\n",
+              offload.name.c_str(), offload.loop->loc.line, 0ll,
+              offload.upper_inclusive ? "<=bound" : "<bound",
+              offload.induction->name.c_str());
+  for (const auto& config : offload.arrays) {
+    const auto& param =
+        offload.kernel
+            .arrays[static_cast<std::size_t>(config.kernel_array_index)];
+    std::printf(
+        "  array %-12s %-4s %s%s%s  policy=%s%s%s%s\n", config.name.c_str(),
+        accmg::ir::ValTypeName(config.elem), config.is_read ? "R" : "-",
+        config.is_written ? "W" : "-", config.is_reduction_dest ? "+" : " ",
+        config.has_localaccess && !config.is_reduction_dest ? "distribute"
+                                                            : "replicate",
+        param.dirty_tracked ? ",dirty-bits" : "",
+        param.miss_checked ? ",miss-check" : "",
+        config.writes_proven_local ? ",writes-local" : "");
+  }
+  for (const auto& scalar : offload.scalars) {
+    std::printf("  scalar %s\n", scalar.decl->name.c_str());
+  }
+  for (const auto& red : offload.scalar_reds) {
+    std::printf("  reduction %s %s\n", accmg::ir::RedOpName(red.op),
+                red.decl->name.c_str());
+  }
+  for (const auto& red : offload.array_reds) {
+    std::printf("  reduction-to-array %s %s\n",
+                accmg::ir::RedOpName(red.op), red.decl->name.c_str());
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: accmgc [--emit=cuda|ir|config|all] <file.c | ->\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string emit = "cuda";
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--emit=", 0) == 0) {
+      emit = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty() ||
+      (emit != "cuda" && emit != "ir" && emit != "config" && emit != "all")) {
+    return Usage();
+  }
+
+  std::string source;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "accmgc: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+
+  try {
+    accmg::frontend::SourceBuffer buffer(path, source);
+    auto ast = accmg::frontend::ParseAndAnalyze(buffer);
+    const accmg::translator::CompiledProgram compiled =
+        accmg::translator::Compile(*ast);
+
+    for (const auto& function : compiled.functions) {
+      if (emit == "config" || emit == "all") {
+        for (const auto& offload : function.offloads) PrintConfig(offload);
+      }
+      if (emit == "ir" || emit == "all") {
+        for (const auto& offload : function.offloads) {
+          std::fputs(accmg::ir::Print(offload.kernel).c_str(), stdout);
+        }
+      }
+      if (emit == "cuda" || emit == "all") {
+        for (const auto& offload : function.offloads) {
+          std::fputs(
+              accmg::translator::GenerateCudaKernel(offload).c_str(),
+              stdout);
+          std::fputs("\n", stdout);
+        }
+        std::fputs(
+            accmg::translator::GenerateHostSketch(function).c_str(), stdout);
+      }
+    }
+  } catch (const accmg::Error& e) {
+    std::fprintf(stderr, "accmgc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
