@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/accmg_bench_common.dir/bench_common.cc.o.d"
+  "libaccmg_bench_common.a"
+  "libaccmg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

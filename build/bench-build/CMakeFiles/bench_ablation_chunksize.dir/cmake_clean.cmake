@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunksize"
+  "../bench/bench_ablation_chunksize.pdb"
+  "CMakeFiles/bench_ablation_chunksize.dir/bench_ablation_chunksize.cc.o"
+  "CMakeFiles/bench_ablation_chunksize.dir/bench_ablation_chunksize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_memory.cc" "bench-build/CMakeFiles/bench_fig9_memory.dir/bench_fig9_memory.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig9_memory.dir/bench_fig9_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/accmg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/accmg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/accmg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/accmg_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/accmg_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/accmg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/accmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/accmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

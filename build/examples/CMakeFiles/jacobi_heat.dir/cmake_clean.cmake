@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_heat.dir/jacobi_heat.cpp.o"
+  "CMakeFiles/jacobi_heat.dir/jacobi_heat.cpp.o.d"
+  "jacobi_heat"
+  "jacobi_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

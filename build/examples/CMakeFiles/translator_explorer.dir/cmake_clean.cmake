@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_explorer.dir/translator_explorer.cpp.o"
+  "CMakeFiles/translator_explorer.dir/translator_explorer.cpp.o.d"
+  "translator_explorer"
+  "translator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_apps.dir/bfs/bfs.cc.o"
+  "CMakeFiles/accmg_apps.dir/bfs/bfs.cc.o.d"
+  "CMakeFiles/accmg_apps.dir/kmeans/kmeans.cc.o"
+  "CMakeFiles/accmg_apps.dir/kmeans/kmeans.cc.o.d"
+  "CMakeFiles/accmg_apps.dir/md/md.cc.o"
+  "CMakeFiles/accmg_apps.dir/md/md.cc.o.d"
+  "CMakeFiles/accmg_apps.dir/spmv/spmv.cc.o"
+  "CMakeFiles/accmg_apps.dir/spmv/spmv.cc.o.d"
+  "libaccmg_apps.a"
+  "libaccmg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

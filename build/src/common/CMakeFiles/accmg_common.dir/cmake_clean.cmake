@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_common.dir/error.cc.o"
+  "CMakeFiles/accmg_common.dir/error.cc.o.d"
+  "CMakeFiles/accmg_common.dir/log.cc.o"
+  "CMakeFiles/accmg_common.dir/log.cc.o.d"
+  "CMakeFiles/accmg_common.dir/string_util.cc.o"
+  "CMakeFiles/accmg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/accmg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/accmg_common.dir/thread_pool.cc.o.d"
+  "libaccmg_common.a"
+  "libaccmg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

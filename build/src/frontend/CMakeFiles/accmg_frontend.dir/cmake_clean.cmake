@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_frontend.dir/ast.cc.o"
+  "CMakeFiles/accmg_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/lexer.cc.o"
+  "CMakeFiles/accmg_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/parser.cc.o"
+  "CMakeFiles/accmg_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/printer.cc.o"
+  "CMakeFiles/accmg_frontend.dir/printer.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/sema.cc.o"
+  "CMakeFiles/accmg_frontend.dir/sema.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/token.cc.o"
+  "CMakeFiles/accmg_frontend.dir/token.cc.o.d"
+  "CMakeFiles/accmg_frontend.dir/types.cc.o"
+  "CMakeFiles/accmg_frontend.dir/types.cc.o.d"
+  "libaccmg_frontend.a"
+  "libaccmg_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_ir.dir/builder.cc.o"
+  "CMakeFiles/accmg_ir.dir/builder.cc.o.d"
+  "CMakeFiles/accmg_ir.dir/exec.cc.o"
+  "CMakeFiles/accmg_ir.dir/exec.cc.o.d"
+  "CMakeFiles/accmg_ir.dir/ir.cc.o"
+  "CMakeFiles/accmg_ir.dir/ir.cc.o.d"
+  "libaccmg_ir.a"
+  "libaccmg_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/comm_manager.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/comm_manager.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/comm_manager.cc.o.d"
+  "/root/repo/src/runtime/cpu_executor.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/cpu_executor.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/cpu_executor.cc.o.d"
+  "/root/repo/src/runtime/data_loader.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/data_loader.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/data_loader.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/host_interp.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/host_interp.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/host_interp.cc.o.d"
+  "/root/repo/src/runtime/managed_array.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/managed_array.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/managed_array.cc.o.d"
+  "/root/repo/src/runtime/program.cc" "src/runtime/CMakeFiles/accmg_runtime.dir/program.cc.o" "gcc" "src/runtime/CMakeFiles/accmg_runtime.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/accmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/accmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/accmg_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/accmg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/accmg_translator.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_runtime.dir/comm_manager.cc.o"
+  "CMakeFiles/accmg_runtime.dir/comm_manager.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/cpu_executor.cc.o"
+  "CMakeFiles/accmg_runtime.dir/cpu_executor.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/data_loader.cc.o"
+  "CMakeFiles/accmg_runtime.dir/data_loader.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/executor.cc.o"
+  "CMakeFiles/accmg_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/host_interp.cc.o"
+  "CMakeFiles/accmg_runtime.dir/host_interp.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/managed_array.cc.o"
+  "CMakeFiles/accmg_runtime.dir/managed_array.cc.o.d"
+  "CMakeFiles/accmg_runtime.dir/program.cc.o"
+  "CMakeFiles/accmg_runtime.dir/program.cc.o.d"
+  "libaccmg_runtime.a"
+  "libaccmg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

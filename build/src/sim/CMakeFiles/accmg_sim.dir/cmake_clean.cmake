@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_sim.dir/clock.cc.o"
+  "CMakeFiles/accmg_sim.dir/clock.cc.o.d"
+  "CMakeFiles/accmg_sim.dir/cost_model.cc.o"
+  "CMakeFiles/accmg_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/accmg_sim.dir/device.cc.o"
+  "CMakeFiles/accmg_sim.dir/device.cc.o.d"
+  "CMakeFiles/accmg_sim.dir/platform.cc.o"
+  "CMakeFiles/accmg_sim.dir/platform.cc.o.d"
+  "CMakeFiles/accmg_sim.dir/topology.cc.o"
+  "CMakeFiles/accmg_sim.dir/topology.cc.o.d"
+  "libaccmg_sim.a"
+  "libaccmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaccmg_sim.a"
+)

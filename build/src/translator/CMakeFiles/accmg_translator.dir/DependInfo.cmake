@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translator/compile.cc" "src/translator/CMakeFiles/accmg_translator.dir/compile.cc.o" "gcc" "src/translator/CMakeFiles/accmg_translator.dir/compile.cc.o.d"
+  "/root/repo/src/translator/cuda_codegen.cc" "src/translator/CMakeFiles/accmg_translator.dir/cuda_codegen.cc.o" "gcc" "src/translator/CMakeFiles/accmg_translator.dir/cuda_codegen.cc.o.d"
+  "/root/repo/src/translator/eval.cc" "src/translator/CMakeFiles/accmg_translator.dir/eval.cc.o" "gcc" "src/translator/CMakeFiles/accmg_translator.dir/eval.cc.o.d"
+  "/root/repo/src/translator/lowering.cc" "src/translator/CMakeFiles/accmg_translator.dir/lowering.cc.o" "gcc" "src/translator/CMakeFiles/accmg_translator.dir/lowering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/accmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/accmg_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/accmg_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/accmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

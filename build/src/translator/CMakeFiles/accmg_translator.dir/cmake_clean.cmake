@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmg_translator.dir/compile.cc.o"
+  "CMakeFiles/accmg_translator.dir/compile.cc.o.d"
+  "CMakeFiles/accmg_translator.dir/cuda_codegen.cc.o"
+  "CMakeFiles/accmg_translator.dir/cuda_codegen.cc.o.d"
+  "CMakeFiles/accmg_translator.dir/eval.cc.o"
+  "CMakeFiles/accmg_translator.dir/eval.cc.o.d"
+  "CMakeFiles/accmg_translator.dir/lowering.cc.o"
+  "CMakeFiles/accmg_translator.dir/lowering.cc.o.d"
+  "libaccmg_translator.a"
+  "libaccmg_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmg_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_language.dir/language_test.cc.o"
+  "CMakeFiles/test_language.dir/language_test.cc.o.d"
+  "test_language"
+  "test_language.pdb"
+  "test_language[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

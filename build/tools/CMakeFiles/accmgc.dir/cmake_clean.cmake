@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accmgc.dir/accmgc.cc.o"
+  "CMakeFiles/accmgc.dir/accmgc.cc.o.d"
+  "accmgc"
+  "accmgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accmgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
