@@ -4,14 +4,32 @@
 // Paper result shape: CPU-GPU transfer is what prevents linear speedup;
 // MD has zero GPU-GPU time; KMEANS a small GPU-GPU share; BFS on 2-3 GPUs
 // is dominated by GPU-GPU traffic (especially on the supercomputer node).
+//
+// Usage:
+//   bench_fig8_breakdown                       the Fig. 8 table (default)
+//   bench_fig8_breakdown --trace-out=FILE      trace-capture mode: runs the
+//       three paper apps plus a scatter kernel (which exercises the
+//       write-miss path) on 2 GPUs of the desktop machine with the tracer
+//       on, writes Chrome-trace JSON to FILE, prints the span summary
+//       table, and cross-checks the span counts against the runtime's
+//       counters (exit code 1 on mismatch)
+//   bench_fig8_breakdown --metrics             also dump the unified
+//       metrics registry at the end (combines with either mode)
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace accmg::bench {
 namespace {
 
-void Run() {
+void RunFig8Table() {
   const double scale = BenchScale();
   std::printf("Fig. 8 reproduction (input scale %.3g)\n", scale);
 
@@ -45,7 +63,199 @@ void Run() {
       "bfs 2-3 GPU runs are GPU-GPU dominated.\n");
 }
 
+/// A distributed-array kernel whose write indices the translator cannot
+/// prove local, so the write-miss machinery runs — guaranteeing the trace
+/// contains miss-flush spans (the paper apps never miss).
+constexpr char kScatterSource[] = R"(
+void scatter(int n, int* perm, int* src, int* dst) {
+  #pragma acc data copyin(perm[0:n], src[0:n]) copy(dst[0:n])
+  {
+    #pragma acc localaccess(src: stride(1)) (dst: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      dst[perm[i]] = src[i] * 3;
+    }
+  }
+}
+)";
+
+runtime::RunReport RunScatter(sim::Platform& platform, int gpus) {
+  const runtime::AccProgram program =
+      runtime::AccProgram::FromSource("scatter", kScatterSource);
+  constexpr int n = 1 << 16;
+  std::vector<std::int32_t> perm(n), src(n), dst(n, -1);
+  for (int i = 0; i < n; ++i) {
+    perm[i] = (i * 7919) % n;
+    src[i] = i;
+  }
+  runtime::ProgramRunner runner(
+      program, runtime::RunConfig{.platform = &platform, .num_gpus = gpus});
+  runner.BindArray("perm", perm.data(), ir::ValType::kI32, n);
+  runner.BindArray("src", src.data(), ir::ValType::kI32, n);
+  runner.BindArray("dst", dst.data(), ir::ValType::kI32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  return runner.Run("scatter");
+}
+
+int RunTraceCapture(const std::string& trace_out) {
+  // Keep the traced run small so the ring buffer retains every span — the
+  // count cross-check below is only exact with zero drops.
+  const double scale = std::min(BenchScale(), 0.05);
+  constexpr int kGpus = 2;
+  std::printf("Trace capture: desktop machine, %d GPUs, input scale %.3g\n",
+              kGpus, scale);
+
+  auto& tracer = trace::Tracer::Global();
+  tracer.set_enabled(true);
+  tracer.Clear();
+  metrics::Registry::Global().ResetAll();
+
+  runtime::ExecOptions options;
+  options.trace = true;
+
+  // Accumulate the runtime's own statistics across the traced runs; the
+  // trace must agree with these within rounding.
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t dirty_chunks_sent = 0;
+  std::uint64_t halo_refreshes = 0;
+  std::uint64_t miss_records = 0;
+  std::uint64_t offload_runs = 0;
+
+  auto absorb = [&](const runtime::RunReport& report) {
+    kernel_launches += report.counters.kernel_launches;
+    transfers += report.counters.h2d_transfers +
+                 report.counters.d2h_transfers + report.counters.p2p_transfers;
+    dirty_chunks_sent += report.comm.dirty_chunks_sent;
+    halo_refreshes += report.comm.halo_refreshes;
+    miss_records += report.comm.miss_records_replayed;
+    offload_runs += report.kernel_executions;
+  };
+
+  for (const AppRunners& app : PaperApps(scale)) {
+    auto platform = sim::MakeDesktopMachine(kGpus);
+    std::printf("  tracing %s ...\n", app.name.c_str());
+    absorb(app.run(*platform, kGpus, options));
+  }
+  {
+    auto platform = sim::MakeDesktopMachine(kGpus);
+    std::printf("  tracing scatter (write-miss path) ...\n");
+    absorb(RunScatter(*platform, kGpus));
+  }
+
+  if (!tracer.WriteChromeTraceFile(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n", trace_out.c_str());
+    return 1;
+  }
+  std::printf("\nWrote Chrome-trace JSON to %s "
+              "(open in chrome://tracing or ui.perfetto.dev)\n\n",
+              trace_out.c_str());
+  std::fputs(tracer.SummaryTable().c_str(), stdout);
+
+  // --- Cross-check the trace against the runtime counters. ---
+  // Every LaunchKernel records exactly one sim span in the kernel category;
+  // every billed transfer records exactly one sim span in its phase's
+  // category; each dirty chunk / halo refresh is exactly one p2p span in
+  // its category.
+  std::uint64_t span_kernels = 0;
+  std::uint64_t span_transfer_like = 0;
+  std::uint64_t span_dirty_p2p = 0;
+  std::uint64_t span_halo_p2p = 0;
+  std::uint64_t span_miss_flush = 0;
+  int max_device = -1;
+  for (const trace::Event& event : tracer.Snapshot()) {
+    if (event.timeline != trace::Timeline::kSim) continue;
+    max_device = std::max(max_device, event.device);
+    if (event.category == trace::category::kKernel) {
+      ++span_kernels;
+    } else {
+      ++span_transfer_like;
+      const bool p2p = event.name.rfind("p2p", 0) == 0;
+      if (p2p && event.category == trace::category::kDirtyMerge) {
+        ++span_dirty_p2p;
+      }
+      if (p2p && event.category == trace::category::kHalo) ++span_halo_p2p;
+      if (event.category == trace::category::kMissFlush) ++span_miss_flush;
+    }
+  }
+
+  bool ok = true;
+  auto check = [&](const char* what, std::uint64_t traced,
+                   std::uint64_t counted) {
+    const bool match = traced == counted;
+    std::printf("%-44s  trace=%8llu  counters=%8llu  %s\n", what,
+                static_cast<unsigned long long>(traced),
+                static_cast<unsigned long long>(counted),
+                match ? "OK" : "MISMATCH");
+    ok &= match;
+  };
+  std::printf("\nTrace vs runtime-counter consistency (offloads=%llu):\n",
+              static_cast<unsigned long long>(offload_runs));
+  check("kernel spans == kernel launches", span_kernels, kernel_launches);
+  check("transfer-like spans == h2d+d2h+p2p transfers", span_transfer_like,
+        transfers);
+  check("dirty-merge p2p spans == dirty chunks sent", span_dirty_p2p,
+        dirty_chunks_sent);
+  check("halo p2p spans == halo refreshes", span_halo_p2p, halo_refreshes);
+  if (span_miss_flush == 0 || miss_records == 0) {
+    std::printf("%-44s  trace=%8llu  records=%9llu  %s\n",
+                "miss-flush spans present iff records replayed",
+                static_cast<unsigned long long>(span_miss_flush),
+                static_cast<unsigned long long>(miss_records), "MISMATCH");
+    ok = false;
+  } else {
+    std::printf("%-44s  trace=%8llu  records=%9llu  OK\n",
+                "miss-flush spans present iff records replayed",
+                static_cast<unsigned long long>(span_miss_flush),
+                static_cast<unsigned long long>(miss_records));
+  }
+  if (max_device < 1) {
+    std::printf("expected spans on >= 2 devices, saw max device id %d\n",
+                max_device);
+    ok = false;
+  }
+  if (const std::uint64_t dropped = tracer.dropped(); dropped > 0) {
+    std::printf("ring buffer dropped %llu events — counts not comparable; "
+                "lower ACCMG_BENCH_SCALE\n",
+                static_cast<unsigned long long>(dropped));
+    ok = false;
+  }
+  std::printf("consistency: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  std::string trace_out;
+  bool print_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig8_breakdown [--trace-out=FILE] "
+                   "[--metrics]\n");
+      return 2;
+    }
+  }
+
+  int status = 0;
+  if (trace_out.empty()) {
+    RunFig8Table();
+  } else {
+    status = RunTraceCapture(trace_out);
+  }
+  if (print_metrics) {
+    std::ostringstream text;
+    metrics::Registry::Global().WriteText(text);
+    std::printf("\nUnified metrics registry:\n%s", text.str().c_str());
+  }
+  return status;
+}
+
 }  // namespace
 }  // namespace accmg::bench
 
-int main() { accmg::bench::Run(); }
+int main(int argc, char** argv) { return accmg::bench::Run(argc, argv); }

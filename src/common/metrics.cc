@@ -1,0 +1,159 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace accmg::metrics {
+
+namespace {
+
+/// Lock-free monotone update: value = op(value, candidate).
+template <typename Cmp>
+void AtomicExtreme(std::atomic<double>& slot, double candidate, Cmp better) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(candidate, current) &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int BucketOf(double value) {
+  if (!(value >= 1)) return 0;  // negatives, NaN and [0,1) fold into bucket 0
+  const int b = std::ilogb(value);
+  return std::clamp(b, 0, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicExtreme(min_, value, std::less<double>());
+  AtomicExtreme(max_, value, std::greater<double>());
+  buckets_[static_cast<std::size_t>(BucketOf(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Entry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::~Registry() = default;
+
+Registry::Entry* Registry::Find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = Find(name)) return entry->counter;
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = name;
+  entries_.back()->kind = Entry::Kind::kCounter;
+  return entries_.back()->counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = Find(name)) return entry->gauge;
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = name;
+  entries_.back()->kind = Entry::Kind::kGauge;
+  return entries_.back()->gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* entry = Find(name)) return entry->histogram;
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = name;
+  entries_.back()->kind = Entry::Kind::kHistogram;
+  return entries_.back()->histogram;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    entry->counter.Reset();
+    entry->gauge.Reset();
+    entry->histogram.Reset();
+  }
+}
+
+void Registry::WriteText(std::ostream& os) const {
+  std::vector<Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted.reserve(entries_.size());
+    for (const auto& entry : entries_) sorted.push_back(entry.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  char line[256];
+  for (const Entry* entry : sorted) {
+    switch (entry->kind) {
+      case Entry::Kind::kCounter:
+        std::snprintf(line, sizeof line, "counter  %-32s  %llu\n",
+                      entry->name.c_str(),
+                      static_cast<unsigned long long>(entry->counter.value()));
+        break;
+      case Entry::Kind::kGauge:
+        std::snprintf(line, sizeof line, "gauge    %-32s  %.6g\n",
+                      entry->name.c_str(), entry->gauge.value());
+        break;
+      case Entry::Kind::kHistogram: {
+        const Histogram& h = entry->histogram;
+        if (h.count() == 0) {
+          std::snprintf(line, sizeof line,
+                        "hist     %-32s  count=0\n", entry->name.c_str());
+        } else {
+          std::snprintf(
+              line, sizeof line,
+              "hist     %-32s  count=%llu sum=%.6g min=%.6g max=%.6g "
+              "mean=%.6g\n",
+              entry->name.c_str(),
+              static_cast<unsigned long long>(h.count()), h.sum(), h.min(),
+              h.max(), h.mean());
+        }
+        break;
+      }
+    }
+    os << line;
+  }
+}
+
+}  // namespace accmg::metrics

@@ -1,0 +1,115 @@
+// Global metrics registry: named counters, gauges and histograms.
+//
+// This unifies the runtime's previously ad-hoc statistics (ExecutorStats,
+// CommStats, LoaderStats, PlatformCounters) under one queryable namespace:
+// every instrumentation site increments both its local struct (kept for API
+// stability — RunReport still carries them) and the registry, so tools can
+// dump a single coherent snapshot (`accmgc --metrics`, bench --metrics).
+//
+// Counters and histograms are lock-free after creation (atomics); the
+// registry itself takes a mutex only on name lookup, and instrumentation
+// sites cache the returned reference, so the hot path never locks.
+// Metric objects live for the process lifetime — references stay valid.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace accmg::metrics {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. peak bytes, configuration knobs).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Distribution of non-negative observations in power-of-two buckets:
+/// bucket b holds observations in [2^b, 2^(b+1)) (bucket 0 also holds
+/// values < 1). Tracks count, sum, min and max exactly.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  double mean() const;
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all instrumentation reports into.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Finds or creates the metric. References remain valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every registered metric (names stay registered).
+  void ResetAll();
+
+  /// One line per metric, sorted by name:
+  ///   counter  sim.kernel_launches      42
+  ///   hist     sim.transfer_bytes       count=7 sum=4096 min=8 max=2048
+  void WriteText(std::ostream& os) const;
+
+ private:
+  struct Entry;
+  Entry* Find(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace accmg::metrics

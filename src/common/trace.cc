@@ -1,0 +1,280 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace accmg::trace {
+
+namespace {
+
+thread_local const char* tls_phase = nullptr;
+
+std::uint64_t ThisThreadId() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+const char* TimelineName(Timeline t) {
+  return t == Timeline::kSim ? "sim" : "wall";
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer() {
+  for (Shard& shard : shards_) shard.ring.reserve(shard_capacity_);
+}
+
+void Tracer::set_enabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::set_shard_capacity(std::size_t events) {
+  shard_capacity_ = std::max<std::size_t>(1, events);
+}
+
+void Tracer::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.ring.clear();
+    shard.ring.reserve(shard_capacity_);
+    shard.next = 0;
+    shard.recorded = 0;
+  }
+}
+
+Tracer::Shard& Tracer::ShardForThisThread() {
+  return shards_[ThisThreadId() % kNumShards];
+}
+
+void Tracer::Record(Event event) {
+  if (!enabled()) return;
+  if (event.thread_id == 0) event.thread_id = ThisThreadId();
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.recorded;
+  if (shard.ring.size() < shard_capacity_) {
+    shard.ring.push_back(std::move(event));
+  } else {
+    // Ring wraparound: overwrite the oldest slot.
+    shard.ring[shard.next] = std::move(event);
+    shard.next = (shard.next + 1) % shard.ring.size();
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t dropped = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += shard.recorded - shard.ring.size();
+  }
+  return dropped;
+}
+
+std::vector<Event> Tracer::Snapshot() const {
+  std::vector<Event> events;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    events.insert(events.end(), shard.ring.begin(), shard.ring.end());
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.timeline != b.timeline) return a.timeline < b.timeline;
+    return a.start_us < b.start_us;
+  });
+  return events;
+}
+
+std::vector<CategorySummary> Tracer::Summarize() const {
+  std::map<std::pair<Timeline, std::string>, CategorySummary> cells;
+  for (const Event& event : Snapshot()) {
+    CategorySummary& cell = cells[{event.timeline, event.category}];
+    cell.timeline = event.timeline;
+    cell.category = event.category;
+    ++cell.count;
+    cell.total_us += event.duration_us;
+  }
+  std::vector<CategorySummary> rows;
+  rows.reserve(cells.size());
+  for (auto& [key, cell] : cells) rows.push_back(std::move(cell));
+  std::sort(rows.begin(), rows.end(),
+            [](const CategorySummary& a, const CategorySummary& b) {
+              if (a.timeline != b.timeline) return a.timeline < b.timeline;
+              return a.total_us > b.total_us;
+            });
+  return rows;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  // Two trace "processes": pid 1 = the simulated platform (one thread row
+  // per GPU), pid 2 = wall-clock host work (one row per recording thread).
+  constexpr int kSimPid = 1;
+  constexpr int kWallPid = 2;
+  const std::vector<Event> events = Snapshot();
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  comma();
+  os << "{\"ph\":\"M\",\"pid\":" << kSimPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"simulated "
+        "platform\"}}";
+  comma();
+  os << "{\"ph\":\"M\",\"pid\":" << kWallPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"host "
+        "wall-clock\"}}";
+
+  // Stable small tids for wall threads; sim tids are the device ids.
+  std::map<std::uint64_t, int> wall_tid;
+  std::vector<int> sim_devices;
+  for (const Event& event : events) {
+    if (event.timeline == Timeline::kSim) {
+      const int row = event.device < 0 ? 999 : event.device;
+      if (std::find(sim_devices.begin(), sim_devices.end(), row) ==
+          sim_devices.end()) {
+        sim_devices.push_back(row);
+        comma();
+        os << "{\"ph\":\"M\",\"pid\":" << kSimPid << ",\"tid\":" << row
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << (event.device < 0 ? std::string("host")
+                                : "gpu" + std::to_string(event.device))
+           << "\"}}";
+      }
+    } else if (wall_tid.find(event.thread_id) == wall_tid.end()) {
+      const int tid = static_cast<int>(wall_tid.size());
+      wall_tid[event.thread_id] = tid;
+      comma();
+      os << "{\"ph\":\"M\",\"pid\":" << kWallPid << ",\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread "
+         << tid << "\"}}";
+    }
+  }
+
+  char number[64];
+  for (const Event& event : events) {
+    const bool sim = event.timeline == Timeline::kSim;
+    const int pid = sim ? kSimPid : kWallPid;
+    const int tid = sim ? (event.device < 0 ? 999 : event.device)
+                        : wall_tid[event.thread_id];
+    comma();
+    os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.category) << "\",\"ts\":";
+    std::snprintf(number, sizeof number, "%.3f", event.start_us);
+    os << number << ",\"dur\":";
+    std::snprintf(number, sizeof number, "%.3f", event.duration_us);
+    os << number << ",\"args\":{\"device\":" << event.device
+       << ",\"timeline\":\"" << TimelineName(event.timeline) << "\"}}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  WriteChromeTrace(file);
+  return static_cast<bool>(file);
+}
+
+std::string Tracer::SummaryTable() const {
+  const std::vector<CategorySummary> rows = Summarize();
+  std::ostringstream os;
+  os << "timeline  category     spans       total(ms)\n";
+  os << "--------  -----------  ----------  ------------\n";
+  char line[128];
+  for (const CategorySummary& row : rows) {
+    std::snprintf(line, sizeof line, "%-8s  %-11s  %10llu  %12.3f\n",
+                  TimelineName(row.timeline), row.category.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  row.total_us / 1e3);
+    os << line;
+  }
+  if (const std::uint64_t d = dropped(); d > 0) {
+    os << "(ring buffer dropped " << d << " oldest events)\n";
+  }
+  return os.str();
+}
+
+double Tracer::WallNowMicros() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+Span::Span(std::string name, std::string cat, int device)
+    : active_(Tracer::Global().enabled()),
+      name_(std::move(name)),
+      category_(std::move(cat)),
+      device_(device) {
+  if (active_) start_us_ = Tracer::WallNowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Event event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.timeline = Timeline::kWall;
+  event.device = device_;
+  event.start_us = start_us_;
+  event.duration_us = Tracer::WallNowMicros() - start_us_;
+  Tracer::Global().Record(std::move(event));
+}
+
+PhaseScope::PhaseScope(const char* phase) : previous_(tls_phase) {
+  tls_phase = phase;
+}
+
+PhaseScope::~PhaseScope() { tls_phase = previous_; }
+
+const char* PhaseScope::Current() { return tls_phase; }
+
+}  // namespace accmg::trace

@@ -5,14 +5,42 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace accmg::runtime {
+
+namespace {
+
+/// Registry handles mirroring CommStats into the unified metrics namespace.
+struct CommMetrics {
+  metrics::Counter& dirty_chunks_sent;
+  metrics::Counter& clean_chunks_skipped;
+  metrics::Counter& miss_records_replayed;
+  metrics::Counter& halo_refreshes;
+
+  static CommMetrics& Get() {
+    static CommMetrics m{
+        metrics::Registry::Global().counter("comm.dirty_chunks_sent"),
+        metrics::Registry::Global().counter("comm.clean_chunks_skipped"),
+        metrics::Registry::Global().counter("comm.miss_records_replayed"),
+        metrics::Registry::Global().counter("comm.halo_refreshes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 CommManager::CommManager(sim::Platform& platform, const ExecOptions& options,
                          std::vector<int> devices)
     : platform_(platform), options_(options), devices_(std::move(devices)) {}
 
 void CommManager::PropagateReplicated(ManagedArray& array) {
+  // Every transfer billed below lands in the dirty-merge trace category.
+  trace::PhaseScope phase(trace::category::kDirtyMerge);
+  trace::Span span("dirty-merge:" + array.name(),
+                   trace::category::kDirtyMerge);
   if (devices_.size() < 2) {
     // Single GPU: no peers to update; just reset the dirty state.
     for (int device : devices_) {
@@ -64,6 +92,7 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
     for (std::int64_t c = 0; c < chunks; ++c) {
       if (level2[static_cast<std::size_t>(c)] == 0) {
         ++stats_.clean_chunks_skipped;
+        CommMetrics::Get().clean_chunks_skipped.Add();
         continue;
       }
       snapshot.dirty_chunks.push_back(c);
@@ -104,6 +133,7 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
             static_cast<std::size_t>(chunk_hi - chunk_lo);  // + dirty bits
         platform_.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes);
         ++stats_.dirty_chunks_sent;
+        CommMetrics::Get().dirty_chunks_sent.Add();
       }
       // Apply the dirty elements (functional effect of the merge kernel).
       std::byte* dst_data = dst.data->bytes().data();
@@ -128,6 +158,9 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
 }
 
 void CommManager::ReplayWriteMisses(ManagedArray& array) {
+  trace::PhaseScope phase(trace::category::kMissFlush);
+  trace::Span span("miss-flush:" + array.name(),
+                   trace::category::kMissFlush);
   const std::size_t elem = array.elem_size();
   for (int sender : devices_) {
     DeviceShard& src = array.shard(sender);
@@ -157,6 +190,7 @@ void CommManager::ReplayWriteMisses(ManagedArray& array) {
         std::memcpy(dst_data + local * elem, &record.raw, elem);
       }
       stats_.miss_records_replayed += records.size();
+      CommMetrics::Get().miss_records_replayed.Add(records.size());
     }
     src.miss.records.clear();
   }
@@ -164,6 +198,8 @@ void CommManager::ReplayWriteMisses(ManagedArray& array) {
 }
 
 void CommManager::RefreshHalos(ManagedArray& array) {
+  trace::PhaseScope phase(trace::category::kHalo);
+  trace::Span span("halo:" + array.name(), trace::category::kHalo);
   const std::size_t elem = array.elem_size();
   for (int device : devices_) {
     DeviceShard& shard = array.shard(device);
@@ -191,6 +227,7 @@ void CommManager::RefreshHalos(ManagedArray& array) {
             *src.data, static_cast<std::size_t>(cursor - src.loaded.lo) * elem,
             bytes);
         ++stats_.halo_refreshes;
+        CommMetrics::Get().halo_refreshes.Add();
         cursor = piece_hi;
       }
     }

@@ -4,8 +4,31 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace accmg::runtime {
+
+namespace {
+
+/// Registry handles mirroring LoaderStats into the unified metrics
+/// namespace.
+struct LoaderMetrics {
+  metrics::Counter& loads_performed;
+  metrics::Counter& loads_skipped;
+  metrics::Counter& gathers;
+
+  static LoaderMetrics& Get() {
+    static LoaderMetrics m{
+        metrics::Registry::Global().counter("loader.loads_performed"),
+        metrics::Registry::Global().counter("loader.loads_skipped"),
+        metrics::Registry::Global().counter("loader.gathers"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DataLoader::DataLoader(sim::Platform& platform, const ExecOptions& options,
                        std::vector<int> devices)
@@ -15,6 +38,7 @@ DataLoader::DataLoader(sim::Platform& platform, const ExecOptions& options,
 
 void DataLoader::EnsurePlacement(const ArrayRequirement& req) {
   ACCMG_REQUIRE(req.array != nullptr, "requirement without an array");
+  trace::Span span("load:" + req.array->name(), trace::category::kLoader);
   ACCMG_REQUIRE(req.read_ranges.size() == devices_.size() &&
                     req.own_ranges.size() == devices_.size(),
                 "requirement ranges must match the device list");
@@ -40,6 +64,7 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
   }
   if (satisfied) {
     ++stats_.loads_skipped;
+    LoaderMetrics::Get().loads_skipped.Add();
     return;
   }
 
@@ -62,6 +87,7 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
     shard.owned = full;
     shard.valid = true;
     ++stats_.loads_performed;
+    LoaderMetrics::Get().loads_performed.Add();
   }
   // Devices outside the participating set no longer hold valid replicas.
   for (int d = 0; d < array.num_shards(); ++d) {
@@ -89,6 +115,7 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
   }
   if (satisfied) {
     ++stats_.loads_skipped;
+    LoaderMetrics::Get().loads_skipped.Add();
     return;
   }
 
@@ -115,6 +142,7 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
     shard.owned = req.own_ranges[i];
     shard.valid = true;
     ++stats_.loads_performed;
+    LoaderMetrics::Get().loads_performed.Add();
   }
   for (int d = 0; d < array.num_shards(); ++d) {
     bool participating = false;
@@ -181,6 +209,7 @@ void DataLoader::EnsureSystemBuffers(const ArrayRequirement& req) {
 
 void DataLoader::GatherToHost(ManagedArray& array) {
   if (array.host_valid()) return;
+  trace::Span span("gather:" + array.name(), trace::category::kLoader);
   const std::size_t elem = array.elem_size();
   auto* host = static_cast<std::byte*>(array.host_data());
   switch (array.placement()) {
@@ -197,6 +226,7 @@ void DataLoader::GatherToHost(ManagedArray& array) {
                                      array.total_bytes());
           array.set_host_valid(true);
           ++stats_.gathers;
+          LoaderMetrics::Get().gathers.Add();
           return;
         }
       }
@@ -217,6 +247,7 @@ void DataLoader::GatherToHost(ManagedArray& array) {
       }
       array.set_host_valid(true);
       ++stats_.gathers;
+      LoaderMetrics::Get().gathers.Add();
       break;
     }
   }

@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "ir/exec.h"
 
 namespace accmg::runtime {
@@ -66,6 +68,7 @@ Executor::Executor(sim::Platform& platform, ExecOptions options,
       devices_(std::move(devices)),
       loader_(platform, options_, devices_),
       comm_(platform, options_, devices_) {
+  if (options_.trace) trace::Tracer::Global().set_enabled(true);
   ACCMG_REQUIRE(!devices_.empty(), "executor needs at least one device");
   for (int d : devices_) {
     ACCMG_REQUIRE(d >= 0 && d < platform.num_devices(),
@@ -75,6 +78,8 @@ Executor::Executor(sim::Platform& platform, ExecOptions options,
 
 void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
                           const ArrayResolver& resolve) {
+  trace::Span offload_span("offload:" + offload.name,
+                           trace::category::kOffload);
   const std::int64_t lower = EvalIndexExpr(*offload.lower_bound, env);
   std::int64_t upper = EvalIndexExpr(*offload.upper_bound, env);
   if (offload.upper_inclusive) ++upper;
@@ -253,8 +258,14 @@ void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
   }
   platform_.Barrier(sim::TimeCategory::kKernel);
   ++stats_.offload_runs;
+  static metrics::Counter& offload_runs_metric =
+      metrics::Registry::Global().counter("executor.offload_runs");
+  offload_runs_metric.Add();
 
   // --- 5. Communication step. ---
+  // Reduction combines below bill transfers under the reduction category;
+  // the comm-manager calls in 5c/5d override it with their own phases.
+  trace::PhaseScope reduction_phase(trace::category::kReduction);
 
   // 5a. Scalar reductions: per-GPU partials come back to the host (a few
   // bytes each) and fold into the variable's pre-loop value.

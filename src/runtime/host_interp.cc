@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "frontend/sema.h"
 #include "translator/type_map.h"
 
@@ -156,6 +157,7 @@ ManagedArray& HostInterpreter::Managed(const VarDecl& decl) {
 }
 
 RunReport HostInterpreter::Run() {
+  trace::Span run_span("run:" + fn_.function->name, trace::category::kHost);
   sim::Platform& platform = *runner_.config_.platform;
   platform.ResetAccounting();
   report_ = RunReport{};

@@ -25,6 +25,14 @@ struct ExecOptions {
   /// to each device's compute throughput instead of equally (Section IV-B2
   /// divides equally, which wastes time when the GPUs differ).
   bool weighted_task_mapping = false;
+
+  /// Enables the process-wide tracer (common/trace.h): the runtime and the
+  /// virtual platform then record per-device spans — kernel executions,
+  /// transfers, dirty-bit merges, write-miss flushes, halo refreshes,
+  /// inter-GPU reductions — for Chrome-trace export and summary tables.
+  /// Equivalent to trace::Tracer::Global().set_enabled(true); tracing stays
+  /// on afterwards so callers can export the buffer.
+  bool trace = false;
 };
 
 }  // namespace accmg::runtime

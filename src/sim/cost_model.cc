@@ -1,5 +1,7 @@
 #include "sim/cost_model.h"
 
+#include "common/metrics.h"
+
 namespace accmg::sim {
 
 namespace {
@@ -50,6 +52,23 @@ CpuSpec DualXeonNode() {
       .instr_per_sec = 26 * kGiga,
       .mem_bandwidth_bps = 16 * kGiga,
   };
+}
+
+void PublishSpecMetrics(const DeviceSpec& spec, int device_id) {
+  auto& registry = metrics::Registry::Global();
+  const std::string prefix = "sim.gpu" + std::to_string(device_id) + ".";
+  registry.gauge(prefix + "instr_per_sec").Set(spec.instr_per_sec);
+  registry.gauge(prefix + "mem_bandwidth_bps").Set(spec.mem_bandwidth_bps);
+  registry.gauge(prefix + "launch_overhead_s").Set(spec.launch_overhead_s);
+  registry.gauge(prefix + "memory_bytes")
+      .Set(static_cast<double>(spec.memory_bytes));
+}
+
+void PublishSpecMetrics(const CpuSpec& spec) {
+  auto& registry = metrics::Registry::Global();
+  registry.gauge("sim.cpu.threads").Set(spec.threads);
+  registry.gauge("sim.cpu.instr_per_sec").Set(spec.instr_per_sec);
+  registry.gauge("sim.cpu.mem_bandwidth_bps").Set(spec.mem_bandwidth_bps);
 }
 
 }  // namespace accmg::sim

@@ -42,4 +42,12 @@ CpuSpec CoreI7Desktop();
 /// 2x Xeon X5670 (12 cores + HT, paper runs 24 OpenMP threads).
 CpuSpec DualXeonNode();
 
+/// Publishes the spec's model parameters as metrics gauges
+/// ("sim.gpu<id>.instr_per_sec", "...mem_bandwidth_bps",
+/// "...launch_overhead_s"), so a metrics dump records the cost model any
+/// accompanying trace was produced under. Called by Platform on
+/// construction.
+void PublishSpecMetrics(const DeviceSpec& spec, int device_id);
+void PublishSpecMetrics(const CpuSpec& spec);
+
 }  // namespace accmg::sim

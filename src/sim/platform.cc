@@ -4,10 +4,64 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <string>
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
 
 namespace accmg::sim {
+
+namespace {
+
+/// Registry handles for the platform's unified metrics; resolved once.
+struct SimMetrics {
+  metrics::Counter& kernel_launches;
+  metrics::Counter& h2d_transfers;
+  metrics::Counter& d2h_transfers;
+  metrics::Counter& p2p_transfers;
+  metrics::Counter& h2d_bytes;
+  metrics::Counter& d2h_bytes;
+  metrics::Counter& p2p_bytes;
+  metrics::Histogram& transfer_bytes;
+  metrics::Histogram& kernel_seconds;
+
+  static SimMetrics& Get() {
+    static SimMetrics m{
+        metrics::Registry::Global().counter("sim.kernel_launches"),
+        metrics::Registry::Global().counter("sim.h2d_transfers"),
+        metrics::Registry::Global().counter("sim.d2h_transfers"),
+        metrics::Registry::Global().counter("sim.p2p_transfers"),
+        metrics::Registry::Global().counter("sim.h2d_bytes"),
+        metrics::Registry::Global().counter("sim.d2h_bytes"),
+        metrics::Registry::Global().counter("sim.p2p_bytes"),
+        metrics::Registry::Global().histogram("sim.transfer_bytes"),
+        metrics::Registry::Global().histogram("sim.kernel_seconds"),
+    };
+    return m;
+  }
+};
+
+/// Records one operation on the simulated timeline. The category is the
+/// runtime phase that issued it (dirty merge, miss flush, halo, reduction)
+/// when a trace::PhaseScope is active, else `fallback_cat`.
+void RecordSimSpan(std::string name, const char* fallback_cat, int device,
+                   double end_s, double duration_s) {
+  auto& tracer = trace::Tracer::Global();
+  if (!tracer.enabled()) return;
+  trace::Event event;
+  const char* phase = trace::PhaseScope::Current();
+  event.name = std::move(name);
+  event.category = phase != nullptr ? phase : fallback_cat;
+  event.timeline = trace::Timeline::kSim;
+  event.device = device;
+  event.start_us = (end_s - duration_s) * 1e6;
+  event.duration_us = duration_s * 1e6;
+  tracer.Record(std::move(event));
+}
+
+}  // namespace
 
 Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
                    CpuSpec host, std::size_t worker_threads)
@@ -28,10 +82,12 @@ Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
     const auto compute =
         clock_.NewResource("gpu" + std::to_string(d) + ".compute");
     const auto dma = clock_.NewResource("gpu" + std::to_string(d) + ".dma");
+    PublishSpecMetrics(gpus[d], static_cast<int>(d));
     devices_.push_back(std::make_unique<Device>(static_cast<int>(d),
                                                 std::move(gpus[d]), compute,
                                                 dma));
   }
+  PublishSpecMetrics(host_);
 }
 
 Device& Platform::device(int id) {
@@ -53,18 +109,30 @@ void Platform::BillHostToDevice(int device_id, std::size_t bytes) {
   if (bytes == 0) return;
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
-  clock_.Schedule(resources, topology_.host_link.TransferSeconds(bytes));
+  const double duration = topology_.host_link.TransferSeconds(bytes);
+  const double end = clock_.Schedule(resources, duration);
+  RecordSimSpan("h2d " + FormatBytes(bytes), trace::category::kTransfer,
+                device_id, end, duration);
   ++counters_.h2d_transfers;
   counters_.h2d_bytes += bytes;
+  SimMetrics::Get().h2d_transfers.Add();
+  SimMetrics::Get().h2d_bytes.Add(bytes);
+  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
   if (bytes == 0) return;
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
-  clock_.Schedule(resources, topology_.host_link.TransferSeconds(bytes));
+  const double duration = topology_.host_link.TransferSeconds(bytes);
+  const double end = clock_.Schedule(resources, duration);
+  RecordSimSpan("d2h " + FormatBytes(bytes), trace::category::kTransfer,
+                device_id, end, duration);
   ++counters_.d2h_transfers;
   counters_.d2h_bytes += bytes;
+  SimMetrics::Get().d2h_transfers.Add();
+  SimMetrics::Get().d2h_bytes.Add(bytes);
+  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::BillDeviceToDevice(int src_device, int dst_device,
@@ -90,9 +158,15 @@ void Platform::BillDeviceToDevice(int src_device, int dst_device,
     // link, serialized.
     duration = 2 * topology_.host_link.TransferSeconds(bytes);
   }
-  clock_.Schedule(resources, duration);
+  const double end = clock_.Schedule(resources, duration);
+  RecordSimSpan("p2p " + std::to_string(src_device) + "->" +
+                    std::to_string(dst_device) + " " + FormatBytes(bytes),
+                trace::category::kTransfer, src_device, end, duration);
   ++counters_.p2p_transfers;
   counters_.p2p_bytes += bytes;
+  SimMetrics::Get().p2p_transfers.Add();
+  SimMetrics::Get().p2p_bytes.Add(bytes);
+  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
@@ -152,8 +226,12 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch) {
       dev.spec().mem_bandwidth_bps;
   const double duration =
       dev.spec().launch_overhead_s + std::max(compute_s, memory_s);
-  clock_.Schedule(dev.compute_resource(), duration);
+  const double end = clock_.Schedule(dev.compute_resource(), duration);
+  RecordSimSpan(launch.name.empty() ? "kernel" : launch.name,
+                trace::category::kKernel, device_id, end, duration);
   ++counters_.kernel_launches;
+  SimMetrics::Get().kernel_launches.Add();
+  SimMetrics::Get().kernel_seconds.Observe(duration);
   return total;
 }
 

@@ -1,0 +1,457 @@
+// Tests of the unified tracing + metrics layer (common/trace.h,
+// common/metrics.h): span recording and nesting, ring-buffer wraparound,
+// Chrome-trace JSON well-formedness (checked with a minimal JSON parser),
+// metrics registry correctness, concurrent recording through the thread
+// pool, and the categories produced by an instrumented end-to-end run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON syntax validator: enough grammar to certify that the
+// tracer's output parses as a single JSON value with no trailing garbage.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<std::size_t>(i)]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Members('{', '}', /*with_keys=*/true);
+    if (c == '[') return Members('[', ']', /*with_keys=*/false);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Members(char open, char close, bool with_keys) {
+    EXPECT_EQ(text_[pos_], open);
+    ++pos_;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (with_keys) {
+        SkipSpace();
+        if (!String()) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+      }
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Every test drives the process-global tracer; reset it around each one.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tracer = trace::Tracer::Global();
+    tracer.set_shard_capacity(1 << 14);
+    tracer.set_enabled(true);
+    tracer.Clear();
+  }
+  void TearDown() override {
+    auto& tracer = trace::Tracer::Global();
+    tracer.set_enabled(false);
+    tracer.set_shard_capacity(1 << 14);
+    tracer.Clear();
+  }
+};
+
+trace::Event MakeEvent(const std::string& name, const std::string& category,
+                       double start_us, double duration_us) {
+  trace::Event event;
+  event.name = name;
+  event.category = category;
+  event.timeline = trace::Timeline::kSim;
+  event.device = 0;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  return event;
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  auto& tracer = trace::Tracer::Global();
+  tracer.set_enabled(false);
+  tracer.Record(MakeEvent("e", "kernel", 0, 1));
+  { trace::Span span("wall", trace::category::kHost); }
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST_F(TraceTest, SpansNestAndBothAreRecorded) {
+  auto& tracer = trace::Tracer::Global();
+  {
+    trace::Span outer("outer", trace::category::kOffload);
+    {
+      trace::Span inner("inner", trace::category::kLoader, /*device=*/1);
+    }
+  }
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto outer_it =
+      std::find_if(events.begin(), events.end(),
+                   [](const trace::Event& e) { return e.name == "outer"; });
+  const auto inner_it =
+      std::find_if(events.begin(), events.end(),
+                   [](const trace::Event& e) { return e.name == "inner"; });
+  ASSERT_NE(outer_it, events.end());
+  ASSERT_NE(inner_it, events.end());
+  EXPECT_EQ(outer_it->timeline, trace::Timeline::kWall);
+  EXPECT_EQ(inner_it->device, 1);
+  // The inner span lies within the outer one on the wall timeline.
+  EXPECT_GE(inner_it->start_us, outer_it->start_us);
+  EXPECT_LE(inner_it->start_us + inner_it->duration_us,
+            outer_it->start_us + outer_it->duration_us + 1e-3);
+  EXPECT_GE(outer_it->duration_us, inner_it->duration_us);
+}
+
+TEST_F(TraceTest, PhaseScopeNestsInnermostWins) {
+  EXPECT_EQ(trace::PhaseScope::Current(), nullptr);
+  {
+    trace::PhaseScope outer(trace::category::kDirtyMerge);
+    EXPECT_STREQ(trace::PhaseScope::Current(), "dirty-merge");
+    {
+      trace::PhaseScope inner(trace::category::kMissFlush);
+      EXPECT_STREQ(trace::PhaseScope::Current(), "miss-flush");
+    }
+    EXPECT_STREQ(trace::PhaseScope::Current(), "dirty-merge");
+  }
+  EXPECT_EQ(trace::PhaseScope::Current(), nullptr);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  auto& tracer = trace::Tracer::Global();
+  tracer.set_shard_capacity(16);
+  tracer.Clear();
+  // All records come from this one thread, i.e. land in one shard.
+  for (int i = 0; i < 100; ++i) {
+    tracer.Record(MakeEvent("e" + std::to_string(i), "kernel", i, 1));
+  }
+  const auto events = tracer.Snapshot();
+  EXPECT_EQ(events.size(), 16u);
+  EXPECT_EQ(tracer.dropped(), 84u);
+  // The oldest events were overwritten; e84..e99 survive (order by start).
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().name, "e84");
+  EXPECT_EQ(events.back().name, "e99");
+}
+
+TEST_F(TraceTest, SnapshotSortsByTimelineThenStart) {
+  auto& tracer = trace::Tracer::Global();
+  tracer.Record(MakeEvent("sim-late", "kernel", 50, 1));
+  tracer.Record(MakeEvent("sim-early", "kernel", 10, 1));
+  { trace::Span span("wall", trace::category::kHost); }
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].timeline, trace::Timeline::kWall);
+  EXPECT_EQ(events[1].name, "sim-early");
+  EXPECT_EQ(events[2].name, "sim-late");
+}
+
+TEST_F(TraceTest, SummarizeAggregatesPerCategory) {
+  auto& tracer = trace::Tracer::Global();
+  tracer.Record(MakeEvent("a", "kernel", 0, 5));
+  tracer.Record(MakeEvent("b", "kernel", 5, 7));
+  tracer.Record(MakeEvent("c", "transfer", 12, 2));
+  const auto summary = tracer.Summarize();
+  ASSERT_EQ(summary.size(), 2u);
+  // Sorted by descending total within the timeline.
+  EXPECT_EQ(summary[0].category, "kernel");
+  EXPECT_EQ(summary[0].count, 2u);
+  EXPECT_DOUBLE_EQ(summary[0].total_us, 12.0);
+  EXPECT_EQ(summary[1].category, "transfer");
+  EXPECT_EQ(summary[1].count, 1u);
+  const std::string table = tracer.SummaryTable();
+  EXPECT_NE(table.find("kernel"), std::string::npos);
+  EXPECT_NE(table.find("transfer"), std::string::npos);
+}
+
+TEST_F(TraceTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(trace::JsonEscape("plain"), "plain");
+  EXPECT_EQ(trace::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(trace::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(trace::JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(trace::JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST_F(TraceTest, ChromeTraceIsWellFormedJson) {
+  auto& tracer = trace::Tracer::Global();
+  // Adversarial names: quotes, backslashes, newlines, control chars.
+  tracer.Record(MakeEvent("k\"quoted\"", "kernel", 0, 3));
+  tracer.Record(MakeEvent("back\\slash\nnewline\x02", "transfer", 3, 1));
+  {
+    trace::Span span("wall \"span\"", trace::category::kHost);
+  }
+  std::ostringstream out;
+  tracer.WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata rows
+}
+
+TEST_F(TraceTest, ConcurrentRecordingLosesNothingBelowCapacity) {
+  auto& tracer = trace::Tracer::Global();
+  ThreadPool pool(8);
+  constexpr std::int64_t kEvents = 4000;
+  pool.ParallelFor(0, kEvents, [&](std::int64_t i) {
+    tracer.Record(
+        MakeEvent("e" + std::to_string(i), "kernel", static_cast<double>(i),
+                  1.0));
+  });
+  // 4000 << 8 shards * 2^14 capacity: nothing may drop, and every event
+  // must surface exactly once.
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kEvents));
+  std::set<std::string> names;
+  for (const auto& event : events) names.insert(event.name);
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kEvents));
+}
+
+TEST_F(TraceTest, EndToEndRunEmitsRuntimeCategories) {
+  // A replicated written array (no localaccess) forces dirty-bit
+  // propagation between the two GPUs; the loads give transfer spans.
+  constexpr char kSource[] = R"(
+void bump(int n, int* a) {
+  #pragma acc data copy(a[0:n])
+  {
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      a[i] = a[i] + 1;
+    }
+  }
+}
+)";
+  auto platform = sim::MakeDesktopMachine(2);
+  runtime::AccProgram program =
+      runtime::AccProgram::FromSource("bump", kSource);
+  constexpr int n = 4096;
+  std::vector<std::int32_t> a(n, 7);
+  runtime::RunConfig config{.platform = platform.get(), .num_gpus = 2};
+  config.options.trace = true;
+  runtime::ProgramRunner runner(program, config);
+  runner.BindArray("a", a.data(), ir::ValType::kI32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  runner.Run("bump");
+  for (int i = 0; i < n; ++i) ASSERT_EQ(a[i], 8) << "at index " << i;
+
+  std::set<std::string> sim_cats, wall_cats;
+  int max_device = -1;
+  for (const auto& event : trace::Tracer::Global().Snapshot()) {
+    if (event.timeline == trace::Timeline::kSim) {
+      sim_cats.insert(event.category);
+      max_device = std::max(max_device, event.device);
+    } else {
+      wall_cats.insert(event.category);
+    }
+  }
+  EXPECT_TRUE(sim_cats.count(trace::category::kKernel));
+  EXPECT_TRUE(sim_cats.count(trace::category::kTransfer));
+  EXPECT_TRUE(sim_cats.count(trace::category::kDirtyMerge));
+  EXPECT_TRUE(wall_cats.count(trace::category::kOffload));
+  EXPECT_TRUE(wall_cats.count(trace::category::kLoader));
+  EXPECT_TRUE(wall_cats.count(trace::category::kHost));
+  EXPECT_EQ(max_device, 1);  // spans on both simulated GPUs
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsTest, CounterAddsAndResets) {
+  metrics::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetsAndResets) {
+  metrics::Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Set(-1);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramTracksMomentsAndBuckets) {
+  metrics::Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  hist.Observe(1.0);
+  hist.Observe(2.0);
+  hist.Observe(1024.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 1027.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1024.0);
+  EXPECT_NEAR(hist.mean(), 1027.0 / 3, 1e-12);
+  // Power-of-two buckets: 1.0 -> bucket 0, 2.0 -> bucket 1, 1024 -> 10.
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(10), 1u);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+}
+
+TEST(MetricsTest, HistogramIsConcurrencySafe) {
+  metrics::Histogram hist;
+  ThreadPool pool(8);
+  pool.ParallelFor(1, 1001,
+                   [&](std::int64_t i) { hist.Observe(static_cast<double>(i)); });
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 500500.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1000.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  auto& registry = metrics::Registry::Global();
+  metrics::Counter& a = registry.counter("test.stable_counter");
+  metrics::Counter& b = registry.counter("test.stable_counter");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  metrics::Gauge& g1 = registry.gauge("test.stable_gauge");
+  metrics::Gauge& g2 = registry.gauge("test.stable_gauge");
+  EXPECT_EQ(&g1, &g2);
+  metrics::Histogram& h1 = registry.histogram("test.stable_hist");
+  metrics::Histogram& h2 = registry.histogram("test.stable_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsTest, WriteTextListsAllKindsSorted) {
+  auto& registry = metrics::Registry::Global();
+  registry.counter("test.z_counter").Add(5);
+  registry.gauge("test.a_gauge").Set(1.5);
+  registry.histogram("test.m_hist").Observe(4.0);
+  std::ostringstream out;
+  registry.WriteText(out);
+  const std::string text = out.str();
+  const auto gauge_pos = text.find("test.a_gauge");
+  const auto hist_pos = text.find("test.m_hist");
+  const auto counter_pos = text.find("test.z_counter");
+  ASSERT_NE(gauge_pos, std::string::npos);
+  ASSERT_NE(hist_pos, std::string::npos);
+  ASSERT_NE(counter_pos, std::string::npos);
+  EXPECT_LT(gauge_pos, hist_pos);
+  EXPECT_LT(hist_pos, counter_pos);
+}
+
+TEST(MetricsTest, ResetAllZeroesEverything) {
+  auto& registry = metrics::Registry::Global();
+  registry.counter("test.reset_counter").Add(9);
+  registry.gauge("test.reset_gauge").Set(9);
+  registry.histogram("test.reset_hist").Observe(9);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("test.reset_counter").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.reset_gauge").value(), 0.0);
+  EXPECT_EQ(registry.histogram("test.reset_hist").count(), 0u);
+}
+
+}  // namespace
+}  // namespace accmg

@@ -1,7 +1,7 @@
 // accmgc — the command-line driver of the multi-GPU OpenACC translator.
 //
 // Usage:
-//   accmgc [--emit=cuda|ir|config|all] file.c
+//   accmgc [--emit=cuda|ir|config|all] [--trace-out=FILE] [--metrics] file.c
 //   accmgc --emit=cuda -            (read from stdin)
 //
 // Emits the translator's artifacts for every offloaded parallel loop:
@@ -9,14 +9,25 @@
 //   ir      the kernel IR listings
 //   config  the array configuration information
 //   all     everything
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace-out=FILE   records wall-clock spans of the compiler phases
+//                      (frontend, translate, emit) and writes a Chrome-trace
+//                      JSON file loadable in chrome://tracing
+//   --metrics          prints the global metrics registry (functions and
+//                      offloads compiled, per-offload array policies) to
+//                      stderr after compilation
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "frontend/sema.h"
 #include "ir/ir.h"
 #include "translator/cuda_codegen.h"
@@ -58,7 +69,8 @@ void PrintConfig(const accmg::translator::LoopOffload& offload) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: accmgc [--emit=cuda|ir|config|all] <file.c | ->\n");
+               "usage: accmgc [--emit=cuda|ir|config|all] "
+               "[--trace-out=FILE] [--metrics] <file.c | ->\n");
   return 2;
 }
 
@@ -67,10 +79,16 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string emit = "cuda";
   std::string path;
+  std::string trace_out;
+  bool print_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--emit=", 0) == 0) {
       emit = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--metrics") {
+      print_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (path.empty()) {
@@ -82,6 +100,9 @@ int main(int argc, char** argv) {
   if (path.empty() ||
       (emit != "cuda" && emit != "ir" && emit != "config" && emit != "all")) {
     return Usage();
+  }
+  if (!trace_out.empty()) {
+    accmg::trace::Tracer::Global().set_enabled(true);
   }
 
   std::string source;
@@ -100,13 +121,36 @@ int main(int argc, char** argv) {
     source = buffer.str();
   }
 
+  auto& registry = accmg::metrics::Registry::Global();
   try {
     accmg::frontend::SourceBuffer buffer(path, source);
-    auto ast = accmg::frontend::ParseAndAnalyze(buffer);
-    const accmg::translator::CompiledProgram compiled =
-        accmg::translator::Compile(*ast);
+    std::unique_ptr<accmg::frontend::Program> ast;
+    {
+      accmg::trace::Span span("frontend:" + path,
+                              accmg::trace::category::kCompile);
+      ast = accmg::frontend::ParseAndAnalyze(buffer);
+    }
+    accmg::translator::CompiledProgram compiled;
+    {
+      accmg::trace::Span span("translate:" + path,
+                              accmg::trace::category::kCompile);
+      compiled = accmg::translator::Compile(*ast);
+    }
 
+    accmg::trace::Span emit_span("emit:" + emit,
+                                 accmg::trace::category::kCompile);
     for (const auto& function : compiled.functions) {
+      registry.counter("accmgc.functions").Add();
+      registry.counter("accmgc.offloads").Add(function.offloads.size());
+      for (const auto& offload : function.offloads) {
+        for (const auto& config : offload.arrays) {
+          registry
+              .counter(config.has_localaccess && !config.is_reduction_dest
+                           ? "accmgc.arrays_distributed"
+                           : "accmgc.arrays_replicated")
+              .Add();
+        }
+      }
       if (emit == "config" || emit == "all") {
         for (const auto& offload : function.offloads) PrintConfig(offload);
       }
@@ -129,6 +173,20 @@ int main(int argc, char** argv) {
   } catch (const accmg::Error& e) {
     std::fprintf(stderr, "accmgc: %s\n", e.what());
     return 1;
+  }
+
+  if (!trace_out.empty()) {
+    if (!accmg::trace::Tracer::Global().WriteChromeTraceFile(trace_out)) {
+      std::fprintf(stderr, "accmgc: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "accmgc: wrote trace to %s\n", trace_out.c_str());
+  }
+  if (print_metrics) {
+    std::ostringstream text;
+    registry.WriteText(text);
+    std::fputs(text.str().c_str(), stderr);
   }
   return 0;
 }
