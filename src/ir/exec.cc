@@ -212,6 +212,101 @@ std::uint64_t CombineRaw(RedOp op, ValType type, std::uint64_t a,
   return RegToElementRaw(FromI(r), type);
 }
 
+namespace {
+
+// Loop bodies for CombineRawSpan. Each mirrors CombineRaw exactly: floats
+// are widened to double, combined, and narrowed back (for f32 the double
+// op is exact, so the single narrowing rounds identically to a native
+// float op); i32 combines in int64 and truncates with sign extension.
+template <typename FloatOp>
+inline void CombineSpanFloat(ValType type, std::uint64_t* acc,
+                             const std::uint64_t* src, std::size_t n,
+                             FloatOp op) {
+  if (type == ValType::kF64) {
+    for (std::size_t j = 0; j < n; ++j) {
+      acc[j] = FromF(op(AsF(acc[j]), AsF(src[j])));
+    }
+  } else {  // kF32: element raw is the float bits in the low 32 bits
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto xb = static_cast<std::uint32_t>(acc[j]);
+      const auto yb = static_cast<std::uint32_t>(src[j]);
+      float x;
+      float y;
+      std::memcpy(&x, &xb, 4);
+      std::memcpy(&y, &yb, 4);
+      const auto r = static_cast<float>(
+          op(static_cast<double>(x), static_cast<double>(y)));
+      std::uint32_t rb;
+      std::memcpy(&rb, &r, 4);
+      acc[j] = rb;
+    }
+  }
+}
+
+template <typename IntOp>
+inline void CombineSpanInt(ValType type, std::uint64_t* acc,
+                           const std::uint64_t* src, std::size_t n,
+                           IntOp op) {
+  if (type == ValType::kI64) {
+    for (std::size_t j = 0; j < n; ++j) {
+      acc[j] = FromI(op(AsI(acc[j]), AsI(src[j])));
+    }
+  } else {  // kI32: element raw is the sign-extended value
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto x = static_cast<std::int64_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(acc[j])));
+      const auto y = static_cast<std::int64_t>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(src[j])));
+      acc[j] = FromI(static_cast<std::int32_t>(op(x, y)));
+    }
+  }
+}
+
+}  // namespace
+
+void CombineRawSpan(RedOp op, ValType type, std::uint64_t* acc,
+                    const std::uint64_t* src, std::size_t n) {
+  if (IsFloat(type)) {
+    switch (op) {
+      case RedOp::kAdd:
+        CombineSpanFloat(type, acc, src, n,
+                         [](double x, double y) { return x + y; });
+        break;
+      case RedOp::kMul:
+        CombineSpanFloat(type, acc, src, n,
+                         [](double x, double y) { return x * y; });
+        break;
+      case RedOp::kMin:
+        CombineSpanFloat(type, acc, src, n,
+                         [](double x, double y) { return std::fmin(x, y); });
+        break;
+      case RedOp::kMax:
+        CombineSpanFloat(type, acc, src, n,
+                         [](double x, double y) { return std::fmax(x, y); });
+        break;
+    }
+    return;
+  }
+  switch (op) {
+    case RedOp::kAdd:
+      CombineSpanInt(type, acc, src, n,
+                     [](std::int64_t x, std::int64_t y) { return x + y; });
+      break;
+    case RedOp::kMul:
+      CombineSpanInt(type, acc, src, n,
+                     [](std::int64_t x, std::int64_t y) { return x * y; });
+      break;
+    case RedOp::kMin:
+      CombineSpanInt(type, acc, src, n,
+                     [](std::int64_t x, std::int64_t y) { return x < y ? x : y; });
+      break;
+    case RedOp::kMax:
+      CombineSpanInt(type, acc, src, n,
+                     [](std::int64_t x, std::int64_t y) { return x > y ? x : y; });
+      break;
+  }
+}
+
 KernelExec::KernelExec(const KernelIR& kernel) : kernel_(kernel) {
   Verify(kernel);
   bindings.resize(kernel.arrays.size());

@@ -112,4 +112,11 @@ std::uint64_t ReductionIdentity(RedOp op, ValType type);
 std::uint64_t CombineRaw(RedOp op, ValType type, std::uint64_t a,
                          std::uint64_t b);
 
+/// In-place span combine: acc[j] = CombineRaw(op, type, acc[j], src[j]) for
+/// j in [0, n). Bit-identical to the per-element calls, but the op/type
+/// dispatch happens once so the inner loop is tight enough to vectorize —
+/// this is the hot loop of multi-GPU array-reduction merges.
+void CombineRawSpan(RedOp op, ValType type, std::uint64_t* acc,
+                    const std::uint64_t* src, std::size_t n);
+
 }  // namespace accmg::ir

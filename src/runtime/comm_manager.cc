@@ -1,8 +1,8 @@
 #include "runtime/comm_manager.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
-#include <unordered_map>
 
 #include "common/error.h"
 #include "common/metrics.h"
@@ -29,6 +29,60 @@ struct CommMetrics {
     return m;
   }
 };
+
+constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
+
+/// Per-byte zero detector: the high bit of each byte in the result is set
+/// iff that byte of `w` is zero (exact variant of the classic SWAR trick).
+inline std::uint64_t ZeroByteMask(std::uint64_t w) {
+  return (w - kLowBits) & ~w & kHighBits;
+}
+
+/// Number of nonzero (dirty) bytes in the level-1 bitmap range [lo, hi).
+std::int64_t CountDirtyBytes(const std::uint8_t* dirty1, std::int64_t lo,
+                             std::int64_t hi) {
+  std::int64_t count = 0;
+  std::int64_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, dirty1 + i, 8);
+    count += 8 - std::popcount(ZeroByteMask(w));
+  }
+  for (; i < hi; ++i) count += dirty1[i] != 0;
+  return count;
+}
+
+/// Calls `emit(lo, hi)` for every maximal run of consecutive dirty bytes in
+/// [lo, hi) of the level-1 bitmap, scanning a 64-bit word at a time: clean
+/// stretches and fully-dirty stretches advance 8 elements per iteration.
+template <typename EmitFn>
+void ScanDirtyRuns(const std::uint8_t* dirty1, std::int64_t lo,
+                   std::int64_t hi, EmitFn&& emit) {
+  std::int64_t i = lo;
+  while (i < hi) {
+    // Find the next dirty byte (skip clean words wholesale).
+    while (i + 8 <= hi) {
+      std::uint64_t w;
+      std::memcpy(&w, dirty1 + i, 8);
+      if (w != 0) break;
+      i += 8;
+    }
+    while (i < hi && dirty1[i] == 0) ++i;
+    if (i >= hi) break;
+    // Extend the run (skip fully-dirty words wholesale).
+    std::int64_t run = i;
+    while (run + 8 <= hi) {
+      std::uint64_t w;
+      std::memcpy(&w, dirty1 + run, 8);
+      if (ZeroByteMask(w) != 0) break;  // a clean byte ends the run here
+      run += 8;
+    }
+    while (run < hi && dirty1[run] != 0) ++run;
+    emit(i, run);
+    i = run;
+  }
+}
 
 }  // namespace
 
@@ -57,14 +111,19 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
     return;
   }
   const std::size_t elem = array.elem_size();
+  CommMetrics& comm_metrics = CommMetrics::Get();
+  std::uint64_t clean_skipped = 0;
+  std::uint64_t chunks_sent = 0;
 
   // Snapshot every sender's dirty elements first so that overlapping writes
-  // from two GPUs cannot clobber each other mid-merge. One snapshot entry per
-  // (sender, element) with the written value.
+  // from two GPUs cannot clobber each other mid-merge. Dirty elements are
+  // coalesced into maximal runs ("spans") whose payloads land contiguously
+  // in `values`, so the merge below applies one memcpy per span instead of
+  // one per element.
   struct SenderDirty {
     int device = 0;
-    std::vector<std::int64_t> indices;       // local == global (replica lo=0)
-    std::vector<std::byte> values;           // indices.size() * elem bytes
+    std::vector<Range> spans;                // runs of dirty elements
+    std::vector<std::byte> values;           // concatenated span payloads
     std::vector<std::int64_t> dirty_chunks;  // second-level dirty chunk ids
   };
   std::vector<SenderDirty> snapshots;
@@ -84,46 +143,81 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
                 static_cast<std::size_t>(chunks));
     platform_.BillDeviceToHost(sender, static_cast<std::size_t>(chunks));
 
-    SenderDirty snapshot;
-    snapshot.device = sender;
     const std::uint8_t* dirty1 =
         reinterpret_cast<const std::uint8_t*>(src.dirty1->bytes().data());
     const std::byte* data = src.data->bytes().data();
+
+    // Pre-pass over the dirty chunks: count dirty elements so the snapshot
+    // vectors are sized once instead of reallocating mid-scan.
+    std::int64_t dirty_chunk_count = 0;
+    std::int64_t dirty_elems = 0;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      if (level2[static_cast<std::size_t>(c)] == 0) continue;
+      ++dirty_chunk_count;
+      const std::int64_t chunk_lo = c * chunk_elems;
+      const std::int64_t chunk_hi =
+          std::min<std::int64_t>(n, chunk_lo + chunk_elems);
+      dirty_elems += CountDirtyBytes(dirty1, chunk_lo, chunk_hi);
+    }
+
+    SenderDirty snapshot;
+    snapshot.device = sender;
+    snapshot.dirty_chunks.reserve(static_cast<std::size_t>(dirty_chunk_count));
+    snapshot.values.reserve(static_cast<std::size_t>(dirty_elems) * elem);
+
     for (std::int64_t c = 0; c < chunks; ++c) {
       if (level2[static_cast<std::size_t>(c)] == 0) {
-        ++stats_.clean_chunks_skipped;
-        CommMetrics::Get().clean_chunks_skipped.Add();
+        ++clean_skipped;
         continue;
       }
       snapshot.dirty_chunks.push_back(c);
       const std::int64_t chunk_lo = c * chunk_elems;
       const std::int64_t chunk_hi =
           std::min<std::int64_t>(n, chunk_lo + chunk_elems);
-      for (std::int64_t i = chunk_lo; i < chunk_hi; ++i) {
-        if (dirty1[i] == 0) continue;
-        snapshot.indices.push_back(i);
-        const std::size_t offset = snapshot.values.size();
-        snapshot.values.resize(offset + elem);
-        std::memcpy(snapshot.values.data() + offset,
-                    data + static_cast<std::size_t>(i) * elem, elem);
-      }
+      ScanDirtyRuns(dirty1, chunk_lo, chunk_hi,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      if (!snapshot.spans.empty() &&
+                          snapshot.spans.back().hi == lo) {
+                        // Run continues across a chunk boundary.
+                        snapshot.spans.back().hi = hi;
+                      } else {
+                        snapshot.spans.push_back(Range{lo, hi});
+                      }
+                      const std::size_t offset = snapshot.values.size();
+                      const std::size_t bytes =
+                          static_cast<std::size_t>(hi - lo) * elem;
+                      snapshot.values.resize(offset + bytes);
+                      std::memcpy(snapshot.values.data() + offset,
+                                  data + static_cast<std::size_t>(lo) * elem,
+                                  bytes);
+                    });
     }
     if (!snapshot.dirty_chunks.empty()) {
       snapshots.push_back(std::move(snapshot));
     }
   }
 
-  // Transfer + merge: each dirty chunk travels (data + level-1 bits) to every
-  // other replica; the receiver-side merge kernel applies dirty elements.
+  // Validate receiver shards up front so failures surface before any chunk
+  // is billed, then bill every transfer serially: each dirty chunk travels
+  // (data + level-1 bits) to every other replica, in the same deterministic
+  // (sender, receiver, chunk) order as the element-wise implementation.
+  std::size_t value_bytes = 0;
+  for (const auto& snapshot : snapshots) {
+    const DeviceShard& src = array.shard(snapshot.device);
+    value_bytes += snapshot.values.size();
+    for (int receiver : devices_) {
+      if (receiver == snapshot.device) continue;
+      const DeviceShard& dst = array.shard(receiver);
+      ACCMG_CHECK(dst.data != nullptr && dst.loaded == src.loaded,
+                  "replica shards out of sync for '" + array.name() + "'");
+    }
+  }
   for (const auto& snapshot : snapshots) {
     const DeviceShard& src = array.shard(snapshot.device);
     const std::int64_t n = src.loaded.size();
     const std::int64_t chunk_elems = src.chunk_elems;
     for (int receiver : devices_) {
       if (receiver == snapshot.device) continue;
-      DeviceShard& dst = array.shard(receiver);
-      ACCMG_CHECK(dst.data != nullptr && dst.loaded == src.loaded,
-                  "replica shards out of sync for '" + array.name() + "'");
       for (std::int64_t c : snapshot.dirty_chunks) {
         const std::int64_t chunk_lo = c * chunk_elems;
         const std::int64_t chunk_hi =
@@ -132,18 +226,48 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
             static_cast<std::size_t>(chunk_hi - chunk_lo) * elem +
             static_cast<std::size_t>(chunk_hi - chunk_lo);  // + dirty bits
         platform_.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes);
-        ++stats_.dirty_chunks_sent;
-        CommMetrics::Get().dirty_chunks_sent.Add();
-      }
-      // Apply the dirty elements (functional effect of the merge kernel).
-      std::byte* dst_data = dst.data->bytes().data();
-      for (std::size_t k = 0; k < snapshot.indices.size(); ++k) {
-        const std::int64_t i = snapshot.indices[k];
-        std::memcpy(dst_data + static_cast<std::size_t>(i) * elem,
-                    snapshot.values.data() + k * elem, elem);
+        ++chunks_sent;
       }
     }
   }
+
+  // Apply the dirty elements (functional effect of the merge kernel): one
+  // task per receiver — tasks own disjoint shards, and each applies the
+  // senders in device order, so overlapping writes keep the serial
+  // last-writer-wins result. Simulated time is untouched here; only the
+  // harness's wall clock benefits.
+  if (!snapshots.empty()) {
+    auto apply_to_receiver = [&](int receiver) {
+      DeviceShard& dst = array.shard(receiver);
+      std::byte* dst_data = dst.data->bytes().data();
+      for (const auto& snapshot : snapshots) {
+        if (snapshot.device == receiver) continue;
+        const std::byte* values = snapshot.values.data();
+        std::size_t offset = 0;
+        for (const Range& s : snapshot.spans) {
+          const std::size_t bytes = static_cast<std::size_t>(s.size()) * elem;
+          std::memcpy(dst_data + static_cast<std::size_t>(s.lo) * elem,
+                      values + offset, bytes);
+          offset += bytes;
+        }
+      }
+    };
+    // Below ~64 KiB of payload the pool dispatch costs more than it saves.
+    if (value_bytes * (devices_.size() - 1) < (std::size_t{64} << 10)) {
+      for (int receiver : devices_) apply_to_receiver(receiver);
+    } else {
+      platform_.workers().ParallelFor(
+          0, static_cast<std::int64_t>(devices_.size()),
+          [&](std::int64_t r) {
+            apply_to_receiver(devices_[static_cast<std::size_t>(r)]);
+          });
+    }
+  }
+
+  stats_.clean_chunks_skipped += clean_skipped;
+  stats_.dirty_chunks_sent += chunks_sent;
+  if (clean_skipped > 0) comm_metrics.clean_chunks_skipped.Add(clean_skipped);
+  if (chunks_sent > 0) comm_metrics.dirty_chunks_sent.Add(chunks_sent);
 
   // All replicas coherent again; clear every participant's dirty state.
   for (int device : devices_) {
@@ -162,38 +286,67 @@ void CommManager::ReplayWriteMisses(ManagedArray& array) {
   trace::Span span("miss-flush:" + array.name(),
                    trace::category::kMissFlush);
   const std::size_t elem = array.elem_size();
+  CommMetrics& comm_metrics = CommMetrics::Get();
+  std::uint64_t replayed = 0;
+
+  // Reused across senders to avoid reallocation.
+  std::vector<int> owners;              // owner of records[k], cached
+  std::vector<std::uint64_t> by_owner;  // record count per owning GPU
+
   for (int sender : devices_) {
     DeviceShard& src = array.shard(sender);
-    if (src.miss.records.empty()) continue;
+    const std::vector<ir::WriteMissRecord>& records = src.miss.records;
+    if (records.empty()) continue;
 
-    // Group the (address, data) records by owning GPU.
-    std::unordered_map<int, std::vector<ir::WriteMissRecord>> by_owner;
-    for (const auto& record : src.miss.records) {
-      const int owner = array.OwnerOf(record.index);
+    // Counting pass: resolve each record's owning GPU once (cached — OwnerOf
+    // is a shard scan) and tally the per-owner batch sizes. This replaces
+    // the per-record hash/map grouping: billing only needs the group totals,
+    // and ascending owner ids give the deterministic billing order for free.
+    owners.resize(records.size());
+    by_owner.assign(static_cast<std::size_t>(array.num_shards()), 0);
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      const int owner = array.OwnerOf(records[k].index);
       ACCMG_REQUIRE(owner >= 0,
-                    "write-miss to element " + std::to_string(record.index) +
-                        " of '" + array.name() + "' which no GPU owns");
-      by_owner[owner].push_back(record);
+                    "write-miss to element " +
+                        std::to_string(records[k].index) + " of '" +
+                        array.name() + "' which no GPU owns");
+      owners[k] = owner;
+      by_owner[static_cast<std::size_t>(owner)] += 1;
     }
-    for (auto& [owner, records] : by_owner) {
-      DeviceShard& dst = array.shard(owner);
+    for (std::size_t owner = 0; owner < by_owner.size(); ++owner) {
+      if (by_owner[owner] == 0) continue;
       // The record batch (16 bytes each: address + data) travels to the
       // owner, where a small kernel applies the writes (Section IV-D2).
-      platform_.BillDeviceToDevice(sender, owner, records.size() * 16);
+      platform_.BillDeviceToDevice(sender, static_cast<int>(owner),
+                                   by_owner[owner] * 16);
+      replayed += by_owner[owner];
+    }
+
+    // Apply pass, in buffer order so the last write to an index wins.
+    // Runs of records owned by the same GPU are the common case (kernels
+    // emit misses while marching through contiguous iteration ranges), so
+    // the owner shard lookup and the residency bounds are hoisted out to
+    // one resolution per run; inside a run each record is a single bounded
+    // store into the owner's segment.
+    std::size_t k = 0;
+    while (k < records.size()) {
+      const int owner = owners[k];
+      DeviceShard& dst = array.shard(owner);
       std::byte* dst_data = dst.data->bytes().data();
-      for (const auto& record : records) {
-        ACCMG_CHECK(dst.loaded.Contains(record.index),
+      const std::int64_t dst_lo = dst.loaded.lo;
+      const std::int64_t dst_hi = dst.loaded.hi;
+      for (; k < records.size() && owners[k] == owner; ++k) {
+        const std::int64_t index = records[k].index;
+        ACCMG_CHECK(index >= dst_lo && index < dst_hi,
                     "owner segment does not contain missed element");
-        const std::size_t local =
-            static_cast<std::size_t>(record.index - dst.loaded.lo);
-        // The raw field holds the element bits in the low `elem` bytes.
-        std::memcpy(dst_data + local * elem, &record.raw, elem);
+        std::memcpy(dst_data + static_cast<std::size_t>(index - dst_lo) * elem,
+                    &records[k].raw, elem);
       }
-      stats_.miss_records_replayed += records.size();
-      CommMetrics::Get().miss_records_replayed.Add(records.size());
     }
     src.miss.records.clear();
   }
+  stats_.miss_records_replayed += replayed;
+  if (replayed > 0) comm_metrics.miss_records_replayed.Add(replayed);
   array.set_host_valid(false);
 }
 
@@ -201,6 +354,8 @@ void CommManager::RefreshHalos(ManagedArray& array) {
   trace::PhaseScope phase(trace::category::kHalo);
   trace::Span span("halo:" + array.name(), trace::category::kHalo);
   const std::size_t elem = array.elem_size();
+  CommMetrics& comm_metrics = CommMetrics::Get();
+  std::uint64_t refreshes = 0;
   for (int device : devices_) {
     DeviceShard& shard = array.shard(device);
     if (shard.data == nullptr) continue;
@@ -226,12 +381,13 @@ void CommManager::RefreshHalos(ManagedArray& array) {
             static_cast<std::size_t>(cursor - shard.loaded.lo) * elem,
             *src.data, static_cast<std::size_t>(cursor - src.loaded.lo) * elem,
             bytes);
-        ++stats_.halo_refreshes;
-        CommMetrics::Get().halo_refreshes.Add();
+        ++refreshes;
         cursor = piece_hi;
       }
     }
   }
+  stats_.halo_refreshes += refreshes;
+  if (refreshes > 0) comm_metrics.halo_refreshes.Add(refreshes);
 }
 
 }  // namespace accmg::runtime

@@ -1,0 +1,47 @@
+// Straightforward (serial, element-at-a-time) implementations of the
+// coherence hot paths, kept as the behavioral baseline for the optimized
+// CommManager / CombineArrayReduction code.
+//
+// Two consumers rely on them:
+//  * tests/comm_equivalence_test.cc runs both versions on identical random
+//    write patterns and asserts bit-identical array contents AND identical
+//    billed bytes, transfer counts, and simulated time (the sim-time
+//    neutrality invariant — see docs/PERFORMANCE.md);
+//  * bench/bench_comm_hotpath measures the wall-clock gap between the two,
+//    which is the perf trajectory this repo tracks across PRs.
+//
+// Invariant: every function here must bill exactly the same transfers, in
+// the same order, as its optimized counterpart. Change them in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/exec.h"
+#include "ir/ir.h"
+#include "runtime/managed_array.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime::reference {
+
+/// Element-at-a-time dirty-bit propagation: snapshot each sender's dirty
+/// elements one by one, bill per dirty chunk, apply per element to every
+/// receiver. Mirrors CommManager::PropagateReplicated.
+void PropagateReplicated(sim::Platform& platform,
+                         const std::vector<int>& devices, ManagedArray& array);
+
+/// Per-record write-miss replay grouped by owner in ascending owner order.
+/// Mirrors CommManager::ReplayWriteMisses.
+void ReplayWriteMisses(sim::Platform& platform,
+                       const std::vector<int>& devices, ManagedArray& array);
+
+/// Serial pairwise-tree reduction combine (same combination order as the
+/// optimized path so floating-point results match bitwise), applied with
+/// plain loops. Mirrors runtime::CombineArrayReduction.
+void CombineArrayReduction(
+    sim::Platform& platform, const std::vector<int>& devices,
+    ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
+    std::int64_t length,
+    const std::vector<const std::vector<std::uint64_t>*>& partials);
+
+}  // namespace accmg::runtime::reference

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include <bit>
 
@@ -10,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "ir/exec.h"
+#include "runtime/reduction.h"
 
 namespace accmg::runtime {
 
@@ -213,9 +216,14 @@ void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
   }
 
   // --- 4. Launch kernels (they overlap in simulated time). ---
-  std::vector<std::unique_ptr<ir::KernelExec>> execs;
-  execs.reserve(devices_.size());
-  for (std::size_t g = 0; g < devices_.size(); ++g) {
+  // Setup + launches run concurrently, one thread per device: each kernel's
+  // functional execution (Platform::LaunchKernel) is itself host work, so
+  // device-after-device launching would serialize it on the harness wall
+  // clock even though the sim clock already models the overlap. Billing is
+  // thread-safe and per-device resources are disjoint, so simulated time is
+  // unchanged.
+  std::vector<std::unique_ptr<ir::KernelExec>> execs(devices_.size());
+  auto launch_device = [&](std::size_t g) {
     auto exec = std::make_unique<ir::KernelExec>(offload.kernel);
     exec->scalar_values = scalar_values;
     exec->iteration_offset = lower + tasks[g].lo;
@@ -254,7 +262,27 @@ void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
     launch.block_size = options_.block_size;
     launch.name = offload.name;
     platform_.LaunchKernel(devices_[g], launch);
-    execs.push_back(std::move(exec));
+    execs[g] = std::move(exec);
+  };
+  if (devices_.size() == 1) {
+    launch_device(0);
+  } else {
+    std::vector<std::exception_ptr> errors(devices_.size());
+    std::vector<std::thread> launchers;
+    launchers.reserve(devices_.size());
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      launchers.emplace_back([&, g] {
+        try {
+          launch_device(g);
+        } catch (...) {
+          errors[g] = std::current_exception();
+        }
+      });
+    }
+    for (auto& launcher : launchers) launcher.join();
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
   platform_.Barrier(sim::TimeCategory::kKernel);
   ++stats_.offload_runs;
@@ -283,56 +311,19 @@ void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
   }
 
   // 5b. Array reductions (hierarchical, Section IV-B4): per-GPU dense
-  // partials combine pairwise across GPUs, then the result folds into every
-  // replica of the destination array.
+  // partials combine pairwise across GPUs (tree order, parallel over element
+  // ranges), then the result folds into every replica of the destination.
   for (std::size_t r = 0; r < offload.array_reds.size(); ++r) {
     const auto& red = offload.array_reds[r];
     const auto& slot = offload.kernel.array_reductions[r];
     ManagedArray& dest = resolve(*red.decl);
-    const std::size_t elem = dest.elem_size();
-    const auto length = static_cast<std::size_t>(red_length[r]);
-
-    std::vector<std::uint64_t> combined(
-        length, ir::ReductionIdentity(slot.op, slot.type));
-    for (std::size_t g = 0; g < devices_.size(); ++g) {
-      const auto& partial = execs[g]->array_red_partials()[r];
-      for (std::size_t j = 0; j < length; ++j) {
-        combined[j] =
-            ir::CombineRaw(slot.op, slot.type, combined[j], partial[j]);
-      }
-      if (g != 0) {
-        // Partial travels to the combining GPU.
-        platform_.BillDeviceToDevice(devices_[g], devices_[0],
-                                     length * elem);
-      }
+    std::vector<const std::vector<std::uint64_t>*> partials;
+    partials.reserve(devices_.size());
+    for (const auto& exec : execs) {
+      partials.push_back(&exec->array_red_partials()[r]);
     }
-    // Fold into the destination and broadcast the result to every replica.
-    for (std::size_t g = 0; g < devices_.size(); ++g) {
-      DeviceShard& shard = dest.shard(devices_[g]);
-      ACCMG_CHECK(shard.data != nullptr,
-                  "reduction destination has no device copy");
-      std::byte* data = shard.data->bytes().data();
-      for (std::size_t j = 0; j < length; ++j) {
-        const std::int64_t index = red_lower[r] + static_cast<std::int64_t>(j);
-        if (!shard.loaded.Contains(index)) continue;
-        const std::size_t local =
-            static_cast<std::size_t>(index - shard.loaded.lo);
-        std::uint64_t current = 0;
-        std::memcpy(&current, data + local * elem, elem);
-        if (g == 0) {
-          // Fold the pre-kernel value in exactly once.
-          combined[j] =
-              ir::CombineRaw(slot.op, slot.type, current, combined[j]);
-        }
-        std::memcpy(data + local * elem, &combined[j], elem);
-      }
-      if (g != 0) {
-        platform_.BillDeviceToDevice(devices_[0], devices_[g],
-                                     length * elem);
-      }
-      shard.valid = true;
-    }
-    dest.set_host_valid(false);
+    CombineArrayReduction(platform_, devices_, dest, slot.op, slot.type,
+                          red_lower[r], red_length[r], partials);
   }
 
   // 5c. Replicated written arrays: dirty-bit propagation.

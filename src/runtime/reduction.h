@@ -1,0 +1,35 @@
+// Inter-GPU array-reduction combine (paper Section IV-B4), factored out of
+// the executor so differential tests and benchmarks can drive it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/exec.h"
+#include "ir/ir.h"
+#include "runtime/managed_array.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime {
+
+/// Combines the per-GPU dense partials of one reduction-to-array section
+/// pairwise — tree order ((p0 op p1) op (p2 op p3)) ... — then folds the
+/// pre-kernel value of `dest` in exactly once and broadcasts the result into
+/// every replica of the destination.
+///
+/// `partials` is parallel to `devices`; each entry holds `length` raw
+/// element values (KernelExec::array_red_partials layout). The section is
+/// [lower, lower + length) of `dest`.
+///
+/// Billing is that of the serial combine chain: every non-root partial
+/// travels to devices[0] (length * elem bytes each), then the combined
+/// result travels devices[0] -> g for every other replica, in ascending
+/// device order. The host-side combine work runs on the platform's worker
+/// pool; simulated time and billed bytes are independent of the pool size.
+void CombineArrayReduction(
+    sim::Platform& platform, const std::vector<int>& devices,
+    ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
+    std::int64_t length,
+    const std::vector<const std::vector<std::uint64_t>*>& partials);
+
+}  // namespace accmg::runtime

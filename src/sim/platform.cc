@@ -45,14 +45,17 @@ struct SimMetrics {
 
 /// Records one operation on the simulated timeline. The category is the
 /// runtime phase that issued it (dirty merge, miss flush, halo, reduction)
-/// when a trace::PhaseScope is active, else `fallback_cat`.
-void RecordSimSpan(std::string name, const char* fallback_cat, int device,
+/// when a trace::PhaseScope is active, else `fallback_cat`. The name is
+/// produced lazily by `make_name` so the billing hot path never pays for
+/// string construction while the tracer is disabled.
+template <typename NameFn>
+void RecordSimSpan(NameFn&& make_name, const char* fallback_cat, int device,
                    double end_s, double duration_s) {
   auto& tracer = trace::Tracer::Global();
   if (!tracer.enabled()) return;
   trace::Event event;
   const char* phase = trace::PhaseScope::Current();
-  event.name = std::move(name);
+  event.name = make_name();
   event.category = phase != nullptr ? phase : fallback_cat;
   event.timeline = trace::Timeline::kSim;
   event.device = device;
@@ -110,14 +113,19 @@ void Platform::BillHostToDevice(int device_id, std::size_t bytes) {
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
   const double duration = topology_.host_link.TransferSeconds(bytes);
-  const double end = clock_.Schedule(resources, duration);
-  RecordSimSpan("h2d " + FormatBytes(bytes), trace::category::kTransfer,
-                device_id, end, duration);
-  ++counters_.h2d_transfers;
-  counters_.h2d_bytes += bytes;
-  SimMetrics::Get().h2d_transfers.Add();
-  SimMetrics::Get().h2d_bytes.Add(bytes);
-  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
+  double end;
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    end = clock_.Schedule(resources, duration);
+    ++counters_.h2d_transfers;
+    counters_.h2d_bytes += bytes;
+  }
+  RecordSimSpan([&] { return "h2d " + FormatBytes(bytes); },
+                trace::category::kTransfer, device_id, end, duration);
+  SimMetrics& m = SimMetrics::Get();
+  m.h2d_transfers.Add();
+  m.h2d_bytes.Add(bytes);
+  m.transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
@@ -125,14 +133,19 @@ void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
   const double duration = topology_.host_link.TransferSeconds(bytes);
-  const double end = clock_.Schedule(resources, duration);
-  RecordSimSpan("d2h " + FormatBytes(bytes), trace::category::kTransfer,
-                device_id, end, duration);
-  ++counters_.d2h_transfers;
-  counters_.d2h_bytes += bytes;
-  SimMetrics::Get().d2h_transfers.Add();
-  SimMetrics::Get().d2h_bytes.Add(bytes);
-  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
+  double end;
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    end = clock_.Schedule(resources, duration);
+    ++counters_.d2h_transfers;
+    counters_.d2h_bytes += bytes;
+  }
+  RecordSimSpan([&] { return "d2h " + FormatBytes(bytes); },
+                trace::category::kTransfer, device_id, end, duration);
+  SimMetrics& m = SimMetrics::Get();
+  m.d2h_transfers.Add();
+  m.d2h_bytes.Add(bytes);
+  m.transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::BillDeviceToDevice(int src_device, int dst_device,
@@ -158,15 +171,23 @@ void Platform::BillDeviceToDevice(int src_device, int dst_device,
     // link, serialized.
     duration = 2 * topology_.host_link.TransferSeconds(bytes);
   }
-  const double end = clock_.Schedule(resources, duration);
-  RecordSimSpan("p2p " + std::to_string(src_device) + "->" +
-                    std::to_string(dst_device) + " " + FormatBytes(bytes),
-                trace::category::kTransfer, src_device, end, duration);
-  ++counters_.p2p_transfers;
-  counters_.p2p_bytes += bytes;
-  SimMetrics::Get().p2p_transfers.Add();
-  SimMetrics::Get().p2p_bytes.Add(bytes);
-  SimMetrics::Get().transfer_bytes.Observe(static_cast<double>(bytes));
+  double end;
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    end = clock_.Schedule(resources, duration);
+    ++counters_.p2p_transfers;
+    counters_.p2p_bytes += bytes;
+  }
+  RecordSimSpan(
+      [&] {
+        return "p2p " + std::to_string(src_device) + "->" +
+               std::to_string(dst_device) + " " + FormatBytes(bytes);
+      },
+      trace::category::kTransfer, src_device, end, duration);
+  SimMetrics& m = SimMetrics::Get();
+  m.p2p_transfers.Add();
+  m.p2p_bytes.Add(bytes);
+  m.transfer_bytes.Observe(static_cast<double>(bytes));
 }
 
 void Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
@@ -226,12 +247,20 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch) {
       dev.spec().mem_bandwidth_bps;
   const double duration =
       dev.spec().launch_overhead_s + std::max(compute_s, memory_s);
-  const double end = clock_.Schedule(dev.compute_resource(), duration);
-  RecordSimSpan(launch.name.empty() ? "kernel" : launch.name,
-                trace::category::kKernel, device_id, end, duration);
-  ++counters_.kernel_launches;
-  SimMetrics::Get().kernel_launches.Add();
-  SimMetrics::Get().kernel_seconds.Observe(duration);
+  double end;
+  {
+    std::lock_guard<std::mutex> lock(accounting_mutex_);
+    end = clock_.Schedule(dev.compute_resource(), duration);
+    ++counters_.kernel_launches;
+  }
+  RecordSimSpan(
+      [&] {
+        return launch.name.empty() ? std::string("kernel") : launch.name;
+      },
+      trace::category::kKernel, device_id, end, duration);
+  SimMetrics& m = SimMetrics::Get();
+  m.kernel_launches.Add();
+  m.kernel_seconds.Observe(duration);
   return total;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -68,6 +69,14 @@ class Platform {
   /// moving bytes. Used where the functional effect is applied element-wise
   /// by the runtime (e.g. dirty-element merges) but the wire cost is that of
   /// a bulk transfer.
+  ///
+  /// Thread safety: Bill* and LaunchKernel may be issued from concurrent
+  /// per-device threads (the executor launches kernels that way); clock
+  /// scheduling and the counters are serialized on an internal mutex.
+  /// Operations on disjoint resources commute under SimClock::Schedule, so
+  /// concurrent per-device scheduling stays deterministic. Everything else
+  /// (Barrier, ResetAccounting, counters()) assumes external
+  /// synchronization, i.e. no in-flight billing.
   void BillHostToDevice(int device_id, std::size_t bytes);
   void BillDeviceToHost(int device_id, std::size_t bytes);
   void BillDeviceToDevice(int src_device, int dst_device, std::size_t bytes);
@@ -99,6 +108,8 @@ class Platform {
   std::vector<SimClock::Resource> io_root_resources_;  // one per IO group
   ThreadPool workers_;
   PlatformCounters counters_;
+  /// Serializes clock scheduling + counter updates for Bill*/LaunchKernel.
+  mutable std::mutex accounting_mutex_;
 };
 
 /// Table I presets.
