@@ -6,8 +6,14 @@
 // communication manager refreshes the halos from their owners after every
 // step — the classic distributed-stencil exchange, produced automatically
 // from a single-GPU OpenACC program.
+//
+// Pass --validate to shadow-execute every kernel on a single-GPU golden
+// configuration and diff the full managed-array state after each one (see
+// docs/ARCHITECTURE.md, "Correctness & validation"). Validation re-runs
+// every kernel on the host, so the flag also shrinks the problem.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "runtime/program.h"
@@ -42,11 +48,22 @@ void heat(int n, int steps, double alpha, double* u, double* unew) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accmg;
 
-  constexpr int kN = 1 << 20;
-  constexpr int kSteps = 50;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--validate") == 0) {
+      validate = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--validate]\n", argv[0]);
+      return 2;
+    }
+  }
+  // The golden shadow execution runs each kernel single-threaded on the
+  // host, so validation uses a much smaller grid and fewer steps.
+  const int kN = validate ? 1 << 14 : 1 << 20;
+  const int kSteps = validate ? 10 : 50;
   const auto program = runtime::AccProgram::FromSource("heat", kSource);
 
   std::vector<double> reference;
@@ -56,9 +73,9 @@ int main() {
     for (int i = 0; i < kN; ++i) {
       u[i] = (i > kN / 4 && i < kN / 2) ? 100.0 : 0.0;  // a hot slab
     }
-    runtime::ProgramRunner runner(
-        program,
-        runtime::RunConfig{.platform = platform.get(), .num_gpus = gpus});
+    runtime::RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+    config.options.validate = validate;
+    runtime::ProgramRunner runner(program, config);
     runner.BindArray("u", u.data(), ir::ValType::kF64, kN);
     runner.BindArray("unew", unew.data(), ir::ValType::kF64, kN);
     runner.BindScalar("n", static_cast<std::int64_t>(kN));
@@ -76,6 +93,18 @@ int main() {
         report.time[sim::TimeCategory::kCpuGpu] * 1e3,
         report.time[sim::TimeCategory::kGpuGpu] * 1e3,
         static_cast<unsigned long long>(report.comm.halo_refreshes), energy);
+    if (validate) {
+      std::printf("    validated: %llu kernel(s) checked, %llu divergence(s)\n",
+                  static_cast<unsigned long long>(
+                      report.validator.kernels_checked),
+                  static_cast<unsigned long long>(
+                      report.validator.divergences));
+      if (report.validator.kernels_checked == 0 ||
+          report.validator.divergences != 0) {
+        std::printf("VALIDATION FAILED\n");
+        return 1;
+      }
+    }
 
     if (gpus == 1) {
       reference = u;

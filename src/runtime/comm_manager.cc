@@ -358,12 +358,21 @@ void CommManager::RefreshHalos(ManagedArray& array) {
   std::uint64_t refreshes = 0;
   for (int device : devices_) {
     DeviceShard& shard = array.shard(device);
-    if (shard.data == nullptr) continue;
+    if (shard.data == nullptr || shard.loaded.empty()) continue;
     // Halo = loaded minus owned, split into the left and right pieces.
-    const Range left{shard.loaded.lo,
-                     std::min(shard.owned.lo, shard.loaded.hi)};
-    const Range right{std::max(shard.owned.hi, shard.loaded.lo),
-                      shard.loaded.hi};
+    // Clamp the owned range into the loaded range first: an empty or
+    // degenerate owned range (a device with no iterations, or owned ranges
+    // of a stale placement lying outside the current segment) would
+    // otherwise produce left/right pieces that overlap — the same element
+    // refreshed twice, with double billing. An empty owned range simply
+    // means the whole loaded range is halo.
+    Range own{std::clamp(shard.owned.lo, shard.loaded.lo, shard.loaded.hi),
+              std::clamp(shard.owned.hi, shard.loaded.lo, shard.loaded.hi)};
+    if (shard.owned.empty() || own.hi < own.lo) {
+      own = Range{shard.loaded.lo, shard.loaded.lo};
+    }
+    const Range left{shard.loaded.lo, own.lo};
+    const Range right{own.hi, shard.loaded.hi};
     for (const Range& halo : {left, right}) {
       std::int64_t cursor = halo.lo;
       while (cursor < halo.hi) {
@@ -371,9 +380,23 @@ void CommManager::RefreshHalos(ManagedArray& array) {
         ACCMG_REQUIRE(owner >= 0, "halo element " + std::to_string(cursor) +
                                       " of '" + array.name() +
                                       "' has no owner");
-        DeviceShard& src = array.shard(owner);
-        const std::int64_t piece_hi = std::min(halo.hi, src.owned.hi);
-        ACCMG_CHECK(piece_hi > cursor, "halo owner makes no progress");
+        const DeviceShard& src = array.shard(owner);
+        // OwnerOf only guarantees the owned interval covers the element;
+        // the source shard must also actually hold current bytes for it.
+        ACCMG_REQUIRE(src.valid,
+                      "halo refresh of '" + array.name() + "' reads from a "
+                          "stale (invalid) owner shard on device " +
+                          std::to_string(owner));
+        ACCMG_REQUIRE(src.data != nullptr,
+                      "halo owner shard of '" + array.name() +
+                          "' on device " + std::to_string(owner) +
+                          " has no device allocation");
+        const std::int64_t piece_hi =
+            std::min({halo.hi, src.owned.hi, src.loaded.hi});
+        ACCMG_REQUIRE(src.loaded.Contains(cursor) && piece_hi > cursor,
+                      "halo owner segment of '" + array.name() +
+                          "' does not contain element " +
+                          std::to_string(cursor));
         const std::size_t bytes =
             static_cast<std::size_t>(piece_hi - cursor) * elem;
         platform_.CopyDeviceToDevice(

@@ -63,13 +63,22 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
     }
   }
   if (satisfied) {
+    // Shards of devices outside the participating set may survive from an
+    // earlier, larger device set. They must not stay behind: the allocation
+    // is leaked memory, and a stale-but-valid replica would be picked up by
+    // later gathers/owner scans. Participating replicas are valid, so
+    // releasing loses nothing.
+    ReleaseNonParticipating(array);
     ++stats_.loads_skipped;
     LoaderMetrics::Get().loads_skipped.Add();
     return;
   }
 
-  // Transitioning placements: make the host copy authoritative first.
+  // Transitioning placements: make the host copy authoritative first. This
+  // must happen before non-participating shards are released — they may
+  // hold the only valid copy.
   if (!array.host_valid()) GatherToHost(array);
+  ReleaseNonParticipating(array);
 
   for (int device : devices_) {
     DeviceShard& shard = array.shard(device);
@@ -89,12 +98,6 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
     ++stats_.loads_performed;
     LoaderMetrics::Get().loads_performed.Add();
   }
-  // Devices outside the participating set no longer hold valid replicas.
-  for (int d = 0; d < array.num_shards(); ++d) {
-    bool participating = false;
-    for (int device : devices_) participating |= device == d;
-    if (!participating) array.shard(d).valid = false;
-  }
   array.set_placement(Placement::kReplicated);
 }
 
@@ -112,6 +115,15 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
                    shard.loaded.lo <= req.read_ranges[i].lo &&
                    shard.loaded.hi >= req.read_ranges[i].hi;
     }
+    // The per-index comparison above only sees this loader's device list.
+    // If the previous placement involved other devices (a larger set, or a
+    // different ordering that left shards on devices we no longer drive),
+    // their still-valid shards would keep claiming ownership in OwnerOf
+    // scans and shadow the new partition — so the skip is only safe when
+    // every non-participating shard is already invalid.
+    for (int d = 0; satisfied && d < array.num_shards(); ++d) {
+      if (!IsParticipating(d)) satisfied &= !array.shard(d).valid;
+    }
   }
   if (satisfied) {
     ++stats_.loads_skipped;
@@ -120,6 +132,7 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
   }
 
   if (!array.host_valid()) GatherToHost(array);
+  ReleaseNonParticipating(array);
 
   const std::size_t elem = array.elem_size();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -144,12 +157,25 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
     ++stats_.loads_performed;
     LoaderMetrics::Get().loads_performed.Add();
   }
-  for (int d = 0; d < array.num_shards(); ++d) {
-    bool participating = false;
-    for (int device : devices_) participating |= device == d;
-    if (!participating) array.shard(d).valid = false;
-  }
   array.set_placement(Placement::kDistributed);
+}
+
+bool DataLoader::IsParticipating(int device) const {
+  for (int d : devices_) {
+    if (d == device) return true;
+  }
+  return false;
+}
+
+void DataLoader::ReleaseNonParticipating(ManagedArray& array) {
+  for (int d = 0; d < array.num_shards(); ++d) {
+    if (IsParticipating(d)) continue;
+    DeviceShard& shard = array.shard(d);
+    if (shard.data != nullptr || shard.valid || shard.dirty1 != nullptr ||
+        shard.miss_capacity != nullptr) {
+      shard.Release();
+    }
+  }
 }
 
 void DataLoader::EnsureSystemBuffers(const ArrayRequirement& req) {

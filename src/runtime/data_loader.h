@@ -59,6 +59,12 @@ class DataLoader {
   void LoadDistributed(const ArrayRequirement& req);
   void EnsureSystemBuffers(const ArrayRequirement& req);
 
+  bool IsParticipating(int device) const;
+  /// Frees the shards of devices outside this loader's device set. The
+  /// authoritative bytes must already be safe (host copy or a participating
+  /// shard) before calling.
+  void ReleaseNonParticipating(ManagedArray& array);
+
   sim::Platform& platform_;
   ExecOptions options_;
   std::vector<int> devices_;

@@ -77,10 +77,30 @@ Executor::Executor(sim::Platform& platform, ExecOptions options,
     ACCMG_REQUIRE(d >= 0 && d < platform.num_devices(),
                   "executor device id out of range");
   }
+  if (options_.validate) {
+    validator_ = std::make_unique<Validator>(platform_, options_, devices_);
+  }
 }
 
 void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
                           const ArrayResolver& resolve) {
+  if (validator_ == nullptr) {
+    RunOffloadImpl(offload, env, resolve);
+    return;
+  }
+  validator_->BeginOffload(offload, env, resolve);
+  try {
+    RunOffloadImpl(offload, env, resolve);
+  } catch (const DeviceError& fault) {
+    // On real hardware this is silent corruption; the simulator faults
+    // loudly, and the validator attributes it to the running kernel.
+    validator_->ReportFault(offload, fault);
+  }
+  validator_->CheckOffload(offload, env, resolve);
+}
+
+void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
+                              const ArrayResolver& resolve) {
   trace::Span offload_span("offload:" + offload.name,
                            trace::category::kOffload);
   const std::int64_t lower = EvalIndexExpr(*offload.lower_bound, env);

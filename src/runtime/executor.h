@@ -11,15 +11,12 @@
 #include "runtime/data_loader.h"
 #include "runtime/managed_array.h"
 #include "runtime/options.h"
+#include "runtime/validator.h"
 #include "sim/platform.h"
 #include "translator/eval.h"
 #include "translator/offload.h"
 
 namespace accmg::runtime {
-
-/// Resolves a mini-C array parameter to its managed placement state.
-using ArrayResolver =
-    std::function<ManagedArray&(const frontend::VarDecl&)>;
 
 struct ExecutorStats {
   std::uint64_t offload_runs = 0;   ///< kernel executions (Table II column C)
@@ -42,14 +39,22 @@ class Executor {
   const ExecutorStats& stats() const { return stats_; }
   const std::vector<int>& devices() const { return devices_; }
   const ExecOptions& options() const { return options_; }
+  /// Non-null iff ExecOptions::validate is set.
+  const Validator* validator() const { return validator_.get(); }
 
  private:
+  /// The actual BSP execution; RunOffload wraps it with the validator's
+  /// capture/check when validation is on.
+  void RunOffloadImpl(const translator::LoopOffload& offload,
+                      translator::HostEnv& env, const ArrayResolver& resolve);
+
   sim::Platform& platform_;
   ExecOptions options_;
   std::vector<int> devices_;
   DataLoader loader_;
   CommManager comm_;
   ExecutorStats stats_;
+  std::unique_ptr<Validator> validator_;
 };
 
 }  // namespace accmg::runtime

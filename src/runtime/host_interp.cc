@@ -195,6 +195,9 @@ RunReport HostInterpreter::Run() {
     report_.loader = gpu_->loader().stats();
     report_.comm = gpu_->comm().stats();
     report_.kernel_executions = gpu_->stats().offload_runs;
+    if (gpu_->validator() != nullptr) {
+      report_.validator = gpu_->validator()->stats();
+    }
   }
   return report_;
 }

@@ -56,18 +56,21 @@ std::size_t ManagedArray::SystemBytes() const {
   return total;
 }
 
+void DeviceShard::Release() {
+  data.reset();
+  dirty1.reset();
+  dirty2.reset();
+  staging.reset();
+  miss_capacity.reset();
+  miss.records.clear();
+  loaded = Range{};
+  owned = Range{};
+  valid = false;
+  chunk_elems = 0;
+}
+
 void ManagedArray::DropDeviceState() {
-  for (auto& shard : shards_) {
-    shard.data.reset();
-    shard.dirty1.reset();
-    shard.dirty2.reset();
-    shard.staging.reset();
-    shard.miss_capacity.reset();
-    shard.miss.records.clear();
-    shard.loaded = Range{};
-    shard.owned = Range{};
-    shard.valid = false;
-  }
+  for (auto& shard : shards_) shard.Release();
   placement_ = Placement::kHostOnly;
 }
 

@@ -52,6 +52,12 @@ struct DeviceShard {
   // System memory (distributed arrays with unproven writes): miss buffer.
   std::unique_ptr<sim::DeviceBuffer> miss_capacity;
   ir::MissBuffer miss;
+
+  /// Frees every allocation held by this shard and resets it to the
+  /// "nothing resident" state. Used when a device leaves the participating
+  /// set of an array (the shard would otherwise keep its stale segment —
+  /// leaked device memory and a stale-but-valid replica hazard).
+  void Release();
 };
 
 class ManagedArray {

@@ -33,6 +33,19 @@ struct ExecOptions {
   /// Equivalent to trace::Tracer::Global().set_enabled(true); tracing stays
   /// on afterwards so callers can export the buffer.
   bool trace = false;
+
+  /// Shadow-executes every offload on a host-side golden interpreter and
+  /// diffs all managed-array state (shard bytes, host image, dirty bits,
+  /// miss buffers) plus billed-transfer counters after each kernel
+  /// (runtime/validator.h). Expensive — single-threaded re-execution of
+  /// every kernel — so strictly a debugging mode.
+  bool validate = false;
+
+  /// Relative tolerance used by the validator when comparing floating-point
+  /// reduction results: chunk merge order differs between the multi-GPU run
+  /// and the golden run, so float reductions are only reproducible up to
+  /// rounding. Non-reduction stores are compared bit-exactly.
+  double validate_rel_tol = 1e-5;
 };
 
 }  // namespace accmg::runtime

@@ -8,11 +8,17 @@ namespace accmg::runtime {
 
 AccProgram AccProgram::FromSource(const std::string& name,
                                   const std::string& source) {
+  return FromSource(name, source, translator::CompileOptions{});
+}
+
+AccProgram AccProgram::FromSource(const std::string& name,
+                                  const std::string& source,
+                                  const translator::CompileOptions& options) {
   AccProgram program;
   program.name_ = name;
   frontend::SourceBuffer buffer(name, source);
   program.ast_ = frontend::ParseAndAnalyze(buffer);
-  program.compiled_ = translator::Compile(*program.ast_);
+  program.compiled_ = translator::Compile(*program.ast_, options);
   return program;
 }
 

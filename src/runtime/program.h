@@ -36,6 +36,11 @@ class AccProgram {
   /// Parses, analyzes and translates `source`. Throws CompileError.
   static AccProgram FromSource(const std::string& name,
                                const std::string& source);
+  /// Same, with explicit translation knobs (e.g. disabling the static
+  /// directive checker to study what the runtime validator then catches).
+  static AccProgram FromSource(const std::string& name,
+                               const std::string& source,
+                               const translator::CompileOptions& options);
 
   const frontend::Program& ast() const { return *ast_; }
   const translator::CompiledProgram& compiled() const { return compiled_; }
@@ -69,6 +74,9 @@ struct RunReport {
   CommStats comm;
   sim::PlatformCounters counters;
   std::uint64_t kernel_executions = 0;  ///< Table II column C
+
+  /// Populated when ExecOptions::validate is on (all zeros otherwise).
+  ValidatorStats validator;
 };
 
 class ProgramRunner {

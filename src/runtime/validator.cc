@@ -1,0 +1,408 @@
+#include "runtime/validator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "common/error.h"
+#include "common/metrics.h"
+#include "ir/exec.h"
+
+namespace accmg::runtime {
+
+using translator::EvalIndexExpr;
+using translator::HostEnv;
+using translator::LoopOffload;
+using translator::TypedValue;
+
+namespace {
+
+std::uint64_t LoadRaw(const std::byte* base, std::size_t elem_size,
+                      std::int64_t elem_offset) {
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, base + elem_offset * static_cast<std::int64_t>(elem_size),
+              elem_size);
+  return raw;
+}
+
+void StoreRaw(std::byte* base, std::size_t elem_size,
+              std::int64_t elem_offset, std::uint64_t raw) {
+  std::memcpy(base + elem_offset * static_cast<std::int64_t>(elem_size), &raw,
+              elem_size);
+}
+
+double RawToDouble(ir::ValType type, std::uint64_t raw) {
+  switch (type) {
+    case ir::ValType::kF32:
+      return std::bit_cast<float>(static_cast<std::uint32_t>(raw));
+    case ir::ValType::kF64:
+      return std::bit_cast<double>(raw);
+    case ir::ValType::kI32:
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(raw));
+    case ir::ValType::kI64:
+      return static_cast<double>(static_cast<std::int64_t>(raw));
+  }
+  return 0;
+}
+
+std::string RawToString(ir::ValType type, std::uint64_t raw) {
+  switch (type) {
+    case ir::ValType::kF32:
+    case ir::ValType::kF64:
+      return std::to_string(RawToDouble(type, raw));
+    case ir::ValType::kI32:
+      return std::to_string(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(raw)));
+    case ir::ValType::kI64:
+      return std::to_string(static_cast<std::int64_t>(raw));
+  }
+  return "?";
+}
+
+/// Float equality up to `rel_tol` (used only where the merge order between
+/// the multi-GPU and golden runs legitimately differs); exact otherwise.
+bool RawMatches(ir::ValType type, std::uint64_t a, std::uint64_t b,
+                bool approximate, double rel_tol) {
+  if (a == b) return true;
+  if (!approximate || !ir::IsFloat(type)) return false;
+  const double da = RawToDouble(type, a);
+  const double db = RawToDouble(type, b);
+  if (std::isnan(da) && std::isnan(db)) return true;
+  const double scale = std::max({1.0, std::abs(da), std::abs(db)});
+  return std::abs(da - db) <= rel_tol * scale;
+}
+
+/// TypedValue -> raw element bits of `type` (mirrors the executor's
+/// reduction write-back conversion).
+std::uint64_t ToElementRaw(ir::ValType type, const TypedValue& value) {
+  switch (type) {
+    case ir::ValType::kI32:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(value.AsInt()));
+    case ir::ValType::kI64:
+      return static_cast<std::uint64_t>(value.AsInt());
+    case ir::ValType::kF32:
+      return std::bit_cast<std::uint32_t>(
+          static_cast<float>(value.AsDouble()));
+    case ir::ValType::kF64:
+      return std::bit_cast<std::uint64_t>(value.AsDouble());
+  }
+  return 0;
+}
+
+/// Asserts on destruction that the validator added no billed transfers,
+/// kernel launches or simulated time — validation reads device buffers
+/// behind the platform's back on purpose.
+class BillingGuard {
+ public:
+  explicit BillingGuard(sim::Platform& platform)
+      : platform_(platform),
+        counters_(platform.counters()),
+        sim_time_(platform.clock().breakdown().Total()) {}
+
+  ~BillingGuard() noexcept(false) {
+    // A divergence is already propagating: don't stack a second exception.
+    if (std::uncaught_exceptions() > 0) return;
+    const sim::PlatformCounters& now = platform_.counters();
+    ACCMG_CHECK(now.kernel_launches == counters_.kernel_launches &&
+                    now.h2d_transfers == counters_.h2d_transfers &&
+                    now.d2h_transfers == counters_.d2h_transfers &&
+                    now.p2p_transfers == counters_.p2p_transfers &&
+                    now.h2d_bytes == counters_.h2d_bytes &&
+                    now.d2h_bytes == counters_.d2h_bytes &&
+                    now.p2p_bytes == counters_.p2p_bytes,
+                "validator changed billed transfer counters");
+    ACCMG_CHECK(platform_.clock().breakdown().Total() == sim_time_,
+                "validator changed the simulated clock");
+  }
+
+ private:
+  sim::Platform& platform_;
+  sim::PlatformCounters counters_;
+  double sim_time_;
+};
+
+}  // namespace
+
+Validator::Validator(sim::Platform& platform, const ExecOptions& options,
+                     std::vector<int> devices)
+    : platform_(platform), options_(options), devices_(std::move(devices)) {}
+
+void Validator::Diverge(const std::string& message) {
+  ++stats_.divergences;
+  static metrics::Counter& divergences_metric =
+      metrics::Registry::Global().counter("validator.divergences");
+  divergences_metric.Add();
+  throw Error("validate: " + message);
+}
+
+void Validator::BeginOffload(const LoopOffload& offload, HostEnv& env,
+                             const ArrayResolver& resolve) {
+  BillingGuard guard(platform_);
+
+  lower_ = EvalIndexExpr(*offload.lower_bound, env);
+  std::int64_t upper = EvalIndexExpr(*offload.upper_bound, env);
+  if (offload.upper_inclusive) ++upper;
+  total_ = std::max<std::int64_t>(0, upper - lower_);
+
+  scalar_values_.resize(offload.scalars.size());
+  for (std::size_t s = 0; s < offload.scalars.size(); ++s) {
+    const TypedValue value = env.GetScalar(*offload.scalars[s].decl);
+    const ir::ValType t = offload.kernel.scalars[s].type;
+    scalar_values_[s] = ir::EncodeScalar(t, value.AsDouble(), value.AsInt());
+  }
+
+  scalar_red_pre_.resize(offload.scalar_reds.size());
+  for (std::size_t r = 0; r < offload.scalar_reds.size(); ++r) {
+    scalar_red_pre_[r] =
+        ToElementRaw(offload.kernel.scalar_reductions[r].type,
+                     env.GetScalar(*offload.scalar_reds[r].decl));
+  }
+
+  red_lower_.resize(offload.array_reds.size());
+  red_length_.resize(offload.array_reds.size());
+  for (std::size_t r = 0; r < offload.array_reds.size(); ++r) {
+    const auto& red = offload.array_reds[r];
+    ManagedArray& dest = resolve(*red.decl);
+    red_lower_[r] = red.lower != nullptr ? EvalIndexExpr(*red.lower, env) : 0;
+    red_length_[r] = red.length != nullptr
+                         ? EvalIndexExpr(*red.length, env)
+                         : dest.count() - red_lower_[r];
+  }
+
+  // Authoritative pre-image of every touched array. Base layer: the host
+  // bytes. When the host image is stale the current truth lives on devices —
+  // the full loaded range of any valid replica, or the union of valid owner
+  // segments under distribution. Reads go straight to the underlying buffer
+  // storage (no platform copy): capturing must not perturb billing.
+  arrays_.clear();
+  arrays_.reserve(offload.arrays.size());
+  for (const auto& config : offload.arrays) {
+    ManagedArray& array = resolve(*config.decl);
+    GoldenArray golden;
+    golden.config = &config;
+    golden.bytes.resize(array.total_bytes());
+    std::memcpy(golden.bytes.data(), array.host_data(), array.total_bytes());
+    const std::size_t esize = array.elem_size();
+    if (!array.host_valid()) {
+      if (array.placement() == Placement::kDistributed) {
+        for (int d = 0; d < array.num_shards(); ++d) {
+          const DeviceShard& shard = array.shard(d);
+          if (!shard.valid || shard.data == nullptr) continue;
+          const Range overlay{std::max(shard.owned.lo, shard.loaded.lo),
+                              std::min(shard.owned.hi, shard.loaded.hi)};
+          if (overlay.empty()) continue;
+          std::memcpy(
+              golden.bytes.data() + overlay.lo * static_cast<std::int64_t>(
+                                                     esize),
+              shard.data->bytes().data() +
+                  (overlay.lo - shard.loaded.lo) *
+                      static_cast<std::int64_t>(esize),
+              static_cast<std::size_t>(overlay.size()) * esize);
+        }
+      } else {
+        for (int d = 0; d < array.num_shards(); ++d) {
+          const DeviceShard& shard = array.shard(d);
+          if (!shard.valid || shard.data == nullptr || shard.loaded.empty()) {
+            continue;
+          }
+          std::memcpy(golden.bytes.data() +
+                          shard.loaded.lo * static_cast<std::int64_t>(esize),
+                      shard.data->bytes().data(),
+                      static_cast<std::size_t>(shard.loaded.size()) * esize);
+          break;  // any one valid replica is authoritative
+        }
+      }
+    }
+    arrays_.push_back(std::move(golden));
+  }
+}
+
+void Validator::CheckOffload(const LoopOffload& offload, HostEnv& env,
+                             const ArrayResolver& resolve) {
+  BillingGuard guard(platform_);
+  ACCMG_CHECK(arrays_.size() == offload.arrays.size(),
+              "validator check without a matching BeginOffload");
+
+  // --- golden execution: one device, whole iteration space, full arrays ---
+  ir::KernelExec exec(offload.kernel);
+  exec.scalar_values = scalar_values_;
+  exec.iteration_offset = lower_;
+  exec.array_red_lower = red_lower_;
+  exec.array_red_length = red_length_;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    ManagedArray& array = resolve(*arrays_[a].config->decl);
+    ir::ArrayBinding& binding = exec.bindings[a];
+    binding.data = arrays_[a].bytes.data();
+    binding.lo = 0;
+    binding.hi = array.count();
+    binding.write_lo = 0;
+    binding.write_hi = array.count();
+    binding.logical_size = array.count();
+  }
+  exec.ResetOutputs();
+  sim::KernelStats golden_stats;
+  try {
+    exec.Execute(0, total_, golden_stats);
+  } catch (const DeviceError& fault) {
+    Diverge("kernel '" + offload.name +
+            "': golden single-device execution faulted (" + fault.what() +
+            "); the kernel reads outside the array bounds");
+  }
+
+  // --- scalar reductions: fold the golden partial into the pre-loop value
+  // and compare with what the executor wrote back into the environment ---
+  for (std::size_t r = 0; r < offload.scalar_reds.size(); ++r) {
+    const auto& red = offload.scalar_reds[r];
+    const auto& slot = offload.kernel.scalar_reductions[r];
+    const std::uint64_t golden_value =
+        ir::CombineRaw(slot.op, slot.type, scalar_red_pre_[r],
+                       exec.scalar_red_results()[r]);
+    const std::uint64_t actual =
+        ToElementRaw(slot.type, env.GetScalar(*red.decl));
+    ++stats_.elements_compared;
+    if (!RawMatches(slot.type, actual, golden_value, /*approximate=*/true,
+                    options_.validate_rel_tol)) {
+      Diverge("kernel '" + offload.name + "': scalar reduction '" +
+              red.decl->name + "' diverges: multi-GPU=" +
+              RawToString(slot.type, actual) + " golden=" +
+              RawToString(slot.type, golden_value));
+    }
+  }
+
+  // --- array reductions: fold golden partials into the golden image. The
+  // pre-kernel values are still resident there (kernels accumulate into
+  // privatized partials, never into the destination bytes). ---
+  for (std::size_t r = 0; r < offload.array_reds.size(); ++r) {
+    const auto& slot = offload.kernel.array_reductions[r];
+    ManagedArray& dest = resolve(*offload.array_reds[r].decl);
+    std::byte* golden = nullptr;
+    for (auto& g : arrays_) {
+      if (g.config->decl == offload.array_reds[r].decl) {
+        golden = g.bytes.data();
+      }
+    }
+    ACCMG_CHECK(golden != nullptr, "reduction destination not captured");
+    const std::size_t esize = dest.elem_size();
+    const auto& partial = exec.array_red_partials()[r];
+    for (std::int64_t j = 0; j < red_length_[r]; ++j) {
+      const std::int64_t at = red_lower_[r] + j;
+      StoreRaw(golden, esize, at,
+               ir::CombineRaw(slot.op, slot.type,
+                              LoadRaw(golden, esize, at),
+                              partial[static_cast<std::size_t>(j)]));
+    }
+  }
+
+  // --- diff every shard and the host image against the golden image ---
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    const GoldenArray& golden = arrays_[a];
+    const auto& config = *golden.config;
+    const auto& param = offload.kernel.arrays[a];
+    ManagedArray& array = resolve(*config.decl);
+    const std::size_t esize = array.elem_size();
+    // Reduction destinations tolerate float rounding: the multi-GPU result
+    // merges per-chunk partials in a different order than the golden run.
+    const bool approximate = config.is_reduction_dest;
+
+    for (int device : devices_) {
+      const DeviceShard& shard = array.shard(device);
+      if (shard.data == nullptr || !shard.valid || shard.loaded.empty()) {
+        continue;
+      }
+      const std::byte* resident = shard.data->bytes().data();
+      for (std::int64_t i = shard.loaded.lo; i < shard.loaded.hi; ++i) {
+        const std::uint64_t actual =
+            LoadRaw(resident, esize, i - shard.loaded.lo);
+        const std::uint64_t expected = LoadRaw(golden.bytes.data(), esize, i);
+        ++stats_.elements_compared;
+        if (!RawMatches(config.elem, actual, expected, approximate,
+                        options_.validate_rel_tol)) {
+          Diverge("kernel '" + offload.name + "': array '" + config.name +
+                  "' diverges at element " + std::to_string(i) +
+                  " on device " + std::to_string(device) + ": multi-GPU=" +
+                  RawToString(config.elem, actual) + " golden=" +
+                  RawToString(config.elem, expected));
+        }
+      }
+    }
+
+    if (array.host_valid()) {
+      const auto* host = static_cast<const std::byte*>(array.host_data());
+      for (std::int64_t i = 0; i < array.count(); ++i) {
+        const std::uint64_t actual = LoadRaw(host, esize, i);
+        const std::uint64_t expected = LoadRaw(golden.bytes.data(), esize, i);
+        ++stats_.elements_compared;
+        if (!RawMatches(config.elem, actual, expected, approximate,
+                        options_.validate_rel_tol)) {
+          Diverge("kernel '" + offload.name + "': host image of '" +
+                  config.name + "' is marked valid but diverges at element " +
+                  std::to_string(i) + ": host=" +
+                  RawToString(config.elem, actual) + " golden=" +
+                  RawToString(config.elem, expected));
+        }
+      }
+    }
+
+    // --- post-kernel invariants of the coherence machinery ---
+    if (param.dirty_tracked) {
+      for (int device : devices_) {
+        const DeviceShard& shard = array.shard(device);
+        for (const sim::DeviceBuffer* bits :
+             {shard.dirty1.get(), shard.dirty2.get()}) {
+          if (bits == nullptr) continue;
+          for (std::byte b : bits->bytes()) {
+            if (b != std::byte{0}) {
+              Diverge("kernel '" + offload.name + "': dirty bits of '" +
+                      config.name + "' on device " + std::to_string(device) +
+                      " were not cleared by propagation");
+            }
+          }
+        }
+      }
+    }
+    if (param.miss_checked) {
+      for (int device : devices_) {
+        const DeviceShard& shard = array.shard(device);
+        if (!shard.miss.records.empty()) {
+          Diverge("kernel '" + offload.name + "': " +
+                  std::to_string(shard.miss.records.size()) +
+                  " unreplayed write miss(es) of '" + config.name +
+                  "' on device " + std::to_string(device));
+        }
+      }
+    }
+    if (config.is_written) {
+      if (array.host_valid()) {
+        Diverge("kernel '" + offload.name + "': written array '" +
+                config.name + "' left the host image marked valid");
+      }
+      for (int device : devices_) {
+        if (!array.shard(device).valid) {
+          Diverge("kernel '" + offload.name + "': written array '" +
+                  config.name + "' left device " + std::to_string(device) +
+                  "'s shard marked invalid");
+        }
+      }
+    }
+  }
+
+  ++stats_.kernels_checked;
+  static metrics::Counter& checked_metric =
+      metrics::Registry::Global().counter("validator.kernels_checked");
+  checked_metric.Add();
+  arrays_.clear();
+}
+
+void Validator::ReportFault(const LoopOffload& offload,
+                            const std::exception& fault) {
+  Diverge("kernel '" + offload.name +
+          "': multi-GPU execution faulted (" + fault.what() +
+          "); a kernel touched an element its device never loaded — usually "
+          "a wrong localaccess declaration");
+}
+
+}  // namespace accmg::runtime

@@ -1,0 +1,95 @@
+// Runtime coherence validator (--validate / ExecOptions::validate).
+//
+// Shadow-executes every offloaded loop on a single-threaded golden
+// interpreter over host-side copies of the authoritative array state, then
+// diffs everything the multi-GPU machinery produced against it:
+//
+//   * every participating shard's resident bytes over its loaded range
+//     (so stale replicas, missing halo refreshes and unreplayed write
+//     misses all surface as the first divergent element),
+//   * the host image when the runtime claims it is valid,
+//   * scalar and array reduction results (floats up to a relative
+//     tolerance — chunk-merge order differs between the two runs),
+//   * post-kernel invariants: dirty bits fully cleared after propagation,
+//     miss buffers drained after replay, written arrays marked valid on
+//     every participant with the host image invalidated,
+//   * and that validation itself never changes billed transfer counters or
+//     the simulated clock (the golden run touches host memory only).
+//
+// A divergence raises accmg::Error with kernel, array, element and device
+// attribution. The validator is deliberately oblivious to how the runtime
+// moved data — it only trusts ir::KernelExec semantics — which is what makes
+// it able to catch bugs in the loader/communication layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/managed_array.h"
+#include "runtime/options.h"
+#include "sim/platform.h"
+#include "translator/eval.h"
+#include "translator/offload.h"
+
+namespace accmg::runtime {
+
+/// Resolves a mini-C array parameter to its managed placement state.
+using ArrayResolver =
+    std::function<ManagedArray&(const frontend::VarDecl&)>;
+
+struct ValidatorStats {
+  std::uint64_t kernels_checked = 0;
+  std::uint64_t elements_compared = 0;
+  std::uint64_t divergences = 0;  ///< nonzero only if the caller swallowed one
+};
+
+class Validator {
+ public:
+  Validator(sim::Platform& platform, const ExecOptions& options,
+            std::vector<int> devices);
+
+  /// Captures the authoritative pre-kernel state: a golden host copy of
+  /// every array the offload touches, scalar argument values, and the
+  /// pre-loop values of reduction variables. Must run before the executor
+  /// mutates anything.
+  void BeginOffload(const translator::LoopOffload& offload,
+                    translator::HostEnv& env, const ArrayResolver& resolve);
+
+  /// Runs the golden execution over the captured state and diffs it against
+  /// the multi-GPU outcome. Throws accmg::Error on the first divergence.
+  void CheckOffload(const translator::LoopOffload& offload,
+                    translator::HostEnv& env, const ArrayResolver& resolve);
+
+  /// Converts a DeviceError raised by the multi-GPU execution into an
+  /// attributed validation error (the golden pre-image tells us which
+  /// kernel was running).
+  [[noreturn]] void ReportFault(const translator::LoopOffload& offload,
+                                const std::exception& fault);
+
+  const ValidatorStats& stats() const { return stats_; }
+
+ private:
+  struct GoldenArray {
+    const translator::ArrayConfig* config = nullptr;
+    std::vector<std::byte> bytes;  ///< authoritative full-array image
+  };
+
+  [[noreturn]] void Diverge(const std::string& message);
+
+  sim::Platform& platform_;
+  ExecOptions options_;
+  std::vector<int> devices_;
+  ValidatorStats stats_;
+
+  // State captured by BeginOffload for the in-flight offload.
+  std::int64_t lower_ = 0;
+  std::int64_t total_ = 0;
+  std::vector<std::uint64_t> scalar_values_;
+  std::vector<std::uint64_t> scalar_red_pre_;  ///< raw element bits per red
+  std::vector<std::int64_t> red_lower_;
+  std::vector<std::int64_t> red_length_;
+  std::vector<GoldenArray> arrays_;
+};
+
+}  // namespace accmg::runtime

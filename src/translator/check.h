@@ -1,0 +1,36 @@
+// Static directive checker: verifies localaccess / reductiontoarray
+// declarations against what the annotated loop actually does.
+//
+// The localaccess extension is a promise — iteration i only touches
+// [stride*i - left, stride*(i+1) - 1 + right] — that the data loader turns
+// into owner segments and halos. A wrong declaration is the classic silent
+// multi-GPU miscompile: the kernel reads an element that was never loaded.
+// This pass proves, where it can, that every read index of a declared array
+// stays inside the declared window, using a small symbolic (monomial-form)
+// analysis of the subscript expressions with inner-loop bounds substituted.
+//
+// Three-valued outcome per subscript:
+//   * proven covered   -> silent pass
+//   * proven violating -> CompileError pinpointing the subscript and the
+//                         number of elements by which the window is missed
+//   * undecidable      -> pass (the runtime's residency enforcement and the
+//                         --validate shadow execution are the backstops)
+//
+// Write-only subscripts that provably leave the window are only warned
+// about: the write-miss machinery (paper Section IV-D2) replays them
+// correctly, so they are legal — just a sign the declaration is loose.
+#pragma once
+
+#include "frontend/ast.h"
+#include "translator/offload.h"
+
+namespace accmg::translator {
+
+/// Checks one offload's directives against its loop body. `local_access` is
+/// the loop's localaccess directive (null when the loop has none) — used to
+/// warn about specs naming arrays the loop never touches, and for
+/// diagnostics. Throws CompileError on every proven violation.
+void CheckOffloadDirectives(const LoopOffload& offload,
+                            const frontend::Directive* local_access);
+
+}  // namespace accmg::translator

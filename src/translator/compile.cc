@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "translator/check.h"
 #include "translator/eval.h"
 #include "translator/lowering.h"
 #include "translator/offload.h"
@@ -202,8 +203,8 @@ CanonicalLoop ExtractCanonicalLoop(const ForStmt& loop) {
 
 class FunctionCompiler {
  public:
-  explicit FunctionCompiler(const Function& function)
-      : function_(function) {}
+  FunctionCompiler(const Function& function, const CompileOptions& options)
+      : function_(function), options_(options) {}
 
   CompiledFunction Run() {
     CompiledFunction compiled;
@@ -536,9 +537,14 @@ class FunctionCompiler {
     lowering.Lower();
     compiled.offload_of_stmt[&loop] =
         static_cast<int>(compiled.offloads.size()) - 1;
+
+    if (options_.check_directives) {
+      CheckOffloadDirectives(compiled.offloads.back(), local_access_directive);
+    }
   }
 
   const Function& function_;
+  const CompileOptions& options_;
 };
 
 }  // namespace
@@ -609,10 +615,15 @@ bool MatchAffine(const Expr& expr, const VarDecl& induction, std::int64_t* a,
 }
 
 CompiledProgram Compile(const frontend::Program& program) {
+  return Compile(program, CompileOptions{});
+}
+
+CompiledProgram Compile(const frontend::Program& program,
+                        const CompileOptions& options) {
   CompiledProgram compiled;
   compiled.program = &program;
   for (const auto& function : program.functions) {
-    FunctionCompiler compiler(*function);
+    FunctionCompiler compiler(*function, options);
     compiled.functions.push_back(compiler.Run());
   }
   return compiled;

@@ -107,9 +107,23 @@ struct CompiledProgram {
   }
 };
 
+/// Knobs of the translation pipeline.
+struct CompileOptions {
+  /// Run the static directive checker (translator/check.h) on every offload:
+  /// localaccess declarations must cover the loop's provable read indices,
+  /// reductiontoarray destinations must not carry a localaccess spec, and
+  /// every localaccess spec must name an array the loop uses. Proven
+  /// violations become CompileErrors; anything the symbolic analysis cannot
+  /// decide passes. Off switches the runtime back to trusting directives
+  /// blindly (accmgc --no-directive-check).
+  bool check_directives = true;
+};
+
 /// Translates every function of an analyzed program. Throws CompileError on
 /// constructs the translator cannot offload.
 CompiledProgram Compile(const frontend::Program& program);
+CompiledProgram Compile(const frontend::Program& program,
+                        const CompileOptions& options);
 
 /// Matches `expr` as an affine function a*i + b of the induction variable
 /// with constant a, b. Returns false when the expression is not affine in i.

@@ -3,6 +3,7 @@
 // refresh), managed-array accounting, and host-interpreter semantics.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 
 #include "runtime/comm_manager.h"
@@ -249,6 +250,161 @@ TEST_F(LoaderFixture, DropDeviceStateFreesMemory) {
   array.DropDeviceState();
   EXPECT_EQ(platform_->device(0).used_bytes(), 0u);
   EXPECT_EQ(array.placement(), Placement::kHostOnly);
+}
+
+// ---------------------------------------------------------------------------
+// Device-set changes: shard release, gather ordering, reload-skip hygiene
+// ---------------------------------------------------------------------------
+
+TEST_F(LoaderFixture, ReplicaShrinkReleasesNonParticipatingShards) {
+  std::vector<float> host(256, 1.0f);
+  ManagedArray array("a", ir::ValType::kF32, 256, host.data(), 3);
+  loader_.EnsurePlacement(ReplicaReq(array));
+  const std::size_t baseline = platform_->device(2).used_bytes();
+  EXPECT_GT(baseline, 0u);
+
+  // A smaller device set takes over. All of its replicas are already valid,
+  // so the reload-skip path fires — it must still free device 2's shard
+  // (previously leaked, and a stale-but-valid replica hazard).
+  DataLoader small(*platform_, options_, {0, 1});
+  ArrayRequirement req;
+  req.array = &array;
+  req.read_ranges.assign(2, Range{0, 256});
+  req.own_ranges.assign(2, Range{0, 256});
+  small.EnsurePlacement(req);
+  EXPECT_EQ(small.stats().loads_skipped, 1u);
+  EXPECT_EQ(platform_->device(2).used_bytes(), 0u);
+  EXPECT_FALSE(array.shard(2).valid);
+  EXPECT_EQ(array.shard(2).data, nullptr);
+}
+
+TEST_F(LoaderFixture, ShrinkGathersFromDepartingShardFirst) {
+  std::vector<std::int32_t> host(100, 0);
+  ManagedArray array("a", ir::ValType::kI32, 100, host.data(), 3);
+  DataLoader only2(*platform_, options_, {2});
+  ArrayRequirement req2;
+  req2.array = &array;
+  req2.read_ranges.assign(1, Range{0, 100});
+  req2.own_ranges.assign(1, Range{0, 100});
+  only2.EnsurePlacement(req2);
+  // A kernel on device 2 writes; the host copy goes stale.
+  array.shard(2).data->Typed<std::int32_t>()[42] = 7;
+  array.set_host_valid(false);
+
+  // New loader on {0, 1}: device 2 holds the only valid copy, so the load
+  // must gather it home before releasing the departing shard.
+  DataLoader pair(*platform_, options_, {0, 1});
+  ArrayRequirement req01;
+  req01.array = &array;
+  req01.read_ranges.assign(2, Range{0, 100});
+  req01.own_ranges.assign(2, Range{0, 100});
+  pair.EnsurePlacement(req01);
+  EXPECT_EQ(host[42], 7);
+  EXPECT_EQ(array.shard(0).data->Typed<std::int32_t>()[42], 7);
+  EXPECT_EQ(array.shard(2).data, nullptr);
+  EXPECT_EQ(platform_->device(2).used_bytes(), 0u);
+}
+
+TEST_F(LoaderFixture, DistributedReloadSkipRequiresStaleShardsInvalid) {
+  std::vector<std::int32_t> host(300);
+  std::iota(host.begin(), host.end(), 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array));
+  EXPECT_EQ(array.OwnerOf(250), 2);
+
+  // Shrink to {0, 1} with ranges identical to what those devices already
+  // hold. The per-device check alone would skip the reload and leave device
+  // 2's stale shard claiming ownership of [200, 300).
+  DataLoader pair(*platform_, options_, {0, 1});
+  ArrayRequirement req;
+  req.array = &array;
+  req.distributed = true;
+  req.read_ranges = {Range{0, 100}, Range{100, 200}};
+  req.own_ranges = {Range{0, 100}, Range{100, 200}};
+  pair.EnsurePlacement(req);
+  EXPECT_FALSE(array.shard(2).valid);
+  EXPECT_EQ(platform_->device(2).used_bytes(), 0u);
+  EXPECT_EQ(array.OwnerOf(250), -1);  // no silent stale owner
+
+  // Nothing stale remains, so the identical request is now a cache hit.
+  const auto loads = pair.stats().loads_performed;
+  pair.EnsurePlacement(req);
+  EXPECT_EQ(pair.stats().loads_performed, loads);
+  EXPECT_EQ(pair.stats().loads_skipped, 1u);
+
+  // Re-grow to three devices: the full partition comes back correctly.
+  loader_.EnsurePlacement(DistributeReq(array));
+  EXPECT_EQ(array.OwnerOf(250), 2);
+  EXPECT_EQ(array.shard(2).data->Typed<std::int32_t>()[50], 250);
+}
+
+TEST_F(LoaderFixture, DistReplicaDistRoundTripIsBitIdentical) {
+  std::vector<float> host(300);
+  for (int i = 0; i < 300; ++i) {
+    host[static_cast<std::size_t>(i)] = 0.1f * static_cast<float>(i);
+  }
+  ManagedArray array("a", ir::ValType::kF32, 300, host.data(), 3);
+
+  loader_.EnsurePlacement(DistributeReq(array));
+  // Owners mutate their segments, as a kernel would.
+  for (int d = 0; d < 3; ++d) {
+    array.shard(d).data->Typed<float>()[10] = 1000.0f + static_cast<float>(d);
+  }
+  array.set_host_valid(false);
+  loader_.GatherToHost(array);
+  const std::vector<float> snapshot = host;
+
+  // dist -> replica -> dist: every transition must preserve the exact bytes.
+  loader_.EnsurePlacement(ReplicaReq(array));
+  EXPECT_EQ(array.placement(), Placement::kReplicated);
+  loader_.EnsurePlacement(DistributeReq(array, /*halo=*/1));
+  EXPECT_EQ(array.placement(), Placement::kDistributed);
+  const auto skipped = loader_.stats().loads_skipped;
+  loader_.EnsurePlacement(DistributeReq(array, /*halo=*/1));
+  EXPECT_EQ(loader_.stats().loads_skipped, skipped + 1);  // genuine cache hit
+
+  array.set_host_valid(false);
+  loader_.GatherToHost(array);
+  EXPECT_EQ(std::memcmp(host.data(), snapshot.data(),
+                        snapshot.size() * sizeof(float)),
+            0);
+  // Global element 110 (device 1's earlier write) at its new local offset.
+  EXPECT_EQ(array.shard(1).data->Typed<float>()[11], 1001.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Halo refresh edge cases
+// ---------------------------------------------------------------------------
+
+TEST_F(LoaderFixture, HaloRefreshHandlesEmptyOwnedShard) {
+  std::vector<std::int32_t> host(300);
+  std::iota(host.begin(), host.end(), 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  // Device 1 participates with a loaded window but owns nothing: its whole
+  // residency is halo, fed by two different owners.
+  ArrayRequirement req;
+  req.array = &array;
+  req.distributed = true;
+  req.read_ranges = {Range{0, 150}, Range{100, 200}, Range{150, 300}};
+  req.own_ranges = {Range{0, 150}, Range{150, 150}, Range{150, 300}};
+  loader_.EnsurePlacement(req);
+
+  array.shard(0).data->Typed<std::int32_t>()[120] = -120;  // global 120
+  array.shard(2).data->Typed<std::int32_t>()[30] = -180;   // global 180
+  comm_.RefreshHalos(array);
+  // Device 1 loaded [100, 200): both pieces must arrive from their owners.
+  EXPECT_EQ(array.shard(1).data->Typed<std::int32_t>()[20], -120);
+  EXPECT_EQ(array.shard(1).data->Typed<std::int32_t>()[80], -180);
+}
+
+TEST_F(LoaderFixture, HaloRefreshRejectsStaleOwnerShard) {
+  std::vector<std::int32_t> host(300, 0);
+  ManagedArray array("a", ir::ValType::kI32, 300, host.data(), 3);
+  loader_.EnsurePlacement(DistributeReq(array, /*halo=*/2));
+  // Device 1 owns [100, 200) but its shard is stale: refreshing device 0's
+  // halo from it would spread garbage silently.
+  array.shard(1).valid = false;
+  EXPECT_THROW(comm_.RefreshHalos(array), InvalidArgumentError);
 }
 
 // ---------------------------------------------------------------------------

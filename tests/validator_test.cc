@@ -1,0 +1,376 @@
+// Tests for the correctness tooling added around the multi-GPU runtime:
+//
+//   * the static directive checker (translator/check.h) — proven-wrong
+//     localaccess windows are CompileErrors, undecidable ones pass, and
+//     reductiontoarray destinations cannot carry a localaccess spec;
+//   * the runtime coherence validator (runtime/validator.h) — golden
+//     shadow execution catches both residency faults (when the static
+//     check is bypassed) and injected stale-replica corruption that the
+//     coherence machinery cannot see;
+//   * all four applications run divergence-free under validation on
+//     multi-GPU configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "apps/bfs/bfs.h"
+#include "apps/kmeans/kmeans.h"
+#include "apps/md/md.h"
+#include "apps/spmv/spmv.h"
+#include "common/error.h"
+#include "runtime/executor.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::runtime {
+namespace {
+
+// The deliberately wrong program of the negative tests: the stencil reads
+// u[i + 1] but the localaccess declaration promises a halo-free window, so
+// on >1 GPU each device's rightmost iteration reads an element its segment
+// never loaded.
+constexpr char kWrongHalo[] = R"(
+void f(int n, float* u, float* out) {
+  #pragma acc data copyin(u[0:n]) copyout(out[0:n])
+  {
+    #pragma acc localaccess(u: stride(1)) (out: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n - 1; i++) {
+      out[i] = u[i + 1];
+    }
+  }
+}
+)";
+
+constexpr char kRightHalo[] = R"(
+void f(int n, float* u, float* out) {
+  #pragma acc data copyin(u[0:n]) copyout(out[0:n])
+  {
+    #pragma acc localaccess(u: stride(1), right(1)) (out: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n - 1; i++) {
+      out[i] = u[i + 1];
+    }
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Static directive checker
+// ---------------------------------------------------------------------------
+
+TEST(DirectiveCheckerTest, RejectsProvenHaloViolation) {
+  try {
+    AccProgram::FromSource("wrong", kWrongHalo);
+    FAIL() << "expected a CompileError for the missing right halo";
+  } catch (const CompileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("localaccess"), std::string::npos) << what;
+    EXPECT_NE(what.find("'u'"), std::string::npos) << what;
+    EXPECT_NE(what.find("right"), std::string::npos) << what;
+  }
+}
+
+TEST(DirectiveCheckerTest, AcceptsCorrectHalo) {
+  EXPECT_NO_THROW(AccProgram::FromSource("right", kRightHalo));
+}
+
+TEST(DirectiveCheckerTest, RejectsLeftEdgeViolation) {
+  constexpr char kSource[] = R"(
+void f(int n, float* u, float* out) {
+  #pragma acc localaccess(u: stride(1), left(1)) (out: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    out[i] = u[i - 2];
+  }
+}
+)";
+  EXPECT_THROW(AccProgram::FromSource("left", kSource), CompileError);
+}
+
+TEST(DirectiveCheckerTest, InnerLoopBoundsParticipateInTheProof) {
+  // The subscript u[i * 4 + j] is covered only because j's inner loop stays
+  // within [0, 4); the checker must substitute those bounds, not give up.
+  constexpr char kCovered[] = R"(
+void f(int n, float* u, float* out) {
+  #pragma acc localaccess(u: stride(4)) (out: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 4; j++) {
+      acc = acc + u[i * 4 + j];
+    }
+    out[i] = acc;
+  }
+}
+)";
+  EXPECT_NO_THROW(AccProgram::FromSource("covered", kCovered));
+
+  // Same shape, but the inner loop overruns the declared stride window.
+  constexpr char kOverrun[] = R"(
+void f(int n, float* u, float* out) {
+  #pragma acc localaccess(u: stride(4)) (out: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 5; j++) {
+      acc = acc + u[i * 4 + j];
+    }
+    out[i] = acc;
+  }
+}
+)";
+  EXPECT_THROW(AccProgram::FromSource("overrun", kOverrun), CompileError);
+}
+
+TEST(DirectiveCheckerTest, UndecidableSubscriptsPass) {
+  // Indirect read: the runtime's residency enforcement is the backstop.
+  constexpr char kSource[] = R"(
+void f(int n, int* idx, float* u, float* out) {
+  #pragma acc localaccess(idx: stride(1)) (out: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    out[i] = u[idx[i]];
+  }
+}
+)";
+  EXPECT_NO_THROW(AccProgram::FromSource("indirect", kSource));
+}
+
+TEST(DirectiveCheckerTest, RejectsReductionDestWithLocalAccess) {
+  constexpr char kSource[] = R"(
+void f(int n, int* bins, float* hist) {
+  #pragma acc localaccess(bins: stride(1)) (hist: stride(1))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    #pragma acc reductiontoarray(+: hist[0:n])
+    hist[bins[i]] += 1.0f;
+  }
+}
+)";
+  try {
+    AccProgram::FromSource("red", kSource);
+    FAIL() << "expected a CompileError for localaccess on a reduction dest";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("reductiontoarray"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DirectiveCheckerTest, RejectsConstantBadWindowParameters) {
+  constexpr char kBadStride[] = R"(
+void f(int n, float* a) {
+  #pragma acc localaccess(a: stride(0))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 0.0f; }
+}
+)";
+  EXPECT_THROW(AccProgram::FromSource("stride0", kBadStride), CompileError);
+}
+
+TEST(DirectiveCheckerTest, AppSourcesPassTheChecker) {
+  EXPECT_NO_THROW(AccProgram::FromSource("md", apps::MdSource()));
+  EXPECT_NO_THROW(AccProgram::FromSource("kmeans", apps::KmeansSource()));
+  EXPECT_NO_THROW(AccProgram::FromSource("bfs", apps::BfsSource()));
+  EXPECT_NO_THROW(AccProgram::FromSource("spmv", apps::SpmvSource()));
+}
+
+TEST(DirectiveCheckerTest, BypassFlagSkipsTheChecker) {
+  translator::CompileOptions bypass;
+  bypass.check_directives = false;
+  EXPECT_NO_THROW(AccProgram::FromSource("wrong", kWrongHalo, bypass));
+}
+
+// ---------------------------------------------------------------------------
+// Runtime validator
+// ---------------------------------------------------------------------------
+
+TEST(ValidatorTest, CatchesBypassedWrongHaloAtRuntime) {
+  translator::CompileOptions bypass;
+  bypass.check_directives = false;
+  const AccProgram program = AccProgram::FromSource("wrong", kWrongHalo,
+                                                    bypass);
+  auto platform = sim::MakeSupercomputerNode(3);
+  constexpr int n = 64;
+  std::vector<float> u(n, 1.0f), out(n, 0.0f);
+
+  RunConfig config;
+  config.platform = platform.get();
+  config.num_gpus = 2;
+  config.options.validate = true;
+  ProgramRunner runner(program, config);
+  runner.BindArray("u", u.data(), ir::ValType::kF32, n);
+  runner.BindArray("out", out.data(), ir::ValType::kF32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  try {
+    runner.Run("f");
+    FAIL() << "expected the validator to flag the residency fault";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("validate:"), std::string::npos) << what;
+    EXPECT_NE(what.find("localaccess"), std::string::npos) << what;
+  }
+}
+
+TEST(ValidatorTest, WrongHaloPassesOnOneGpu) {
+  // The wrong declaration is only observable with a split iteration space —
+  // the single-device golden configuration and a 1-GPU run agree.
+  translator::CompileOptions bypass;
+  bypass.check_directives = false;
+  const AccProgram program = AccProgram::FromSource("wrong", kWrongHalo,
+                                                    bypass);
+  auto platform = sim::MakeSupercomputerNode(3);
+  constexpr int n = 64;
+  std::vector<float> u(n, 1.0f), out(n, 0.0f);
+  RunConfig config;
+  config.platform = platform.get();
+  config.num_gpus = 1;
+  config.options.validate = true;
+  ProgramRunner runner(program, config);
+  runner.BindArray("u", u.data(), ir::ValType::kF32, n);
+  runner.BindArray("out", out.data(), ir::ValType::kF32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  const RunReport report = runner.Run("f");
+  EXPECT_EQ(report.validator.kernels_checked, 1u);
+  EXPECT_EQ(report.validator.divergences, 0u);
+}
+
+TEST(ValidatorTest, DetectsInjectedStaleReplica) {
+  constexpr char kSource[] = R"(
+void f(int n, int* a, int* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    b[i] = a[i] * 2;
+  }
+}
+)";
+  const AccProgram program = AccProgram::FromSource("inject", kSource);
+  const translator::CompiledFunction& fn = program.compiled().functions[0];
+  ASSERT_EQ(fn.offloads.size(), 1u);
+  const translator::LoopOffload& offload = fn.offloads[0];
+
+  auto platform = sim::MakeSupercomputerNode(3);
+  constexpr int n = 64;
+  std::vector<std::int32_t> a(n), b(n, 0);
+  std::iota(a.begin(), a.end(), 0);
+  ManagedArray ma("a", ir::ValType::kI32, n, a.data(), 3);
+  ManagedArray mb("b", ir::ValType::kI32, n, b.data(), 3);
+
+  ExecOptions options;
+  options.validate = true;
+  Executor exec(*platform, options, {0, 1});
+  translator::HostEnv env;
+  for (const auto& param : fn.function->params) {
+    if (!param->type.is_pointer) {
+      env.SetScalar(*param, translator::TypedValue::OfInt(n));
+    }
+  }
+  auto resolve = [&](const frontend::VarDecl& decl) -> ManagedArray& {
+    return decl.name == "a" ? ma : mb;
+  };
+
+  exec.RunOffload(offload, env, resolve);
+  ASSERT_NE(exec.validator(), nullptr);
+  EXPECT_EQ(exec.validator()->stats().kernels_checked, 1u);
+  EXPECT_EQ(exec.validator()->stats().divergences, 0u);
+
+  // Corrupt device 1's replica of the read-only input. The dirty-bit
+  // machinery can never notice ('a' is not written, so nothing propagates);
+  // only the shadow execution sees that device 1 computes from stale data.
+  ma.shard(1).data->Typed<std::int32_t>()[48] = 999;
+  try {
+    exec.RunOffload(offload, env, resolve);
+    FAIL() << "expected the validator to flag the divergence";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("validate:"), std::string::npos) << what;
+    EXPECT_NE(what.find("element 48"), std::string::npos) << what;
+  }
+  EXPECT_EQ(exec.validator()->stats().divergences, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// All applications, divergence-free under validation
+// ---------------------------------------------------------------------------
+
+class ValidatedAppsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidatedAppsTest, MdRunsClean) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(4);
+  ExecOptions options;
+  options.validate = true;
+  const apps::MdInput input = apps::MakeMdInput(256, 8);
+  const std::vector<float> expected = apps::MdReference(input);
+  std::vector<float> force;
+  const RunReport report =
+      apps::RunMdAcc(input, *platform, gpus, &force, options);
+  EXPECT_GT(report.validator.kernels_checked, 0u);
+  EXPECT_EQ(report.validator.divergences, 0u);
+  ASSERT_EQ(force.size(), expected.size());
+  for (std::size_t i = 0; i < force.size(); ++i) {
+    ASSERT_EQ(force[i], expected[i]) << "component " << i;
+  }
+}
+
+TEST_P(ValidatedAppsTest, KmeansRunsClean) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(4);
+  ExecOptions options;
+  options.validate = true;
+  const apps::KmeansInput input = apps::MakeKmeansInput(600, 4, 3, 5);
+  const apps::KmeansResult expected = apps::KmeansReference(input);
+  apps::KmeansResult result;
+  const RunReport report =
+      apps::RunKmeansAcc(input, *platform, gpus, &result, options);
+  EXPECT_GT(report.validator.kernels_checked, 0u);
+  EXPECT_EQ(report.validator.divergences, 0u);
+  EXPECT_EQ(result.membership, expected.membership);
+  for (std::size_t i = 0; i < result.centroids.size(); ++i) {
+    EXPECT_NEAR(result.centroids[i], expected.centroids[i],
+                2e-3 * (1.0 + std::fabs(expected.centroids[i])))
+        << "centroid component " << i;
+  }
+}
+
+TEST_P(ValidatedAppsTest, BfsRunsClean) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(4);
+  ExecOptions options;
+  options.validate = true;
+  const apps::BfsInput input = apps::MakeBfsInput(500, 4);
+  const std::vector<std::int32_t> expected = apps::BfsReference(input);
+  std::vector<std::int32_t> cost;
+  const RunReport report =
+      apps::RunBfsAcc(input, *platform, gpus, &cost, options);
+  EXPECT_GT(report.validator.kernels_checked, 0u);
+  EXPECT_EQ(report.validator.divergences, 0u);
+  EXPECT_EQ(cost, expected);
+}
+
+TEST_P(ValidatedAppsTest, SpmvRunsClean) {
+  const int gpus = GetParam();
+  auto platform = sim::MakeSupercomputerNode(4);
+  ExecOptions options;
+  options.validate = true;
+  const apps::SpmvInput input = apps::MakeSpmvInput(400, 6);
+  const std::vector<float> expected = apps::SpmvReference(input);
+  std::vector<float> y;
+  const RunReport report =
+      apps::RunSpmvAcc(input, *platform, gpus, &y, options);
+  EXPECT_GT(report.validator.kernels_checked, 0u);
+  EXPECT_EQ(report.validator.divergences, 0u);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    ASSERT_EQ(y[r], expected[r]) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, ValidatedAppsTest,
+                         ::testing::Values(2, 4));
+
+}  // namespace
+}  // namespace accmg::runtime

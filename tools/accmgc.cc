@@ -17,6 +17,13 @@
 //   --metrics          prints the global metrics registry (functions and
 //                      offloads compiled, per-offload array policies) to
 //                      stderr after compilation
+//
+// Correctness (docs/ARCHITECTURE.md, "Correctness & validation"):
+//   --no-directive-check  disables the static localaccess/reductiontoarray
+//                         checker. Compilation then accepts provably wrong
+//                         window declarations; the runtime's residency
+//                         enforcement and --validate shadow execution remain
+//                         the backstops.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,7 +77,8 @@ void PrintConfig(const accmg::translator::LoopOffload& offload) {
 int Usage() {
   std::fprintf(stderr,
                "usage: accmgc [--emit=cuda|ir|config|all] "
-               "[--trace-out=FILE] [--metrics] <file.c | ->\n");
+               "[--trace-out=FILE] [--metrics] [--no-directive-check] "
+               "<file.c | ->\n");
   return 2;
 }
 
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string trace_out;
   bool print_metrics = false;
+  bool check_directives = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--emit=", 0) == 0) {
@@ -89,6 +98,8 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg == "--metrics") {
       print_metrics = true;
+    } else if (arg == "--no-directive-check") {
+      check_directives = false;
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (path.empty()) {
@@ -134,7 +145,9 @@ int main(int argc, char** argv) {
     {
       accmg::trace::Span span("translate:" + path,
                               accmg::trace::category::kCompile);
-      compiled = accmg::translator::Compile(*ast);
+      accmg::translator::CompileOptions options;
+      options.check_directives = check_directives;
+      compiled = accmg::translator::Compile(*ast, options);
     }
 
     accmg::trace::Span emit_span("emit:" + emit,

@@ -1,0 +1,130 @@
+// validate_smoke — runs every application under the coherence validator
+// (--validate shadow execution, docs/ARCHITECTURE.md "Correctness &
+// validation") on 1-, 2- and 4-GPU configurations and compares the results
+// against the native references. Exits non-zero on the first divergence,
+// reference mismatch, or validator-reported fault. CI runs this as the
+// validate-smoke job; it is also a convenient local sanity sweep after
+// touching the data loader, the communication manager, or codegen.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/bfs/bfs.h"
+#include "apps/kmeans/kmeans.h"
+#include "apps/md/md.h"
+#include "apps/spmv/spmv.h"
+#include "common/error.h"
+#include "runtime/options.h"
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace {
+
+int failures = 0;
+
+void Report(const char* app, int gpus, const accmg::runtime::RunReport& report,
+            bool outputs_match) {
+  const bool ok = outputs_match && report.validator.divergences == 0 &&
+                  report.validator.kernels_checked > 0;
+  std::printf("%-8s gpus=%d  kernels_checked=%llu  divergences=%llu  %s\n",
+              app, gpus,
+              static_cast<unsigned long long>(report.validator.kernels_checked),
+              static_cast<unsigned long long>(report.validator.divergences),
+              ok ? "OK" : "FAIL");
+  if (!ok) ++failures;
+}
+
+void Fail(const char* app, int gpus, const std::string& why) {
+  std::printf("%-8s gpus=%d  FAIL (%s)\n", app, gpus, why.c_str());
+  ++failures;
+}
+
+void RunMd(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeMdInput(512, 12);
+  const std::vector<float> expected = accmg::apps::MdReference(input);
+  std::vector<float> force;
+  try {
+    const auto report =
+        accmg::apps::RunMdAcc(input, *platform, gpus, &force, options);
+    Report("md", gpus, report, force == expected);
+  } catch (const accmg::Error& e) {
+    Fail("md", gpus, e.what());
+  }
+}
+
+void RunKmeans(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeKmeansInput(800, 4, 4, 7);
+  const auto expected = accmg::apps::KmeansReference(input);
+  accmg::apps::KmeansResult result;
+  try {
+    const auto report =
+        accmg::apps::RunKmeansAcc(input, *platform, gpus, &result, options);
+    bool match = result.membership == expected.membership &&
+                 result.centroids.size() == expected.centroids.size();
+    for (std::size_t i = 0; match && i < result.centroids.size(); ++i) {
+      match = std::fabs(result.centroids[i] - expected.centroids[i]) <=
+              2e-3 * (1.0 + std::fabs(expected.centroids[i]));
+    }
+    Report("kmeans", gpus, report, match);
+  } catch (const accmg::Error& e) {
+    Fail("kmeans", gpus, e.what());
+  }
+}
+
+void RunBfs(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeBfsInput(1000, 4);
+  const std::vector<std::int32_t> expected = accmg::apps::BfsReference(input);
+  std::vector<std::int32_t> cost;
+  try {
+    const auto report =
+        accmg::apps::RunBfsAcc(input, *platform, gpus, &cost, options);
+    Report("bfs", gpus, report, cost == expected);
+  } catch (const accmg::Error& e) {
+    Fail("bfs", gpus, e.what());
+  }
+}
+
+void RunSpmv(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeSpmvInput(600, 8);
+  const std::vector<float> expected = accmg::apps::SpmvReference(input);
+  std::vector<float> y;
+  try {
+    const auto report =
+        accmg::apps::RunSpmvAcc(input, *platform, gpus, &y, options);
+    Report("spmv", gpus, report, y == expected);
+  } catch (const accmg::Error& e) {
+    Fail("spmv", gpus, e.what());
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const int gpus : {1, 2, 4}) {
+    RunMd(gpus);
+    RunKmeans(gpus);
+    RunBfs(gpus);
+    RunSpmv(gpus);
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "validate_smoke: %d configuration(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::printf("validate_smoke: all configurations clean\n");
+  return 0;
+}
