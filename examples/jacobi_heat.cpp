@@ -52,11 +52,15 @@ int main(int argc, char** argv) {
   using namespace accmg;
 
   bool validate = false;
+  bool async_pipeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--validate") == 0) {
       validate = true;
+    } else if (std::strcmp(argv[i], "--async-pipeline") == 0) {
+      async_pipeline = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--validate]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--validate] [--async-pipeline]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -75,6 +79,7 @@ int main(int argc, char** argv) {
     }
     runtime::RunConfig config{.platform = platform.get(), .num_gpus = gpus};
     config.options.validate = validate;
+    config.options.async_pipeline = async_pipeline;
     runtime::ProgramRunner runner(program, config);
     runner.BindArray("u", u.data(), ir::ValType::kF64, kN);
     runner.BindArray("unew", unew.data(), ir::ValType::kF64, kN);

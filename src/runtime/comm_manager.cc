@@ -90,7 +90,8 @@ CommManager::CommManager(sim::Platform& platform, const ExecOptions& options,
                          std::vector<int> devices)
     : platform_(platform), options_(options), devices_(std::move(devices)) {}
 
-void CommManager::PropagateReplicated(ManagedArray& array) {
+double CommManager::PropagateReplicated(ManagedArray& array, double ready_at,
+                                        sim::Stream stream) {
   // Every transfer billed below lands in the dirty-merge trace category.
   trace::PhaseScope phase(trace::category::kDirtyMerge);
   trace::Span span("dirty-merge:" + array.name(),
@@ -108,8 +109,9 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
       shard.valid = true;
     }
     array.set_host_valid(false);
-    return;
+    return platform_.clock().Now();
   }
+  double end = platform_.clock().Now();
   const std::size_t elem = array.elem_size();
   CommMetrics& comm_metrics = CommMetrics::Get();
   std::uint64_t clean_skipped = 0;
@@ -141,7 +143,9 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
     std::vector<std::uint8_t> level2(static_cast<std::size_t>(chunks));
     std::memcpy(level2.data(), src.dirty2->bytes().data(),
                 static_cast<std::size_t>(chunks));
-    platform_.BillDeviceToHost(sender, static_cast<std::size_t>(chunks));
+    end = std::max(end, platform_.BillDeviceToHost(
+                            sender, static_cast<std::size_t>(chunks),
+                            ready_at));
 
     const std::uint8_t* dirty1 =
         reinterpret_cast<const std::uint8_t*>(src.dirty1->bytes().data());
@@ -225,7 +229,9 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
         const std::size_t chunk_bytes =
             static_cast<std::size_t>(chunk_hi - chunk_lo) * elem +
             static_cast<std::size_t>(chunk_hi - chunk_lo);  // + dirty bits
-        platform_.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes);
+        end = std::max(end, platform_.BillDeviceToDevice(
+                                snapshot.device, receiver, chunk_bytes,
+                                ready_at, stream));
         ++chunks_sent;
       }
     }
@@ -279,15 +285,18 @@ void CommManager::PropagateReplicated(ManagedArray& array) {
     shard.valid = true;
   }
   array.set_host_valid(false);
+  return end;
 }
 
-void CommManager::ReplayWriteMisses(ManagedArray& array) {
+double CommManager::ReplayWriteMisses(ManagedArray& array, double ready_at,
+                                      sim::Stream stream) {
   trace::PhaseScope phase(trace::category::kMissFlush);
   trace::Span span("miss-flush:" + array.name(),
                    trace::category::kMissFlush);
   const std::size_t elem = array.elem_size();
   CommMetrics& comm_metrics = CommMetrics::Get();
   std::uint64_t replayed = 0;
+  double end = platform_.clock().Now();
 
   // Reused across senders to avoid reallocation.
   std::vector<int> owners;              // owner of records[k], cached
@@ -317,8 +326,9 @@ void CommManager::ReplayWriteMisses(ManagedArray& array) {
       if (by_owner[owner] == 0) continue;
       // The record batch (16 bytes each: address + data) travels to the
       // owner, where a small kernel applies the writes (Section IV-D2).
-      platform_.BillDeviceToDevice(sender, static_cast<int>(owner),
-                                   by_owner[owner] * 16);
+      end = std::max(end, platform_.BillDeviceToDevice(
+                              sender, static_cast<int>(owner),
+                              by_owner[owner] * 16, ready_at, stream));
       replayed += by_owner[owner];
     }
 
@@ -348,14 +358,17 @@ void CommManager::ReplayWriteMisses(ManagedArray& array) {
   stats_.miss_records_replayed += replayed;
   if (replayed > 0) comm_metrics.miss_records_replayed.Add(replayed);
   array.set_host_valid(false);
+  return end;
 }
 
-void CommManager::RefreshHalos(ManagedArray& array) {
+double CommManager::RefreshHalos(ManagedArray& array, double ready_at,
+                                 sim::Stream stream) {
   trace::PhaseScope phase(trace::category::kHalo);
   trace::Span span("halo:" + array.name(), trace::category::kHalo);
   const std::size_t elem = array.elem_size();
   CommMetrics& comm_metrics = CommMetrics::Get();
   std::uint64_t refreshes = 0;
+  double end = platform_.clock().Now();
   for (int device : devices_) {
     DeviceShard& shard = array.shard(device);
     if (shard.data == nullptr || shard.loaded.empty()) continue;
@@ -399,11 +412,13 @@ void CommManager::RefreshHalos(ManagedArray& array) {
                           std::to_string(cursor));
         const std::size_t bytes =
             static_cast<std::size_t>(piece_hi - cursor) * elem;
-        platform_.CopyDeviceToDevice(
-            *shard.data,
-            static_cast<std::size_t>(cursor - shard.loaded.lo) * elem,
-            *src.data, static_cast<std::size_t>(cursor - src.loaded.lo) * elem,
-            bytes);
+        end = std::max(
+            end, platform_.CopyDeviceToDevice(
+                     *shard.data,
+                     static_cast<std::size_t>(cursor - shard.loaded.lo) * elem,
+                     *src.data,
+                     static_cast<std::size_t>(cursor - src.loaded.lo) * elem,
+                     bytes, ready_at, stream));
         ++refreshes;
         cursor = piece_hi;
       }
@@ -411,6 +426,7 @@ void CommManager::RefreshHalos(ManagedArray& array) {
   }
   stats_.halo_refreshes += refreshes;
   if (refreshes > 0) comm_metrics.halo_refreshes.Add(refreshes);
+  return end;
 }
 
 }  // namespace accmg::runtime

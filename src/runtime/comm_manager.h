@@ -31,14 +31,31 @@ class CommManager {
 
   /// Replicated array written by the last kernel: update the other replicas
   /// from each writer's dirty chunks, then clear all dirty bits.
-  void PropagateReplicated(ManagedArray& array);
+  ///
+  /// The dirty state (spans, payload bytes, chunk ids) is snapshotted at
+  /// CALL time — issue time under the async pipeline — before anything is
+  /// billed or applied. Two writers racing on overlapping spans therefore
+  /// merge exactly what each had written when the propagate was issued,
+  /// last-writer-wins in device order, regardless of when the simulated
+  /// transfers actually run (`ready_at` only delays the billed schedule).
+  ///
+  /// Transfers start no earlier than `ready_at` and ride `stream`'s copy
+  /// engine. Returns the simulated end time of the last transfer (clock
+  /// Now when nothing was dirty).
+  double PropagateReplicated(ManagedArray& array, double ready_at = 0,
+                             sim::Stream stream = sim::Stream::kDefault);
 
   /// Distributed array: deliver buffered write-miss records to the owners.
-  void ReplayWriteMisses(ManagedArray& array);
+  /// Records are drained at call time (issue order); see PropagateReplicated
+  /// for the ready_at/stream/return contract.
+  double ReplayWriteMisses(ManagedArray& array, double ready_at = 0,
+                           sim::Stream stream = sim::Stream::kDefault);
 
   /// Distributed array written by the last kernel: re-fetch halo elements
-  /// (loaded but not owned) from their owners.
-  void RefreshHalos(ManagedArray& array);
+  /// (loaded but not owned) from their owners. See PropagateReplicated for
+  /// the ready_at/stream/return contract.
+  double RefreshHalos(ManagedArray& array, double ready_at = 0,
+                      sim::Stream stream = sim::Stream::kDefault);
 
   const CommStats& stats() const { return stats_; }
 

@@ -10,8 +10,8 @@
 namespace accmg::runtime::reference {
 
 void PropagateReplicated(sim::Platform& platform,
-                         const std::vector<int>& devices,
-                         ManagedArray& array) {
+                         const std::vector<int>& devices, ManagedArray& array,
+                         double ready_at, sim::Stream stream) {
   trace::PhaseScope phase(trace::category::kDirtyMerge);
   if (devices.size() < 2) {
     for (int device : devices) {
@@ -47,7 +47,8 @@ void PropagateReplicated(sim::Platform& platform,
     std::vector<std::uint8_t> level2(static_cast<std::size_t>(chunks));
     std::memcpy(level2.data(), src.dirty2->bytes().data(),
                 static_cast<std::size_t>(chunks));
-    platform.BillDeviceToHost(sender, static_cast<std::size_t>(chunks));
+    platform.BillDeviceToHost(sender, static_cast<std::size_t>(chunks),
+                              ready_at);
 
     SenderDirty snapshot;
     snapshot.device = sender;
@@ -90,7 +91,8 @@ void PropagateReplicated(sim::Platform& platform,
         const std::size_t chunk_bytes =
             static_cast<std::size_t>(chunk_hi - chunk_lo) * elem +
             static_cast<std::size_t>(chunk_hi - chunk_lo);  // + dirty bits
-        platform.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes);
+        platform.BillDeviceToDevice(snapshot.device, receiver, chunk_bytes,
+                                    ready_at, stream);
       }
       std::byte* dst_data = dst.data->bytes().data();
       for (std::size_t k = 0; k < snapshot.indices.size(); ++k) {
@@ -113,7 +115,8 @@ void PropagateReplicated(sim::Platform& platform,
 }
 
 void ReplayWriteMisses(sim::Platform& platform,
-                       const std::vector<int>& devices, ManagedArray& array) {
+                       const std::vector<int>& devices, ManagedArray& array,
+                       double ready_at, sim::Stream stream) {
   trace::PhaseScope phase(trace::category::kMissFlush);
   const std::size_t elem = array.elem_size();
   for (int sender : devices) {
@@ -133,7 +136,8 @@ void ReplayWriteMisses(sim::Platform& platform,
     }
     for (auto& [owner, records] : by_owner) {
       DeviceShard& dst = array.shard(owner);
-      platform.BillDeviceToDevice(sender, owner, records.size() * 16);
+      platform.BillDeviceToDevice(sender, owner, records.size() * 16,
+                                  ready_at, stream);
       std::byte* dst_data = dst.data->bytes().data();
       for (const auto& record : records) {
         ACCMG_CHECK(dst.loaded.Contains(record.index),
@@ -153,7 +157,8 @@ void CombineArrayReduction(
     sim::Platform& platform, const std::vector<int>& devices,
     ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
     std::int64_t length,
-    const std::vector<const std::vector<std::uint64_t>*>& partials) {
+    const std::vector<const std::vector<std::uint64_t>*>& partials,
+    double ready_at, sim::Stream stream) {
   ACCMG_REQUIRE(!devices.empty(), "reduction combine needs devices");
   ACCMG_REQUIRE(partials.size() == devices.size(),
                 "one partial per device expected");
@@ -177,9 +182,15 @@ void CombineArrayReduction(
   }
   std::vector<std::uint64_t>& combined = work[0];
 
+  double end = platform.clock().Now();
   for (std::size_t g = 1; g < num_devices; ++g) {
-    platform.BillDeviceToDevice(devices[g], devices[0], n * elem);
+    end = std::max(end, platform.BillDeviceToDevice(devices[g], devices[0],
+                                                    n * elem, ready_at,
+                                                    stream));
   }
+  // Same broadcast chaining as the optimized path: the combined result
+  // exists only once every partial has arrived.
+  const double combine_ready = std::max(ready_at, end);
 
   for (std::size_t g = 0; g < num_devices; ++g) {
     DeviceShard& shard = dest.shard(devices[g]);
@@ -200,7 +211,8 @@ void CombineArrayReduction(
       std::memcpy(data + local * elem, &combined[j], elem);
     }
     if (g != 0) {
-      platform.BillDeviceToDevice(devices[0], devices[g], n * elem);
+      platform.BillDeviceToDevice(devices[0], devices[g], n * elem,
+                                  combine_ready, stream);
     }
     shard.valid = true;
   }

@@ -26,14 +26,20 @@ namespace accmg::runtime::reference {
 
 /// Element-at-a-time dirty-bit propagation: snapshot each sender's dirty
 /// elements one by one, bill per dirty chunk, apply per element to every
-/// receiver. Mirrors CommManager::PropagateReplicated.
+/// receiver. Mirrors CommManager::PropagateReplicated, including its
+/// snapshot-at-call-time semantics and the ready_at/stream scheduling knobs
+/// of the async pipeline.
 void PropagateReplicated(sim::Platform& platform,
-                         const std::vector<int>& devices, ManagedArray& array);
+                         const std::vector<int>& devices, ManagedArray& array,
+                         double ready_at = 0,
+                         sim::Stream stream = sim::Stream::kDefault);
 
 /// Per-record write-miss replay grouped by owner in ascending owner order.
 /// Mirrors CommManager::ReplayWriteMisses.
 void ReplayWriteMisses(sim::Platform& platform,
-                       const std::vector<int>& devices, ManagedArray& array);
+                       const std::vector<int>& devices, ManagedArray& array,
+                       double ready_at = 0,
+                       sim::Stream stream = sim::Stream::kDefault);
 
 /// Serial pairwise-tree reduction combine (same combination order as the
 /// optimized path so floating-point results match bitwise), applied with
@@ -42,6 +48,7 @@ void CombineArrayReduction(
     sim::Platform& platform, const std::vector<int>& devices,
     ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
     std::int64_t length,
-    const std::vector<const std::vector<std::uint64_t>*>& partials);
+    const std::vector<const std::vector<std::uint64_t>*>& partials,
+    double ready_at = 0, sim::Stream stream = sim::Stream::kDefault);
 
 }  // namespace accmg::runtime::reference

@@ -1,5 +1,6 @@
 #include "runtime/data_loader.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
@@ -36,21 +37,21 @@ DataLoader::DataLoader(sim::Platform& platform, const ExecOptions& options,
   ACCMG_REQUIRE(!devices_.empty(), "data loader needs at least one device");
 }
 
-void DataLoader::EnsurePlacement(const ArrayRequirement& req) {
+double DataLoader::EnsurePlacement(const ArrayRequirement& req,
+                                   double ready_at) {
   ACCMG_REQUIRE(req.array != nullptr, "requirement without an array");
   trace::Span span("load:" + req.array->name(), trace::category::kLoader);
   ACCMG_REQUIRE(req.read_ranges.size() == devices_.size() &&
                     req.own_ranges.size() == devices_.size(),
                 "requirement ranges must match the device list");
-  if (req.distributed) {
-    LoadDistributed(req);
-  } else {
-    LoadReplicated(req);
-  }
+  const double end = req.distributed ? LoadDistributed(req, ready_at)
+                                     : LoadReplicated(req, ready_at);
   EnsureSystemBuffers(req);
+  return end;
 }
 
-void DataLoader::LoadReplicated(const ArrayRequirement& req) {
+double DataLoader::LoadReplicated(const ArrayRequirement& req,
+                                  double ready_at) {
   ManagedArray& array = *req.array;
   const Range full{0, array.count()};
 
@@ -71,13 +72,15 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
     ReleaseNonParticipating(array);
     ++stats_.loads_skipped;
     LoaderMetrics::Get().loads_skipped.Add();
-    return;
+    return platform_.clock().Now();
   }
 
   // Transitioning placements: make the host copy authoritative first. This
   // must happen before non-participating shards are released — they may
   // hold the only valid copy.
-  if (!array.host_valid()) GatherToHost(array);
+  double end = platform_.clock().Now();
+  if (!array.host_valid()) end = GatherToHost(array, ready_at);
+
   ReleaseNonParticipating(array);
 
   for (int device : devices_) {
@@ -91,17 +94,21 @@ void DataLoader::LoadReplicated(const ArrayRequirement& req) {
           "user:" + array.name(), array.total_bytes());
       shard.loaded = full;
     }
-    platform_.CopyHostToDevice(*shard.data, 0, array.host_data(),
-                               array.total_bytes());
+    end = std::max(end,
+                   platform_.CopyHostToDevice(*shard.data, 0,
+                                              array.host_data(),
+                                              array.total_bytes(), ready_at));
     shard.owned = full;
     shard.valid = true;
     ++stats_.loads_performed;
     LoaderMetrics::Get().loads_performed.Add();
   }
   array.set_placement(Placement::kReplicated);
+  return end;
 }
 
-void DataLoader::LoadDistributed(const ArrayRequirement& req) {
+double DataLoader::LoadDistributed(const ArrayRequirement& req,
+                                   double ready_at) {
   ManagedArray& array = *req.array;
 
   // Reload-skip: same ownership and the loaded range already covers the
@@ -128,10 +135,11 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
   if (satisfied) {
     ++stats_.loads_skipped;
     LoaderMetrics::Get().loads_skipped.Add();
-    return;
+    return platform_.clock().Now();
   }
 
-  if (!array.host_valid()) GatherToHost(array);
+  double end = platform_.clock().Now();
+  if (!array.host_valid()) end = GatherToHost(array, ready_at);
   ReleaseNonParticipating(array);
 
   const std::size_t elem = array.elem_size();
@@ -147,17 +155,19 @@ void DataLoader::LoadDistributed(const ArrayRequirement& req) {
           static_cast<std::size_t>(read.size()) * elem);
       shard.loaded = read;
     }
-    platform_.CopyHostToDevice(
-        *shard.data, 0,
-        static_cast<const std::byte*>(array.host_data()) +
-            static_cast<std::size_t>(read.lo) * elem,
-        static_cast<std::size_t>(read.size()) * elem);
+    end = std::max(
+        end, platform_.CopyHostToDevice(
+                 *shard.data, 0,
+                 static_cast<const std::byte*>(array.host_data()) +
+                     static_cast<std::size_t>(read.lo) * elem,
+                 static_cast<std::size_t>(read.size()) * elem, ready_at));
     shard.owned = req.own_ranges[i];
     shard.valid = true;
     ++stats_.loads_performed;
     LoaderMetrics::Get().loads_performed.Add();
   }
   array.set_placement(Placement::kDistributed);
+  return end;
 }
 
 bool DataLoader::IsParticipating(int device) const {
@@ -233,11 +243,12 @@ void DataLoader::EnsureSystemBuffers(const ArrayRequirement& req) {
   }
 }
 
-void DataLoader::GatherToHost(ManagedArray& array) {
-  if (array.host_valid()) return;
+double DataLoader::GatherToHost(ManagedArray& array, double ready_at) {
+  if (array.host_valid()) return platform_.clock().Now();
   trace::Span span("gather:" + array.name(), trace::category::kLoader);
   const std::size_t elem = array.elem_size();
   auto* host = static_cast<std::byte*>(array.host_data());
+  double end = platform_.clock().Now();
   switch (array.placement()) {
     case Placement::kHostOnly:
       ACCMG_CHECK(false, "array '" + array.name() +
@@ -248,12 +259,12 @@ void DataLoader::GatherToHost(ManagedArray& array) {
       for (int d = 0; d < array.num_shards(); ++d) {
         const DeviceShard& shard = array.shard(d);
         if (shard.valid) {
-          platform_.CopyDeviceToHost(host, *shard.data, 0,
-                                     array.total_bytes());
+          end = platform_.CopyDeviceToHost(host, *shard.data, 0,
+                                           array.total_bytes(), ready_at);
           array.set_host_valid(true);
           ++stats_.gathers;
           LoaderMetrics::Get().gathers.Add();
-          return;
+          return end;
         }
       }
       ACCMG_CHECK(false, "replicated array '" + array.name() +
@@ -266,10 +277,12 @@ void DataLoader::GatherToHost(ManagedArray& array) {
         if (!shard.valid || shard.owned.empty()) continue;
         const std::size_t offset_in_segment =
             static_cast<std::size_t>(shard.owned.lo - shard.loaded.lo) * elem;
-        platform_.CopyDeviceToHost(
-            host + static_cast<std::size_t>(shard.owned.lo) * elem,
-            *shard.data, offset_in_segment,
-            static_cast<std::size_t>(shard.owned.size()) * elem);
+        end = std::max(
+            end, platform_.CopyDeviceToHost(
+                     host + static_cast<std::size_t>(shard.owned.lo) * elem,
+                     *shard.data, offset_in_segment,
+                     static_cast<std::size_t>(shard.owned.size()) * elem,
+                     ready_at));
       }
       array.set_host_valid(true);
       ++stats_.gathers;
@@ -277,23 +290,28 @@ void DataLoader::GatherToHost(ManagedArray& array) {
       break;
     }
   }
+  return end;
 }
 
-void DataLoader::ScatterFromHost(ManagedArray& array) {
+double DataLoader::ScatterFromHost(ManagedArray& array, double ready_at) {
   ACCMG_REQUIRE(array.host_valid(),
                 "update device from a stale host copy of '" + array.name() +
                     "'");
   const std::size_t elem = array.elem_size();
   const auto* host = static_cast<const std::byte*>(array.host_data());
+  double end = platform_.clock().Now();
   for (int d = 0; d < array.num_shards(); ++d) {
     DeviceShard& shard = array.shard(d);
     if (shard.data == nullptr) continue;
-    platform_.CopyHostToDevice(
-        *shard.data, 0,
-        host + static_cast<std::size_t>(shard.loaded.lo) * elem,
-        static_cast<std::size_t>(shard.loaded.size()) * elem);
+    end = std::max(
+        end, platform_.CopyHostToDevice(
+                 *shard.data, 0,
+                 host + static_cast<std::size_t>(shard.loaded.lo) * elem,
+                 static_cast<std::size_t>(shard.loaded.size()) * elem,
+                 ready_at));
     shard.valid = true;
   }
+  return end;
 }
 
 }  // namespace accmg::runtime

@@ -42,21 +42,26 @@ class DataLoader {
   /// Makes the array satisfy `req` on every participating device, issuing
   /// host<->device transfers as needed. Also (re)allocates the system
   /// buffers (dirty bits / miss buffer) the instrumentation requires.
-  void EnsurePlacement(const ArrayRequirement& req);
+  /// Transfers start no earlier than `ready_at` (simulated seconds — the
+  /// async pipeline passes the array's outstanding-communication end so a
+  /// reload never races an in-flight exchange). Returns the simulated end
+  /// time of the last transfer issued (clock Now when none was needed).
+  double EnsurePlacement(const ArrayRequirement& req, double ready_at = 0);
 
   /// Copies the authoritative bytes back to the host buffer (used at data
   /// region exits, update-host directives, and placement transitions).
-  void GatherToHost(ManagedArray& array);
+  /// Returns the simulated end time of the last transfer.
+  double GatherToHost(ManagedArray& array, double ready_at = 0);
 
   /// Pushes the host copy to wherever the array currently lives on devices
-  /// (update-device directive).
-  void ScatterFromHost(ManagedArray& array);
+  /// (update-device directive). Returns the last transfer's end time.
+  double ScatterFromHost(ManagedArray& array, double ready_at = 0);
 
   const LoaderStats& stats() const { return stats_; }
 
  private:
-  void LoadReplicated(const ArrayRequirement& req);
-  void LoadDistributed(const ArrayRequirement& req);
+  double LoadReplicated(const ArrayRequirement& req, double ready_at);
+  double LoadDistributed(const ArrayRequirement& req, double ready_at);
   void EnsureSystemBuffers(const ArrayRequirement& req);
 
   bool IsParticipating(int device) const;

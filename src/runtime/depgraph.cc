@@ -1,0 +1,167 @@
+#include "runtime/depgraph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace accmg::runtime {
+
+namespace {
+
+/// ceil(a / b) for b >= 1 and any a.
+std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Per-offload use summary of one array. A reduction destination counts as
+/// both a read and a write: the combined result folds into the pre-loop
+/// value, so it must observe every earlier write and be observed by every
+/// later read.
+struct Use {
+  bool reads = false;
+  bool writes = false;
+};
+
+Use UseOf(const translator::ArrayConfig& config) {
+  Use use;
+  use.reads = config.is_read || config.is_reduction_dest;
+  use.writes = config.is_written || config.is_reduction_dest;
+  return use;
+}
+
+}  // namespace
+
+const char* DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kRAW:
+      return "RAW";
+    case DepKind::kWAR:
+      return "WAR";
+    case DepKind::kWAW:
+      return "WAW";
+  }
+  return "?";
+}
+
+std::vector<int> DepGraph::Successors(int from) const {
+  std::vector<int> result;
+  for (const DepEdge& edge : edges) {
+    if (edge.from == from) result.push_back(edge.to);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<DepEdge> DepGraph::IncomingEdges(int to) const {
+  std::vector<DepEdge> result;
+  for (const DepEdge& edge : edges) {
+    if (edge.to == to) result.push_back(edge);
+  }
+  return result;
+}
+
+bool DepGraph::HasEdge(int from, int to) const {
+  for (const DepEdge& edge : edges) {
+    if (edge.from == from && edge.to == to) return true;
+  }
+  return false;
+}
+
+std::vector<const frontend::VarDecl*> DepGraph::ReadsFrom(int from,
+                                                          int to) const {
+  std::vector<const frontend::VarDecl*> result;
+  for (const DepEdge& edge : edges) {
+    if (edge.from != from || edge.to != to) continue;
+    if (edge.kind != DepKind::kRAW) continue;
+    if (std::find(result.begin(), result.end(), edge.decl) == result.end()) {
+      result.push_back(edge.decl);
+    }
+  }
+  return result;
+}
+
+DepGraph BuildDepGraph(const translator::CompiledFunction& fn) {
+  DepGraph graph;
+  graph.num_offloads = static_cast<int>(fn.offloads.size());
+  for (std::size_t i = 0; i < fn.offloads.size(); ++i) {
+    const translator::LoopOffload& earlier = fn.offloads[i];
+    for (std::size_t j = i + 1; j < fn.offloads.size(); ++j) {
+      const translator::LoopOffload& later = fn.offloads[j];
+      for (const auto& earlier_config : earlier.arrays) {
+        // Keyed on the resolved VarDecl: two configs whose names collide
+        // (shadowing) are distinct arrays and carry no dependence.
+        const translator::ArrayConfig* later_config =
+            later.FindArray(*earlier_config.decl);
+        if (later_config == nullptr) continue;
+        const Use a = UseOf(earlier_config);
+        const Use b = UseOf(*later_config);
+        auto emit = [&](DepKind kind) {
+          graph.edges.push_back(DepEdge{earlier.id, later.id,
+                                        earlier_config.decl, kind});
+        };
+        if (a.writes && b.reads) emit(DepKind::kRAW);
+        if (a.reads && b.writes) emit(DepKind::kWAR);
+        if (a.writes && b.writes) emit(DepKind::kWAW);
+      }
+    }
+  }
+  return graph;
+}
+
+SplitPlan ComputeBoundarySplit(const std::vector<ArraySplitInput>& arrays,
+                               std::size_t device_index,
+                               std::size_t num_devices, std::int64_t size) {
+  SplitPlan plan;
+  if (num_devices < 2 || size <= 0) return plan;
+
+  bool any_halo = false;
+  std::int64_t lead = 0;
+  std::int64_t trail = 0;
+  for (const ArraySplitInput& array : arrays) {
+    if (!array.distributed) continue;
+    if (array.left == 0 && array.right == 0) continue;  // no halo exchange
+    if (!array.boundaries_exact) return plan;  // iteration<->element map broken
+    const std::int64_t s = std::max<std::int64_t>(1, array.stride);
+    // Writes the analysis cannot bound (non-affine, or marching with a
+    // different coefficient than the ownership stride) could land anywhere
+    // in the owned segment, including the slices a neighbour reads as halo
+    // — no interior can be carved out.
+    if (array.is_written &&
+        (!array.has_affine_writes || array.write_coeff != s)) {
+      return plan;
+    }
+    any_halo = true;
+
+    // Boundary iterations must contain (a) every iteration whose read
+    // window [s*i - left, s*(i+1) - 1 + right] reaches outside the owned
+    // segment, and (b) every iteration whose writes can land in an
+    // exchange-sensitive owned slice — [b_lo, b_lo + right) feeds the left
+    // neighbour's halo, [b_hi - left, b_hi) the right neighbour's.
+    std::int64_t a_lead = CeilDiv(array.left, s);
+    std::int64_t a_trail = CeilDiv(array.right, s);
+    if (array.is_written) {
+      a_lead = std::max(
+          a_lead, CeilDiv(array.right - array.write_min_off, s));
+      a_trail = std::max(
+          a_trail,
+          std::max<std::int64_t>(0,
+                                 (array.left + array.write_max_off) / s));
+    }
+    lead = std::max(lead, a_lead);
+    trail = std::max(trail, a_trail);
+  }
+  if (!any_halo) return plan;
+
+  // Edge devices have no neighbour on one side.
+  if (device_index == 0) lead = 0;
+  if (device_index + 1 == num_devices) trail = 0;
+  if (lead + trail >= size || (lead == 0 && trail == 0)) return plan;
+
+  plan.split = true;
+  plan.lead = lead;
+  plan.trail = trail;
+  return plan;
+}
+
+}  // namespace accmg::runtime

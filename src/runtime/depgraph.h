@@ -1,0 +1,108 @@
+// Inter-offload dependence analysis for the async execution pipeline.
+//
+// The translator emits per-loop read/write sets (ArrayConfig::is_read /
+// is_written plus localaccess windows and affine write summaries); this
+// module turns them into a static dependence graph between the offloads of
+// a compiled function — RAW, WAR and WAW edges keyed on the resolved
+// VarDecl (never on identifier spelling, which is ambiguous under
+// shadowing) — and into per-device boundary/interior split plans that bound
+// which iterations of a distributed kernel can touch elements another
+// device reads as halo.
+//
+// The executor uses the graph to order communication so chunks the next
+// dependent offload reads are issued first, and the split plans to gate
+// halo exchange on the boundary sub-kernels only, hiding it behind interior
+// compute. tests/depgraph_test.cc pins edge derivation, split correctness,
+// and async-vs-sync schedule equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "translator/offload.h"
+
+namespace accmg::runtime {
+
+enum class DepKind : int {
+  kRAW = 0,  ///< earlier offload writes, later reads (true dependence)
+  kWAR = 1,  ///< earlier reads, later writes (anti dependence)
+  kWAW = 2,  ///< both write (output dependence)
+};
+
+const char* DepKindName(DepKind kind);
+
+struct DepEdge {
+  int from = -1;  ///< offload id of the earlier loop
+  int to = -1;    ///< offload id of the later loop
+  const frontend::VarDecl* decl = nullptr;  ///< the array carrying the edge
+  DepKind kind{};
+};
+
+/// Static dependence graph over the offloads of one compiled function, in
+/// program (offload id) order. Edges connect each offload to every LATER
+/// offload it conflicts with (all pairs, not just adjacent ones — control
+/// flow may skip loops at runtime).
+struct DepGraph {
+  int num_offloads = 0;
+  std::vector<DepEdge> edges;
+
+  /// Offload ids with at least one edge from `from`, ascending, deduped.
+  std::vector<int> Successors(int from) const;
+  /// Edges into `to`, in edge order.
+  std::vector<DepEdge> IncomingEdges(int to) const;
+  bool HasEdge(int from, int to) const;
+  /// Arrays (decls) that offload `to` reads via an edge from `from`.
+  std::vector<const frontend::VarDecl*> ReadsFrom(int from, int to) const;
+};
+
+/// Builds the graph from the translator's array configurations. A
+/// reduction destination counts as read AND written (the combined result
+/// folds into the pre-loop value exactly once), so reduction destinations
+/// serialize against every other use of the array.
+DepGraph BuildDepGraph(const translator::CompiledFunction& fn);
+
+/// Everything the splitter needs to know about one array of the offload,
+/// with the localaccess expressions already evaluated in the launch
+/// environment.
+struct ArraySplitInput {
+  bool distributed = false;   ///< owner-segment placement this launch
+  bool is_written = false;    ///< the kernel writes this array
+  std::int64_t stride = 1;    ///< localaccess stride (>= 1)
+  std::int64_t left = 0;      ///< localaccess left halo extent (>= 0)
+  std::int64_t right = 0;     ///< localaccess right halo extent (>= 0)
+  /// Every ownership boundary equals stride * (iteration at the device
+  /// task boundary), i.e. none was clamped to the array ends. Clamped
+  /// boundaries break the iteration<->element correspondence the split
+  /// arithmetic relies on, so the splitter falls back to no-split.
+  bool boundaries_exact = false;
+  /// Affine write summary relative to the localaccess window (see
+  /// ArrayConfig). When writes are not affine the splitter cannot bound
+  /// them and treats the array as written everywhere.
+  bool has_affine_writes = false;
+  std::int64_t write_coeff = 0;
+  std::int64_t write_min_off = 0;
+  std::int64_t write_max_off = 0;
+};
+
+/// Boundary/interior split of one device's iteration range [0, size):
+/// iterations [0, lead) and [size - trail, size) form the boundary
+/// sub-tasks (they may read or write elements outside the device's owned
+/// segments of some distributed array), [lead, size - trail) the interior
+/// sub-task (provably touches owned elements only). `split == false` means
+/// run the whole range as one task.
+struct SplitPlan {
+  bool split = false;
+  std::int64_t lead = 0;
+  std::int64_t trail = 0;
+};
+
+/// Computes the split for device `device_index` of `num_devices` over a
+/// task of `size` iterations. Conservative: any array the analysis cannot
+/// bound (inexact boundaries, non-affine writes reaching past the
+/// localaccess window) disables the split. A device on the partition edge
+/// has no neighbour on that side, so the corresponding boundary is empty.
+SplitPlan ComputeBoundarySplit(const std::vector<ArraySplitInput>& arrays,
+                               std::size_t device_index,
+                               std::size_t num_devices, std::int64_t size);
+
+}  // namespace accmg::runtime

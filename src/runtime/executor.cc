@@ -82,6 +82,12 @@ Executor::Executor(sim::Platform& platform, ExecOptions options,
   }
 }
 
+void Executor::FinishPendingComm() {
+  if (!options_.async_pipeline) return;
+  platform_.clock().AdvanceTo(pending_comm_end_, sim::TimeCategory::kGpuGpu);
+  ready_.clear();
+}
+
 void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
                           const ArrayResolver& resolve) {
   if (validator_ == nullptr) {
@@ -136,14 +142,23 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     }
   }
 
+  const bool async = options_.async_pipeline;
+
   // --- 2. Placement requirements per array + data loading. ---
   struct BoundArray {
     ManagedArray* array = nullptr;
     const translator::ArrayConfig* config = nullptr;
     bool distributed = false;
+    // Launch-time localaccess values and ownership-boundary exactness, kept
+    // for the async pipeline's boundary/interior splitter.
+    std::int64_t stride = 1;
+    std::int64_t left = 0;
+    std::int64_t right = 0;
+    bool boundaries_exact = false;
   };
   std::vector<BoundArray> bound;
   bound.reserve(offload.arrays.size());
+  double load_end = platform_.clock().Now();
 
   for (const auto& config : offload.arrays) {
     ManagedArray& array = resolve(*config.decl);
@@ -163,6 +178,10 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     req.read_ranges.resize(devices_.size());
     req.own_ranges.resize(devices_.size());
 
+    BoundArray ba;
+    ba.array = &array;
+    ba.config = &config;
+    ba.distributed = req.distributed;
     if (req.distributed) {
       const std::int64_t stride =
           config.stride != nullptr ? EvalIndexExpr(*config.stride, env) : 1;
@@ -178,12 +197,15 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
       // array bounds so that every element has exactly one owner.
       std::vector<std::int64_t> boundary(devices_.size() + 1);
       boundary[0] = 0;
+      bool exact = true;
       for (std::size_t g = 1; g < devices_.size(); ++g) {
-        boundary[g] = std::clamp<std::int64_t>(
-            stride * (lower + tasks[g].lo), 0, array.count());
+        const std::int64_t ideal = stride * (lower + tasks[g].lo);
+        boundary[g] = std::clamp<std::int64_t>(ideal, 0, array.count());
+        exact &= boundary[g] == ideal;
       }
       boundary[devices_.size()] = array.count();
       for (std::size_t g = 1; g < devices_.size(); ++g) {
+        exact &= boundary[g] >= boundary[g - 1];
         boundary[g] = std::max(boundary[g], boundary[g - 1]);
       }
       for (std::size_t g = 0; g < devices_.size(); ++g) {
@@ -199,16 +221,36 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
         req.read_ranges[g] = read;
         req.own_ranges[g] = own;
       }
+      ba.stride = stride;
+      ba.left = left;
+      ba.right = right;
+      ba.boundaries_exact = exact;
     } else {
       for (std::size_t g = 0; g < devices_.size(); ++g) {
         req.read_ranges[g] = Range{0, array.count()};
         req.own_ranges[g] = Range{0, array.count()};
       }
     }
-    loader_.EnsurePlacement(req);
-    bound.push_back(BoundArray{&array, &config, req.distributed});
+    // Under the pipeline a reload must not race the array's own in-flight
+    // exchange; its readiness time is the transfer floor.
+    double load_floor = 0;
+    if (async) {
+      auto it = ready_.find(&array);
+      if (it != ready_.end()) {
+        load_floor = std::max(it->second.bulk, it->second.halo);
+      }
+    }
+    load_end = std::max(load_end, loader_.EnsurePlacement(req, load_floor));
+    bound.push_back(ba);
   }
-  platform_.Barrier(sim::TimeCategory::kCpuGpu);
+  if (async) {
+    // Only the exposed transfer latency stalls the pipeline — no global
+    // resource drain. Steady-state iterations hit the reload-skip cache and
+    // pay nothing here.
+    platform_.clock().AdvanceTo(load_end, sim::TimeCategory::kCpuGpu);
+  } else {
+    platform_.Barrier(sim::TimeCategory::kCpuGpu);
+  }
 
   // --- 3. Resolve launch-time values. ---
   std::vector<std::uint64_t> scalar_values(offload.scalars.size());
@@ -235,6 +277,52 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
                       "'");
   }
 
+  // --- 3b. Async gates and boundary/interior split plans. ---
+  // `bulk_gate` is when every used array's non-halo contents are ready
+  // (outstanding dirty merges / miss replays / reduction broadcasts);
+  // `halo_gate` additionally waits for in-flight halo refreshes. Interior
+  // sub-kernels only touch owned elements, so they start at bulk_gate while
+  // the halo exchange of the previous offload is still on the wire — the
+  // boundary sub-kernels (and unsplit kernels, which may read halos) gate
+  // on halo_gate.
+  double bulk_gate = 0;
+  double halo_gate = 0;
+  if (async) {
+    for (const auto& ba : bound) {
+      auto it = ready_.find(ba.array);
+      if (it == ready_.end()) continue;
+      bulk_gate = std::max(bulk_gate, it->second.bulk);
+      halo_gate = std::max(halo_gate, it->second.halo);
+    }
+    halo_gate = std::max(halo_gate, bulk_gate);
+    // The wait for bulk readiness is exposed inter-GPU communication time.
+    platform_.clock().AdvanceTo(bulk_gate, sim::TimeCategory::kGpuGpu);
+  }
+
+  std::vector<SplitPlan> plans(devices_.size());
+  if (async && devices_.size() > 1) {
+    std::vector<ArraySplitInput> split_inputs;
+    for (const auto& ba : bound) {
+      if (!ba.distributed) continue;
+      ArraySplitInput in;
+      in.distributed = true;
+      in.is_written = ba.config->is_written;
+      in.stride = ba.stride;
+      in.left = ba.left;
+      in.right = ba.right;
+      in.boundaries_exact = ba.boundaries_exact;
+      in.has_affine_writes = ba.config->has_affine_writes;
+      in.write_coeff = ba.config->write_coeff;
+      in.write_min_off = ba.config->write_min_off;
+      in.write_max_off = ba.config->write_max_off;
+      split_inputs.push_back(in);
+    }
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      plans[g] = ComputeBoundarySplit(split_inputs, g, devices_.size(),
+                                      tasks[g].size());
+    }
+  }
+
   // --- 4. Launch kernels (they overlap in simulated time). ---
   // Setup + launches run concurrently, one thread per device: each kernel's
   // functional execution (Platform::LaunchKernel) is itself host work, so
@@ -242,7 +330,16 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
   // clock even though the sim clock already models the overlap. Billing is
   // thread-safe and per-device resources are disjoint, so simulated time is
   // unchanged.
+  //
+  // Async split: one KernelExec per device runs up to three sub-launches
+  // (interior first — it never waits on halos — then the lead and trail
+  // boundary windows gated on halo_gate). ResetOutputs is called once, so
+  // reduction partials accumulate across the sub-launches exactly as one
+  // full-range launch would.
   std::vector<std::unique_ptr<ir::KernelExec>> execs(devices_.size());
+  std::vector<double> interior_end(devices_.size(), 0);
+  std::vector<double> boundary_end(devices_.size(), 0);
+  std::vector<double> device_end(devices_.size(), 0);
   auto launch_device = [&](std::size_t g) {
     auto exec = std::make_unique<ir::KernelExec>(offload.kernel);
     exec->scalar_values = scalar_values;
@@ -276,12 +373,45 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     }
     exec->ResetOutputs();
 
-    sim::KernelLaunch launch;
-    launch.body = exec.get();
-    launch.num_threads = tasks[g].size();
-    launch.block_size = options_.block_size;
-    launch.name = offload.name;
-    platform_.LaunchKernel(devices_[g], launch);
+    auto sub_launch = [&](std::int64_t first_iter, std::int64_t threads,
+                          const char* suffix, double ready_at) {
+      sim::KernelLaunch launch;
+      launch.body = exec.get();
+      launch.num_threads = threads;
+      launch.block_size = options_.block_size;
+      launch.name = suffix != nullptr ? offload.name + suffix : offload.name;
+      launch.ready_at = ready_at;
+      exec->iteration_offset = lower + tasks[g].lo + first_iter;
+      double end = 0;
+      platform_.LaunchKernel(devices_[g], launch, &end);
+      return end;
+    };
+
+    const SplitPlan& plan = plans[g];
+    if (!plan.split) {
+      // One full-range launch. Unsplit async kernels may read halo
+      // elements, so they gate on halo_gate (zero in sync mode).
+      const double end =
+          sub_launch(0, tasks[g].size(), nullptr, async ? halo_gate : 0);
+      interior_end[g] = end;
+      boundary_end[g] = end;
+      device_end[g] = end;
+    } else {
+      const std::int64_t size = tasks[g].size();
+      const double iend = sub_launch(
+          plan.lead, size - plan.lead - plan.trail, ":interior", 0);
+      double bend = iend;
+      if (plan.lead > 0) {
+        bend = std::max(bend, sub_launch(0, plan.lead, ":lead", halo_gate));
+      }
+      if (plan.trail > 0) {
+        bend = std::max(bend, sub_launch(size - plan.trail, plan.trail,
+                                         ":trail", halo_gate));
+      }
+      interior_end[g] = iend;
+      boundary_end[g] = bend;
+      device_end[g] = bend;
+    }
     execs[g] = std::move(exec);
   };
   if (devices_.size() == 1) {
@@ -304,7 +434,24 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
       if (error) std::rethrow_exception(error);
     }
   }
-  platform_.Barrier(sim::TimeCategory::kKernel);
+  double kernel_done = 0;
+  if (async) {
+    // Time up to the slowest interior is kernel execution; any boundary
+    // tail beyond it exists only because the boundary waited on an
+    // in-flight exchange, so that remainder is exposed GPU-GPU time.
+    double interior_max = 0;
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      interior_max = std::max(interior_max, interior_end[g]);
+      kernel_done = std::max(kernel_done, device_end[g]);
+    }
+    platform_.clock().AdvanceTo(interior_max, sim::TimeCategory::kKernel);
+    platform_.clock().AdvanceTo(kernel_done,
+                                halo_gate > interior_max
+                                    ? sim::TimeCategory::kGpuGpu
+                                    : sim::TimeCategory::kKernel);
+  } else {
+    platform_.Barrier(sim::TimeCategory::kKernel);
+  }
   ++stats_.offload_runs;
   static metrics::Counter& offload_runs_metric =
       metrics::Registry::Global().counter("executor.offload_runs");
@@ -316,7 +463,10 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
   trace::PhaseScope reduction_phase(trace::category::kReduction);
 
   // 5a. Scalar reductions: per-GPU partials come back to the host (a few
-  // bytes each) and fold into the variable's pre-loop value.
+  // bytes each) and fold into the variable's pre-loop value. The host
+  // consumes the value immediately, so the async pipeline waits for the
+  // readback (exposed time is GPU-GPU communication).
+  double scalar_red_end = platform_.clock().Now();
   for (std::size_t r = 0; r < offload.scalar_reds.size(); ++r) {
     const auto& red = offload.scalar_reds[r];
     const auto& slot = offload.kernel.scalar_reductions[r];
@@ -325,9 +475,15 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     for (std::size_t g = 0; g < devices_.size(); ++g) {
       acc = ir::CombineRaw(slot.op, slot.type, acc,
                            execs[g]->scalar_red_results()[r]);
-      platform_.BillDeviceToHost(devices_[g], ir::ValTypeSize(slot.type));
+      scalar_red_end = std::max(
+          scalar_red_end,
+          platform_.BillDeviceToHost(devices_[g],
+                                     ir::ValTypeSize(slot.type)));
     }
     env.SetScalar(*red.decl, FromElementRaw(slot.type, acc));
+  }
+  if (async && !offload.scalar_reds.empty()) {
+    platform_.clock().AdvanceTo(scalar_red_end, sim::TimeCategory::kGpuGpu);
   }
 
   // 5b. Array reductions (hierarchical, Section IV-B4): per-GPU dense
@@ -342,31 +498,87 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     for (const auto& exec : execs) {
       partials.push_back(&exec->array_red_partials()[r]);
     }
-    CombineArrayReduction(platform_, devices_, dest, slot.op, slot.type,
-                          red_lower[r], red_length[r], partials);
+    const double red_end = CombineArrayReduction(
+        platform_, devices_, dest, slot.op, slot.type, red_lower[r],
+        red_length[r], partials);
+    if (async) {
+      // Later offloads using the destination gate on the broadcast; the
+      // host does not, so the clock is not advanced here.
+      ArrayReady& state = ready_[&dest];
+      state.bulk = std::max(state.bulk, red_end);
+      state.halo = std::max(state.halo, state.bulk);
+      pending_comm_end_ = std::max(pending_comm_end_, red_end);
+    }
   }
 
   // 5c. Replicated written arrays: dirty-bit propagation.
   // 5d. Distributed arrays: write-miss replay, then halo refresh.
-  for (std::size_t a = 0; a < bound.size(); ++a) {
+  //
+  // Async issue order is dependence-driven: arrays the next dependent
+  // offload reads (depgraph RAW edges) go first, so their transfers grab
+  // the copy engines before coherence traffic nothing is waiting on.
+  // Billing per array is unchanged — only the order across arrays moves.
+  std::vector<std::size_t> comm_order(bound.size());
+  for (std::size_t a = 0; a < bound.size(); ++a) comm_order[a] = a;
+  if (async && depgraph_ != nullptr) {
+    const std::vector<int> succs = depgraph_->Successors(offload.id);
+    if (!succs.empty()) {
+      const std::vector<const frontend::VarDecl*> next_reads =
+          depgraph_->ReadsFrom(offload.id, succs.front());
+      std::stable_partition(
+          comm_order.begin(), comm_order.end(), [&](std::size_t a) {
+            const frontend::VarDecl* decl = bound[a].config->decl;
+            return std::find(next_reads.begin(), next_reads.end(), decl) !=
+                   next_reads.end();
+          });
+    }
+  }
+  const sim::Stream comm_stream =
+      async ? sim::Stream::kAsync : sim::Stream::kDefault;
+  for (std::size_t a : comm_order) {
     const BoundArray& ba = bound[a];
     const auto& param = offload.kernel.arrays[a];
+    double prop_end = 0;
+    double miss_end = 0;
+    double halo_end = 0;
     if (param.dirty_tracked) {
-      comm_.PropagateReplicated(*ba.array);
+      prop_end = comm_.PropagateReplicated(*ba.array, async ? kernel_done : 0,
+                                           comm_stream);
     }
     if (param.miss_checked) {
-      comm_.ReplayWriteMisses(*ba.array);
+      miss_end = comm_.ReplayWriteMisses(*ba.array, async ? kernel_done : 0,
+                                         comm_stream);
     }
     if (ba.distributed && ba.config->is_written &&
         !ba.config->is_reduction_dest) {
-      comm_.RefreshHalos(*ba.array);
+      double halo_floor = 0;
+      if (async) {
+        // The refresh reads each owner's exchange-sensitive slices and
+        // overwrites halos the old values of which only boundary iterations
+        // read — both complete at the boundary sub-kernels (the full kernel
+        // where no split happened). Miss replays write owner segments too,
+        // so an earlier replay of this array also floors the refresh.
+        halo_floor = miss_end;
+        for (std::size_t g = 0; g < devices_.size(); ++g) {
+          halo_floor = std::max(halo_floor, boundary_end[g]);
+        }
+      }
+      halo_end = comm_.RefreshHalos(*ba.array, halo_floor, comm_stream);
     }
     if (ba.config->is_written) {
       for (int device : devices_) ba.array->shard(device).valid = true;
       ba.array->set_host_valid(false);
     }
+    if (async) {
+      // Monotonic: a reduction destination already carries its broadcast
+      // end from 5b, which must not be lowered.
+      ArrayReady& state = ready_[ba.array];
+      state.bulk = std::max({state.bulk, kernel_done, prop_end, miss_end});
+      state.halo = std::max({state.halo, state.bulk, halo_end});
+      pending_comm_end_ = std::max(pending_comm_end_, state.halo);
+    }
   }
-  platform_.Barrier(sim::TimeCategory::kGpuGpu);
+  if (!async) platform_.Barrier(sim::TimeCategory::kGpuGpu);
 }
 
 }  // namespace accmg::runtime

@@ -1,14 +1,25 @@
 // BSP execution of one offloaded parallel loop on the multi-GPU platform
 // (paper Section III-A): map tasks & load data -> run kernels in parallel ->
 // handle inter-GPU communication, then a global barrier.
+//
+// With ExecOptions::async_pipeline the barriers are replaced by per-array
+// readiness times: distributed kernels with localaccess halos split into
+// boundary and interior sub-tasks (runtime/depgraph.h), halo and dirty-chunk
+// exchange rides the second DMA engine gated on the boundary sub-kernels,
+// and the next offload's interior launches while the exchange is still in
+// flight. Functional effects keep the synchronous issue order — results are
+// bit-identical and billed bytes/transfer counts unchanged; only the
+// simulated schedule differs.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/comm_manager.h"
 #include "runtime/data_loader.h"
+#include "runtime/depgraph.h"
 #include "runtime/managed_array.h"
 #include "runtime/options.h"
 #include "runtime/validator.h"
@@ -34,6 +45,22 @@ class Executor {
   void RunOffload(const translator::LoopOffload& offload,
                   translator::HostEnv& env, const ArrayResolver& resolve);
 
+  /// Installs the inter-offload dependence graph of the function being
+  /// interpreted (async pipeline only): communication after each offload is
+  /// issued so the arrays the next dependent offload reads go first. The
+  /// graph must outlive the executor's use; pass nullptr to detach.
+  void set_depgraph(const DepGraph* graph) { depgraph_ = graph; }
+
+  /// Latest simulated end time of communication issued by the async
+  /// pipeline that no one has waited on yet.
+  double pending_comm_end() const { return pending_comm_end_; }
+
+  /// Host synchronization point for the async pipeline: advances the
+  /// simulated clock past all outstanding communication (the exposed tail
+  /// is attributed to the GpuGpu category) and drops the per-array
+  /// readiness state. No-op when the pipeline is off.
+  void FinishPendingComm();
+
   DataLoader& loader() { return loader_; }
   CommManager& comm() { return comm_; }
   const ExecutorStats& stats() const { return stats_; }
@@ -48,6 +75,17 @@ class Executor {
   void RunOffloadImpl(const translator::LoopOffload& offload,
                       translator::HostEnv& env, const ArrayResolver& resolve);
 
+  /// Per-array readiness under the async pipeline. `bulk` is when the
+  /// array's non-halo contents are safe to use (kernel completion plus any
+  /// dirty-merge / miss-replay transfers); `halo` additionally covers an
+  /// in-flight halo refresh. Keyed on the ManagedArray (the physical
+  /// state), not the VarDecl — distinct decls never alias an array, but the
+  /// array is what the transfers actually touch.
+  struct ArrayReady {
+    double bulk = 0;
+    double halo = 0;
+  };
+
   sim::Platform& platform_;
   ExecOptions options_;
   std::vector<int> devices_;
@@ -55,6 +93,9 @@ class Executor {
   CommManager comm_;
   ExecutorStats stats_;
   std::unique_ptr<Validator> validator_;
+  const DepGraph* depgraph_ = nullptr;
+  std::unordered_map<const ManagedArray*, ArrayReady> ready_;
+  double pending_comm_end_ = 0;
 };
 
 }  // namespace accmg::runtime

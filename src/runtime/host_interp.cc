@@ -127,7 +127,15 @@ HostInterpreter::HostInterpreter(ProgramRunner& runner,
     for (int d = 0; d < runner_.config_.num_gpus; ++d) devices.push_back(d);
     gpu_ = std::make_unique<Executor>(platform, runner_.config_.options,
                                       std::move(devices));
+    if (runner_.config_.options.async_pipeline) {
+      depgraph_ = BuildDepGraph(fn_);
+      gpu_->set_depgraph(&depgraph_);
+    }
   }
+}
+
+bool HostInterpreter::AsyncPipeline() const {
+  return gpu_ != nullptr && gpu_->options().async_pipeline;
 }
 
 const VarDecl* HostInterpreter::FindParam(const std::string& name) const {
@@ -178,6 +186,10 @@ RunReport HostInterpreter::Run() {
   for (const auto& stmt : fn_.function->body->body) {
     if (ExecStmt(*stmt) == Flow::kReturn) break;
   }
+
+  // Drain pipelined communication the program never waited on, so the
+  // report's simulated time covers the full schedule.
+  if (gpu_ != nullptr) gpu_->FinishPendingComm();
 
   // Any data regions still open (shouldn't happen) — close them.
   // Record final scalar values for ScalarAfterRun.
@@ -441,6 +453,23 @@ void HostInterpreter::RunOffloadStmt(const frontend::ForStmt& loop,
   });
   UpdateMemoryPeaks();
 
+  if (AsyncPipeline()) {
+    // The implicit-array gathers below are host accesses; everything else
+    // stays in flight so the next offload can pipeline behind it.
+    if (!implicit.empty()) {
+      gpu_->FinishPendingComm();
+      double end = runner_.config_.platform->clock().Now();
+      for (const VarDecl* decl : implicit) {
+        ManagedArray& array = *managed_[decl->id];
+        end = std::max(end, gpu_->loader().GatherToHost(array));
+        array.DropDeviceState();
+        managed_.erase(decl->id);
+      }
+      runner_.config_.platform->clock().AdvanceTo(
+          end, sim::TimeCategory::kCpuGpu);
+    }
+    return;
+  }
   for (const VarDecl* decl : implicit) {
     ManagedArray& array = *managed_[decl->id];
     gpu_->loader().GatherToHost(array);
@@ -485,16 +514,25 @@ void HostInterpreter::EnterDataRegion(const Directive& directive,
 }
 
 void HostInterpreter::ExitDataRegion(const std::vector<RegionEntry>& entries) {
+  // Region exit is a host synchronization point: outstanding pipelined
+  // communication must land before the arrays are gathered and released.
+  if (AsyncPipeline()) gpu_->FinishPendingComm();
+  double end = runner_.config_.platform->clock().Now();
   for (const auto& entry : entries) {
     ManagedArray& array = Managed(*entry.decl);
     if (entry.clause == DataClauseKind::kCopy ||
         entry.clause == DataClauseKind::kCopyOut) {
-      gpu_->loader().GatherToHost(array);
+      end = std::max(end, gpu_->loader().GatherToHost(array));
     }
     array.DropDeviceState();
     managed_.erase(entry.decl->id);
   }
-  runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  if (AsyncPipeline()) {
+    runner_.config_.platform->clock().AdvanceTo(end,
+                                                sim::TimeCategory::kCpuGpu);
+  } else {
+    runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  }
 }
 
 void HostInterpreter::EnterDataUnstructured(const Directive& directive) {
@@ -507,6 +545,8 @@ void HostInterpreter::EnterDataUnstructured(const Directive& directive) {
 }
 
 void HostInterpreter::ExitDataUnstructured(const Directive& directive) {
+  if (AsyncPipeline()) gpu_->FinishPendingComm();
+  double end = runner_.config_.platform->clock().Now();
   for (const auto& clause : directive.data_clauses) {
     for (const auto& section : clause.sections) {
       const VarDecl* decl = FindParam(section.name);
@@ -517,16 +557,23 @@ void HostInterpreter::ExitDataUnstructured(const Directive& directive) {
                     "exit data: '" + section.name +
                         "' is not in any data region");
       if (clause.kind == frontend::DataClauseKind::kCopyOut) {
-        gpu_->loader().GatherToHost(*array);
+        end = std::max(end, gpu_->loader().GatherToHost(*array));
       }
       array->DropDeviceState();
       managed_.erase(decl->id);
     }
   }
-  runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  if (AsyncPipeline()) {
+    runner_.config_.platform->clock().AdvanceTo(end,
+                                                sim::TimeCategory::kCpuGpu);
+  } else {
+    runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  }
 }
 
 void HostInterpreter::ApplyUpdate(const Directive& directive) {
+  if (AsyncPipeline()) gpu_->FinishPendingComm();
+  double end = runner_.config_.platform->clock().Now();
   for (const auto& update : directive.updates) {
     for (const auto& section : update.sections) {
       const VarDecl* decl = FindParam(section.name);
@@ -535,13 +582,18 @@ void HostInterpreter::ApplyUpdate(const Directive& directive) {
       ManagedArray* array = FindManaged(*decl);
       if (array == nullptr) continue;  // not on any device: nothing to move
       if (update.to_host) {
-        gpu_->loader().GatherToHost(*array);
+        end = std::max(end, gpu_->loader().GatherToHost(*array));
       } else {
-        gpu_->loader().ScatterFromHost(*array);
+        end = std::max(end, gpu_->loader().ScatterFromHost(*array));
       }
     }
   }
-  runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  if (AsyncPipeline()) {
+    runner_.config_.platform->clock().AdvanceTo(end,
+                                                sim::TimeCategory::kCpuGpu);
+  } else {
+    runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+  }
 }
 
 void HostInterpreter::SyncForHostAccess(const Stmt& stmt) {
@@ -550,11 +602,14 @@ void HostInterpreter::SyncForHostAccess(const Stmt& stmt) {
   CollectHostArrayUse(stmt, reads, writes);
   for (const VarDecl* decl : writes) reads.insert(decl);
   bool moved = false;
+  double end = runner_.config_.platform->clock().Now();
   for (const VarDecl* decl : reads) {
     ManagedArray* array = FindManaged(*decl);
     if (array == nullptr) continue;
     if (!array->host_valid()) {
-      gpu_->loader().GatherToHost(*array);
+      // First gather is a host synchronization point under the pipeline.
+      if (!moved && AsyncPipeline()) gpu_->FinishPendingComm();
+      end = std::max(end, gpu_->loader().GatherToHost(*array));
       moved = true;
     }
   }
@@ -568,7 +623,12 @@ void HostInterpreter::SyncForHostAccess(const Stmt& stmt) {
     array->set_host_valid(true);
   }
   if (moved) {
-    runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+    if (AsyncPipeline()) {
+      runner_.config_.platform->clock().AdvanceTo(
+          end, sim::TimeCategory::kCpuGpu);
+    } else {
+      runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
+    }
   }
 }
 

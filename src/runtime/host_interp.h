@@ -52,12 +52,18 @@ class HostInterpreter {
 
   void UpdateMemoryPeaks();
 
+  /// True when the GPU executor runs the dependence-driven async pipeline.
+  bool AsyncPipeline() const;
+
   ProgramRunner& runner_;
   const translator::CompiledFunction& fn_;
   translator::HostEnv env_;
   std::unordered_map<int, std::unique_ptr<ManagedArray>> managed_;
   std::unique_ptr<Executor> gpu_;
   std::unique_ptr<CpuExecutor> cpu_;
+  /// Inter-offload dependence graph of fn_, built once when the async
+  /// pipeline is on; the executor holds a pointer into it.
+  DepGraph depgraph_;
   RunReport report_;
 };
 

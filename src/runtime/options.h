@@ -26,6 +26,17 @@ struct ExecOptions {
   /// divides equally, which wastes time when the GPUs differ).
   bool weighted_task_mapping = false;
 
+  /// Dependence-driven async offload pipeline. The executor derives
+  /// inter-offload RAW/WAR/WAW dependences from each offload's array
+  /// read/write sets (runtime/depgraph.h), splits distributed kernels with
+  /// localaccess halos into boundary and interior sub-tasks, and gates work
+  /// on per-array readiness times instead of global BSP barriers — so halo
+  /// and dirty-chunk exchange overlaps interior compute in simulated time.
+  /// Functional effects keep the synchronous issue order (results are
+  /// bit-identical and billed bytes/transfer counts are unchanged); only
+  /// the simulated schedule differs. Default off until validated per app.
+  bool async_pipeline = false;
+
   /// Enables the process-wide tracer (common/trace.h): the runtime and the
   /// virtual platform then record per-device spans — kernel executions,
   /// transfers, dirty-bit merges, write-miss flushes, halo refreshes,

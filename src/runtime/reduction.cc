@@ -1,5 +1,6 @@
 #include "runtime/reduction.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
@@ -7,11 +8,12 @@
 
 namespace accmg::runtime {
 
-void CombineArrayReduction(
+double CombineArrayReduction(
     sim::Platform& platform, const std::vector<int>& devices,
     ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
     std::int64_t length,
-    const std::vector<const std::vector<std::uint64_t>*>& partials) {
+    const std::vector<const std::vector<std::uint64_t>*>& partials,
+    double ready_at, sim::Stream stream) {
   ACCMG_REQUIRE(!devices.empty(), "reduction combine needs devices");
   ACCMG_REQUIRE(partials.size() == devices.size(),
                 "one partial per device expected");
@@ -44,8 +46,11 @@ void CombineArrayReduction(
 
   // Each non-root partial travels to the combining GPU (same bills as the
   // serial chain, in the same order).
+  double end = platform.clock().Now();
   for (std::size_t g = 1; g < num_devices; ++g) {
-    platform.BillDeviceToDevice(devices[g], devices[0], n * elem);
+    end = std::max(end, platform.BillDeviceToDevice(devices[g], devices[0],
+                                                    n * elem, ready_at,
+                                                    stream));
   }
 
   // Fold the pre-kernel value into the combined result exactly once — on
@@ -111,11 +116,18 @@ void CombineArrayReduction(
           }
         });
   }
+  // The broadcast carries the combined result, which exists only once every
+  // partial has arrived — chain it after the slowest incoming transfer.
+  const double combine_ready = std::max(ready_at, end);
   for (std::size_t g = 1; g < num_devices; ++g) {
-    platform.BillDeviceToDevice(devices[0], devices[g], n * elem);
+    end = std::max(end,
+                   platform.BillDeviceToDevice(devices[0], devices[g],
+                                               n * elem, combine_ready,
+                                               stream));
     dest.shard(devices[g]).valid = true;
   }
   dest.set_host_valid(false);
+  return end;
 }
 
 }  // namespace accmg::runtime

@@ -26,10 +26,15 @@ namespace accmg::runtime {
 /// result travels devices[0] -> g for every other replica, in ascending
 /// device order. The host-side combine work runs on the platform's worker
 /// pool; simulated time and billed bytes are independent of the pool size.
-void CombineArrayReduction(
+///
+/// Transfers start no earlier than `ready_at` and use `stream`'s copy
+/// engine (the async pipeline routes them through the second DMA engine).
+/// Returns the simulated end time of the last transfer issued.
+double CombineArrayReduction(
     sim::Platform& platform, const std::vector<int>& devices,
     ManagedArray& dest, ir::RedOp op, ir::ValType type, std::int64_t lower,
     std::int64_t length,
-    const std::vector<const std::vector<std::uint64_t>*>& partials);
+    const std::vector<const std::vector<std::uint64_t>*>& partials,
+    double ready_at = 0, sim::Stream stream = sim::Stream::kDefault);
 
 }  // namespace accmg::runtime

@@ -57,6 +57,26 @@ double SimClock::Schedule(Resource resource, double duration) {
   return Schedule(std::vector<Resource>{resource}, duration);
 }
 
+double SimClock::ScheduleAfter(const std::vector<Resource>& resources,
+                               double duration, double ready_at) {
+  ACCMG_REQUIRE(duration >= 0, "negative operation duration");
+  ACCMG_REQUIRE(!resources.empty(), "operation uses no resources");
+  double start = std::max(now_, ready_at);
+  for (Resource r : resources) {
+    ACCMG_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < free_at_.size(),
+                  "unknown resource");
+    start = std::max(start, free_at_[static_cast<std::size_t>(r)]);
+  }
+  const double end = start + duration;
+  for (Resource r : resources) free_at_[static_cast<std::size_t>(r)] = end;
+  return end;
+}
+
+double SimClock::ScheduleAfter(Resource resource, double duration,
+                               double ready_at) {
+  return ScheduleAfter(std::vector<Resource>{resource}, duration, ready_at);
+}
+
 double SimClock::Barrier(TimeCategory category) {
   double end = now_;
   for (double f : free_at_) end = std::max(end, f);
@@ -64,6 +84,26 @@ double SimClock::Barrier(TimeCategory category) {
   breakdown_.seconds[static_cast<int>(category)] += elapsed;
   now_ = end;
   return elapsed;
+}
+
+double SimClock::AdvanceTo(double time, TimeCategory category) {
+  if (time <= now_) return 0;
+  const double elapsed = time - now_;
+  breakdown_.seconds[static_cast<int>(category)] += elapsed;
+  now_ = time;
+  return elapsed;
+}
+
+double SimClock::ResourceFreeAt(Resource r) const {
+  ACCMG_REQUIRE(r >= 0 && static_cast<std::size_t>(r) < free_at_.size(),
+                "unknown resource");
+  return free_at_[static_cast<std::size_t>(r)];
+}
+
+double SimClock::CompletionTime() const {
+  double end = now_;
+  for (double f : free_at_) end = std::max(end, f);
+  return end;
 }
 
 void SimClock::AddSerial(TimeCategory category, double seconds) {

@@ -58,9 +58,32 @@ class SimClock {
   /// Convenience overload for a single resource.
   double Schedule(Resource resource, double duration);
 
+  /// Like Schedule, but the operation additionally cannot start before
+  /// `ready_at` (a dependence on a previously scheduled operation's end
+  /// time). This is how the async pipeline expresses per-stream timelines
+  /// that merge at dependence joins without a global barrier.
+  double ScheduleAfter(const std::vector<Resource>& resources, double duration,
+                       double ready_at);
+  double ScheduleAfter(Resource resource, double duration, double ready_at);
+
   /// Advances `now` to the completion of all outstanding operations and
   /// attributes the elapsed time to `category`. Returns the elapsed time.
   double Barrier(TimeCategory category);
+
+  /// Advances `now` to `time` (no-op when `time <= now`) and attributes the
+  /// elapsed simulated time to `category`, WITHOUT waiting for outstanding
+  /// operations: resources busy past `time` stay busy, so later work still
+  /// serializes behind them. This is the async pipeline's dependence join —
+  /// only the exposed (non-overlapped) part of an operation's latency is
+  /// ever attributed. Returns the elapsed time.
+  double AdvanceTo(double time, TimeCategory category);
+
+  /// Earliest time `r` is free for new work.
+  double ResourceFreeAt(Resource r) const;
+
+  /// Completion time of all outstanding operations (what Barrier would
+  /// advance `now` to), without advancing anything.
+  double CompletionTime() const;
 
   /// Directly adds `seconds` of fully serial time (advances now and every
   /// resource). Used for host-side work that cannot overlap anything.

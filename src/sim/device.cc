@@ -6,6 +6,10 @@
 
 namespace accmg::sim {
 
+const char* StreamName(Stream stream) {
+  return stream == Stream::kAsync ? "async" : "default";
+}
+
 DeviceBuffer::DeviceBuffer(Device* owner, int device_id, std::string name,
                            std::size_t size)
     : owner_(owner),

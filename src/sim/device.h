@@ -12,11 +12,23 @@
 
 namespace accmg::sim {
 
+/// Copy-engine selector for transfers. Fermi-class Teslas (the paper's
+/// C2075/M2050) carry two DMA engines; the default stream drives the first,
+/// and the async pipeline may place peer exchanges on the second so a halo
+/// transfer can proceed while the default engine services loads.
+enum class Stream : int { kDefault = 0, kAsync = 1 };
+
+const char* StreamName(Stream stream);
+
 class Device {
  public:
   Device(int id, DeviceSpec spec, SimClock::Resource compute,
-         SimClock::Resource dma)
-      : id_(id), spec_(std::move(spec)), compute_(compute), dma_(dma) {}
+         SimClock::Resource dma, SimClock::Resource async_dma)
+      : id_(id),
+        spec_(std::move(spec)),
+        compute_(compute),
+        dma_(dma),
+        async_dma_(async_dma) {}
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -25,6 +37,11 @@ class Device {
   const DeviceSpec& spec() const { return spec_; }
   SimClock::Resource compute_resource() const { return compute_; }
   SimClock::Resource dma_resource() const { return dma_; }
+  /// The second copy engine; see Stream.
+  SimClock::Resource async_dma_resource() const { return async_dma_; }
+  SimClock::Resource dma_resource(Stream stream) const {
+    return stream == Stream::kAsync ? async_dma_ : dma_;
+  }
 
   /// Allocates `bytes` of device memory. Throws DeviceError when the device
   /// is out of memory (matches cudaMalloc failure).
@@ -43,6 +60,7 @@ class Device {
   DeviceSpec spec_;
   SimClock::Resource compute_;
   SimClock::Resource dma_;
+  SimClock::Resource async_dma_;
   std::size_t used_bytes_ = 0;
   std::size_t peak_used_bytes_ = 0;
 };

@@ -63,6 +63,11 @@ struct KernelLaunch {
   std::int64_t num_threads = 0;
   int block_size = 256;     ///< logical CUDA block size (grid geometry)
   std::string name;         ///< for logs and error messages
+  /// Earliest simulated start time (a dependence on earlier operations'
+  /// end times). 0 = no constraint beyond the device's compute resource;
+  /// the async pipeline uses this to gate sub-kernels on in-flight
+  /// transfers without a global barrier.
+  double ready_at = 0;
 };
 
 }  // namespace accmg::sim

@@ -85,10 +85,12 @@ Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
     const auto compute =
         clock_.NewResource("gpu" + std::to_string(d) + ".compute");
     const auto dma = clock_.NewResource("gpu" + std::to_string(d) + ".dma");
+    const auto async_dma =
+        clock_.NewResource("gpu" + std::to_string(d) + ".dma_async");
     PublishSpecMetrics(gpus[d], static_cast<int>(d));
     devices_.push_back(std::make_unique<Device>(static_cast<int>(d),
                                                 std::move(gpus[d]), compute,
-                                                dma));
+                                                dma, async_dma));
   }
   PublishSpecMetrics(host_);
 }
@@ -108,15 +110,16 @@ std::vector<SimClock::Resource> Platform::RootResources(int device_id) const {
   return {io_root_resources_[static_cast<std::size_t>(group)]};
 }
 
-void Platform::BillHostToDevice(int device_id, std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::BillHostToDevice(int device_id, std::size_t bytes,
+                                  double ready_at) {
+  if (bytes == 0) return clock_.Now();
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
   const double duration = topology_.host_link.TransferSeconds(bytes);
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
-    end = clock_.Schedule(resources, duration);
+    end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.h2d_transfers;
     counters_.h2d_bytes += bytes;
   }
@@ -126,17 +129,19 @@ void Platform::BillHostToDevice(int device_id, std::size_t bytes) {
   m.h2d_transfers.Add();
   m.h2d_bytes.Add(bytes);
   m.transfer_bytes.Observe(static_cast<double>(bytes));
+  return end;
 }
 
-void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::BillDeviceToHost(int device_id, std::size_t bytes,
+                                  double ready_at) {
+  if (bytes == 0) return clock_.Now();
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
   const double duration = topology_.host_link.TransferSeconds(bytes);
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
-    end = clock_.Schedule(resources, duration);
+    end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.d2h_transfers;
     counters_.d2h_bytes += bytes;
   }
@@ -146,15 +151,17 @@ void Platform::BillDeviceToHost(int device_id, std::size_t bytes) {
   m.d2h_transfers.Add();
   m.d2h_bytes.Add(bytes);
   m.transfer_bytes.Observe(static_cast<double>(bytes));
+  return end;
 }
 
-void Platform::BillDeviceToDevice(int src_device, int dst_device,
-                                  std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::BillDeviceToDevice(int src_device, int dst_device,
+                                    std::size_t bytes, double ready_at,
+                                    Stream stream) {
+  if (bytes == 0) return clock_.Now();
   std::vector<SimClock::Resource> resources;
-  resources.push_back(device(src_device).dma_resource());
+  resources.push_back(device(src_device).dma_resource(stream));
   if (src_device != dst_device) {
-    resources.push_back(device(dst_device).dma_resource());
+    resources.push_back(device(dst_device).dma_resource(stream));
   }
   for (auto r : RootResources(src_device)) resources.push_back(r);
   if (topology_.io_group[static_cast<std::size_t>(src_device)] !=
@@ -174,7 +181,7 @@ void Platform::BillDeviceToDevice(int src_device, int dst_device,
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
-    end = clock_.Schedule(resources, duration);
+    end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.p2p_transfers;
     counters_.p2p_bytes += bytes;
   }
@@ -188,40 +195,46 @@ void Platform::BillDeviceToDevice(int src_device, int dst_device,
   m.p2p_transfers.Add();
   m.p2p_bytes.Add(bytes);
   m.transfer_bytes.Observe(static_cast<double>(bytes));
+  return end;
 }
 
-void Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
-                                const void* src, std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                                  const void* src, std::size_t bytes,
+                                  double ready_at) {
+  if (bytes == 0) return clock_.Now();
   ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
                 "H2D copy out of range for buffer '" + dst.name() + "'");
   std::memcpy(dst.bytes().data() + dst_offset, src, bytes);
-  BillHostToDevice(dst.device_id(), bytes);
+  return BillHostToDevice(dst.device_id(), bytes, ready_at);
 }
 
-void Platform::CopyDeviceToHost(void* dst, const DeviceBuffer& src,
-                                std::size_t src_offset, std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::CopyDeviceToHost(void* dst, const DeviceBuffer& src,
+                                  std::size_t src_offset, std::size_t bytes,
+                                  double ready_at) {
+  if (bytes == 0) return clock_.Now();
   ACCMG_REQUIRE(src_offset + bytes <= src.size_bytes(),
                 "D2H copy out of range for buffer '" + src.name() + "'");
   std::memcpy(dst, src.bytes().data() + src_offset, bytes);
-  BillDeviceToHost(src.device_id(), bytes);
+  return BillDeviceToHost(src.device_id(), bytes, ready_at);
 }
 
-void Platform::CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
-                                  const DeviceBuffer& src,
-                                  std::size_t src_offset, std::size_t bytes) {
-  if (bytes == 0) return;
+double Platform::CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                                    const DeviceBuffer& src,
+                                    std::size_t src_offset, std::size_t bytes,
+                                    double ready_at, Stream stream) {
+  if (bytes == 0) return clock_.Now();
   ACCMG_REQUIRE(src_offset + bytes <= src.size_bytes(),
                 "P2P copy out of range for source '" + src.name() + "'");
   ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
                 "P2P copy out of range for destination '" + dst.name() + "'");
   std::memcpy(dst.bytes().data() + dst_offset,
               src.bytes().data() + src_offset, bytes);
-  BillDeviceToDevice(src.device_id(), dst.device_id(), bytes);
+  return BillDeviceToDevice(src.device_id(), dst.device_id(), bytes, ready_at,
+                            stream);
 }
 
-KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch) {
+KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch,
+                                   double* end_s) {
   ACCMG_REQUIRE(launch.body != nullptr, "kernel launch without a body");
   ACCMG_REQUIRE(launch.num_threads >= 0, "negative thread count");
   ACCMG_REQUIRE(launch.block_size > 0, "non-positive block size");
@@ -250,9 +263,11 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch) {
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
-    end = clock_.Schedule(dev.compute_resource(), duration);
+    end = clock_.ScheduleAfter(dev.compute_resource(), duration,
+                               launch.ready_at);
     ++counters_.kernel_launches;
   }
+  if (end_s != nullptr) *end_s = end;
   RecordSimSpan(
       [&] {
         return launch.name.empty() ? std::string("kernel") : launch.name;

@@ -54,21 +54,29 @@ class Platform {
   const PlatformCounters& counters() const { return counters_; }
 
   /// --- Copy engines (immediate data effect, simulated duration) ---
+  /// Each call returns the transfer's simulated end time (or the current
+  /// time when `bytes == 0`). `ready_at` delays the simulated start without
+  /// affecting the (immediate) functional effect — the async pipeline's
+  /// dependence edges. `stream` selects the copy engine for peer transfers
+  /// (see sim::Stream); billed bytes and counters are stream-independent.
 
-  void CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
-                        const void* src, std::size_t bytes);
-  void CopyDeviceToHost(void* dst, const DeviceBuffer& src,
-                        std::size_t src_offset, std::size_t bytes);
+  double CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                          const void* src, std::size_t bytes,
+                          double ready_at = 0);
+  double CopyDeviceToHost(void* dst, const DeviceBuffer& src,
+                          std::size_t src_offset, std::size_t bytes,
+                          double ready_at = 0);
   /// Peer copy; staged through the host when the topology lacks peer DMA.
-  void CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
-                          const DeviceBuffer& src, std::size_t src_offset,
-                          std::size_t bytes);
+  double CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
+                            const DeviceBuffer& src, std::size_t src_offset,
+                            std::size_t bytes, double ready_at = 0,
+                            Stream stream = Stream::kDefault);
 
   /// --- Cost-only transfer accounting ---
   /// Schedule the simulated duration and counters of a transfer without
   /// moving bytes. Used where the functional effect is applied element-wise
   /// by the runtime (e.g. dirty-element merges) but the wire cost is that of
-  /// a bulk transfer.
+  /// a bulk transfer. Returns the transfer's simulated end time.
   ///
   /// Thread safety: Bill* and LaunchKernel may be issued from concurrent
   /// per-device threads (the executor launches kernels that way); clock
@@ -77,17 +85,24 @@ class Platform {
   /// concurrent per-device scheduling stays deterministic. Everything else
   /// (Barrier, ResetAccounting, counters()) assumes external
   /// synchronization, i.e. no in-flight billing.
-  void BillHostToDevice(int device_id, std::size_t bytes);
-  void BillDeviceToHost(int device_id, std::size_t bytes);
-  void BillDeviceToDevice(int src_device, int dst_device, std::size_t bytes);
+  double BillHostToDevice(int device_id, std::size_t bytes,
+                          double ready_at = 0);
+  double BillDeviceToHost(int device_id, std::size_t bytes,
+                          double ready_at = 0);
+  double BillDeviceToDevice(int src_device, int dst_device, std::size_t bytes,
+                            double ready_at = 0,
+                            Stream stream = Stream::kDefault);
 
   /// --- Kernel execution ---
 
   /// Runs `launch` on `device_id`. Threads execute on the worker pool; the
   /// simulated duration is launch overhead + roofline(instructions, bytes)
-  /// and is scheduled on the device's compute resource, so kernels launched
-  /// on different devices between two barriers overlap.
-  KernelStats LaunchKernel(int device_id, const KernelLaunch& launch);
+  /// and is scheduled on the device's compute resource (no earlier than
+  /// `launch.ready_at`), so kernels launched on different devices between
+  /// two barriers overlap. When `end_s` is non-null it receives the
+  /// kernel's simulated end time.
+  KernelStats LaunchKernel(int device_id, const KernelLaunch& launch,
+                           double* end_s = nullptr);
 
   /// BSP phase boundary; see SimClock::Barrier.
   double Barrier(TimeCategory category) { return clock_.Barrier(category); }

@@ -489,12 +489,51 @@ class FunctionCompiler {
       offload.arrays.push_back(config);
     }
 
-    // --- write-locality proof (eliminates the miss check, Section IV-D2) ---
+    // --- affine write summaries + write-locality proof (Section IV-D2) ---
+    // First summarize every write site of each array as a*i + b with one
+    // common coefficient (persisted in ArrayConfig for the runtime's
+    // boundary/interior splitter), then derive the locality proof that
+    // eliminates the miss check from the summary.
     for (auto& config : offload.arrays) {
-      if (!config.has_localaccess || !config.is_written ||
-          config.is_reduction_dest) {
-        continue;
+      if (!config.is_written || config.is_reduction_dest) continue;
+
+      bool all_affine = true;
+      bool any_write_site = false;
+      bool saw_affine = false;
+      std::int64_t coeff = 0, min_off = 0, max_off = 0;
+      WalkStmts(*loop.body, [&](const Stmt& s) {
+        if (s.kind != StmtKind::kAssign) return;
+        const auto& assign = As<frontend::AssignStmt>(s);
+        if (assign.target->kind != ExprKind::kSubscript) return;
+        const auto& subscript =
+            As<frontend::SubscriptExpr>(*assign.target);
+        if (subscript.base->kind != ExprKind::kVarRef) return;
+        if (As<frontend::VarRef>(*subscript.base).decl != config.decl) return;
+        any_write_site = true;
+        std::int64_t a, b;
+        if (!MatchAffine(*subscript.index, *offload.induction, &a, &b)) {
+          all_affine = false;
+          return;
+        }
+        if (!saw_affine) {
+          coeff = a;
+          min_off = max_off = b;
+          saw_affine = true;
+        } else if (a != coeff) {
+          all_affine = false;
+        } else {
+          min_off = std::min(min_off, b);
+          max_off = std::max(max_off, b);
+        }
+      });
+      if (all_affine && saw_affine) {
+        config.has_affine_writes = true;
+        config.write_coeff = coeff;
+        config.write_min_off = min_off;
+        config.write_max_off = max_off;
       }
+
+      if (!config.has_localaccess) continue;
       std::int64_t stride = 1, left = 0, right = 0;
       bool const_spec = true;
       if (config.stride != nullptr) {
@@ -507,22 +546,13 @@ class FunctionCompiler {
         const_spec &= TryFoldConstant(*config.right, &right);
       }
       if (!const_spec) continue;
-
-      bool all_local = true;
-      WalkStmts(*loop.body, [&](const Stmt& s) {
-        if (s.kind != StmtKind::kAssign) return;
-        const auto& assign = As<frontend::AssignStmt>(s);
-        if (assign.target->kind != ExprKind::kSubscript) return;
-        const auto& subscript =
-            As<frontend::SubscriptExpr>(*assign.target);
-        if (As<frontend::VarRef>(*subscript.base).decl != config.decl) return;
-        std::int64_t a, b;
-        if (!MatchAffine(*subscript.index, *offload.induction, &a, &b) ||
-            a != stride || b < -left || b > stride - 1 + right) {
-          all_local = false;
-        }
-      });
-      config.writes_proven_local = all_local;
+      // A write site the walk could not resolve to a subscript on this array
+      // (or could not bound affinely) blocks the proof; only arrays whose
+      // every store is a bounded affine subscript inside the localaccess
+      // window are proven local.
+      config.writes_proven_local =
+          any_write_site && config.has_affine_writes && coeff == stride &&
+          min_off >= -left && max_off <= stride - 1 + right;
     }
 
     for (const VarDecl* decl : scalar_order) {

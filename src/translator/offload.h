@@ -39,6 +39,18 @@ struct ArrayConfig {
   /// write-miss check is eliminated (paper Section IV-D2, last paragraph).
   bool writes_proven_local = false;
 
+  /// Static affine write summary: set when every write index of this array
+  /// in the loop is affine in the induction variable with one common
+  /// coefficient (index = write_coeff*i + c, write_min_off <= c <=
+  /// write_max_off). The async pipeline's boundary/interior splitter uses
+  /// it to bound which iterations can touch another device's elements;
+  /// absent (false) means writes are unanalyzable and the splitter must be
+  /// conservative.
+  bool has_affine_writes = false;
+  std::int64_t write_coeff = 0;
+  std::int64_t write_min_off = 0;
+  std::int64_t write_max_off = 0;
+
   int kernel_array_index = -1;  ///< into KernelIR::arrays
 };
 
@@ -79,6 +91,21 @@ struct LoopOffload {
   std::vector<ScalarRedTarget> scalar_reds;
   std::vector<ArrayRedTarget> array_reds;
 
+  /// Canonical lookup, keyed on the resolved declaration. Use this from the
+  /// runtime and dependence analysis: two VarDecls may share an identifier
+  /// (shadowing across scopes), and a name-keyed lookup would resolve both
+  /// to whichever config happens to come first.
+  const ArrayConfig* FindArray(const frontend::VarDecl& decl) const {
+    for (const auto& config : arrays) {
+      if (config.decl == &decl) return &config;
+    }
+    return nullptr;
+  }
+
+  /// Name-keyed lookup, for resolving directive text (e.g. a localaccess
+  /// spec names arrays by identifier) where only the source spelling is
+  /// available. Ambiguous under shadowing — prefer the VarDecl overload
+  /// whenever a resolved declaration is at hand.
   const ArrayConfig* FindArray(const std::string& array_name) const {
     for (const auto& config : arrays) {
       if (config.name == array_name) return &config;

@@ -354,5 +354,130 @@ TEST(CommEquivalence, TreeReductionMatchesReference) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Async-pipeline scheduling knobs (ready_at / Stream::kAsync)
+// ---------------------------------------------------------------------------
+
+/// Two writers dirty overlapping spans; propagation resolves the overlap
+/// last-writer-wins in device order. Differential under the async pipeline's
+/// scheduling knobs: a deferred start time and the second DMA engine must
+/// not change the functional result, the billed traffic, or the
+/// optimized-vs-reference agreement.
+TEST(CommEquivalence, RacingWritersOverlappingSpansUnderAsyncKnobs) {
+  Rng meta(0x0E21A77E);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int gpus = 2 + trial % 3;
+    const auto n = meta.NextInt(300, 3000);
+    const std::size_t chunk_bytes = std::size_t{64} << meta.NextInt(0, 3);
+    const std::uint64_t seed = meta.NextU64();
+    const double ready_at = trial % 2 == 0 ? 0.0 : 1.5e-3;
+    const sim::Stream stream =
+        trial % 2 == 0 ? sim::Stream::kDefault : sim::Stream::kAsync;
+    SCOPED_TRACE("trial " + std::to_string(trial) + " gpus=" +
+                 std::to_string(gpus) + " n=" + std::to_string(n));
+
+    Side optimized(gpus, ir::ValType::kI64, n, chunk_bytes);
+    Side ref(gpus, ir::ValType::kI64, n, chunk_bytes);
+    optimized.LoadReplicated(/*dirty_tracked=*/true);
+    ref.LoadReplicated(/*dirty_tracked=*/true);
+
+    // Every device writes a span; consecutive devices overlap halfway, so
+    // each overlapped element has two racing writers.
+    auto paint = [&](Side& side) {
+      Rng rng(seed);
+      const std::int64_t span = n / (gpus + 1);
+      for (int d = 0; d < gpus; ++d) {
+        const std::int64_t lo = d * span / 2;
+        for (std::int64_t i = lo; i < lo + span; ++i) {
+          WriteDirty(side, d,
+                     i, rng.NextU64() ^ (static_cast<std::uint64_t>(d) << 56));
+        }
+      }
+    };
+    paint(optimized);
+    paint(ref);
+
+    CommManager comm(*optimized.platform, optimized.options,
+                     optimized.devices);
+    comm.PropagateReplicated(*optimized.array, ready_at, stream);
+    reference::PropagateReplicated(*ref.platform, ref.devices, *ref.array,
+                                   ready_at, stream);
+    ExpectSidesIdentical(optimized, ref);
+  }
+}
+
+/// PropagateReplicated snapshots the senders' dirty state when it is
+/// CALLED (task-issue time), not when the deferred transfers drain. Writes
+/// landing after the call — while the billed transfers are still "on the
+/// wire" at ready_at — must not ride along, and must still be dirty for
+/// the next propagation.
+TEST(CommEquivalence, PropagationSnapshotTakenAtIssueTime) {
+  const std::int64_t n = 512;
+  Side optimized(2, ir::ValType::kI64, n, 256);
+  Side ref(2, ir::ValType::kI64, n, 256);
+  optimized.LoadReplicated(/*dirty_tracked=*/true);
+  ref.LoadReplicated(/*dirty_tracked=*/true);
+
+  auto run = [&](Side& side, bool reference_impl) {
+    // First writer: device 0 dirties [0, 64).
+    for (std::int64_t i = 0; i < 64; ++i) {
+      WriteDirty(side, 0, i, 0xA000 + static_cast<std::uint64_t>(i));
+    }
+    // Issue the propagation far in the future on the async engine.
+    const double deferred = 2.0e-3;
+    CommManager comm(*side.platform, side.options, side.devices);
+    if (reference_impl) {
+      reference::PropagateReplicated(*side.platform, side.devices,
+                                     *side.array, deferred,
+                                     sim::Stream::kAsync);
+    } else {
+      comm.PropagateReplicated(*side.array, deferred, sim::Stream::kAsync);
+    }
+    // Second writer races in after the issue: overlapping span [32, 96).
+    for (std::int64_t i = 32; i < 96; ++i) {
+      WriteDirty(side, 1, i, 0xB000 + static_cast<std::uint64_t>(i));
+    }
+    // The issued propagation already snapshotted: device 1's late writes
+    // must still be marked dirty, and device 0 must not yet see them.
+    const DeviceShard& d0 = side.array->shard(0);
+    for (std::int64_t i = 64; i < 96; ++i) {
+      std::uint64_t value = 0;
+      std::memcpy(&value,
+                  d0.data->bytes().data() + static_cast<std::size_t>(i) * 8,
+                  8);
+      EXPECT_NE(value, 0xB000 + static_cast<std::uint64_t>(i))
+          << "late write leaked into the issued propagation at " << i;
+    }
+    // Second propagation drains the late writes.
+    if (reference_impl) {
+      reference::PropagateReplicated(*side.platform, side.devices,
+                                     *side.array, deferred,
+                                     sim::Stream::kAsync);
+    } else {
+      comm.PropagateReplicated(*side.array, deferred, sim::Stream::kAsync);
+    }
+  };
+  run(optimized, false);
+  run(ref, true);
+
+  // Both devices now agree: [0, 32) from writer A, [32, 96) from writer B
+  // (last writer wins on the overlap).
+  for (int device : optimized.devices) {
+    const DeviceShard& shard = optimized.array->shard(device);
+    for (std::int64_t i = 0; i < 96; ++i) {
+      std::uint64_t value = 0;
+      std::memcpy(&value,
+                  shard.data->bytes().data() +
+                      static_cast<std::size_t>(i) * 8,
+                  8);
+      const std::uint64_t want =
+          i < 32 ? 0xA000 + static_cast<std::uint64_t>(i)
+                 : 0xB000 + static_cast<std::uint64_t>(i);
+      EXPECT_EQ(value, want) << "device " << device << " element " << i;
+    }
+  }
+  ExpectSidesIdentical(optimized, ref);
+}
+
 }  // namespace
 }  // namespace accmg::runtime

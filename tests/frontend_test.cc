@@ -451,6 +451,33 @@ TEST(SemaTest, ShadowingInNestedScopeAllowed) {
   EXPECT_NO_THROW(Analyze("void f(int a) { { int b = a; { int a = b; } } }"));
 }
 
+TEST(SemaTest, ShadowedNamesResolveToDistinctDecls) {
+  // A shadowed variable must resolve to the innermost declaration, and uses
+  // after the inner scope closes must resolve back to the outer one.  Anything
+  // keyed on names instead of resolved VarDecl pointers would conflate them.
+  const auto program = Analyze(R"(
+void f(int n) {
+  int x = 1;
+  {
+    int x = 2;
+    n = x;
+  }
+  n = x;
+})");
+  const auto& body = program->functions[0]->body->body;
+  ASSERT_EQ(body.size(), 3u);
+  const auto& outer_decl = As<DeclStmt>(*body[0]);
+  const auto& block = As<CompoundStmt>(*body[1]);
+  ASSERT_EQ(block.body.size(), 2u);
+  const auto& inner_decl = As<DeclStmt>(*block.body[0]);
+  const auto& inner_use = As<VarRef>(*As<AssignStmt>(*block.body[1]).value);
+  const auto& outer_use = As<VarRef>(*As<AssignStmt>(*body[2]).value);
+
+  EXPECT_NE(outer_decl.decl.get(), inner_decl.decl.get());
+  EXPECT_EQ(inner_use.decl, inner_decl.decl.get());
+  EXPECT_EQ(outer_use.decl, outer_decl.decl.get());
+}
+
 TEST(SemaTest, CannotAssignToArray) {
   EXPECT_THROW(Analyze("void f(float* a, float* b) { a = b; }"),
                CompileError);

@@ -606,5 +606,195 @@ TEST(HostInterpTest, TooManyGpusRejected) {
   EXPECT_THROW(runner.Run("f"), InvalidArgumentError);
 }
 
+// ---------------------------------------------------------------------------
+// Small-N sweeps: N < num_gpus leaves some devices with empty iteration
+// ranges and empty owned segments. The boundary math clamps monotonically;
+// these pin the downstream kernel-launch, halo, write-miss, and reduction
+// paths against the empty-range cases, in both executor modes, with the
+// validator as the oracle.
+// ---------------------------------------------------------------------------
+
+class SmallNSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SmallNSweep, HaloStencilHandlesEmptyDeviceRanges) {
+  constexpr char kSource[] = R"(
+void f(int n, double* u, double* unew) {
+  #pragma acc data copy(u[0:n]) create(unew[0:n])
+  {
+    #pragma acc localaccess(u: stride(1), left(1), right(1)) \
+                (unew: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) {
+      int l = i - 1;
+      int r = i + 1;
+      if (l < 0) { l = 0; }
+      if (r >= n) { r = n - 1; }
+      unew[i] = u[i] + 0.5 * (u[l] - 2.0 * u[i] + u[r]);
+    }
+    #pragma acc localaccess(u: stride(1)) (unew: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) { u[i] = unew[i]; }
+  }
+}
+)";
+  const AccProgram program = AccProgram::FromSource("f", kSource);
+  for (const int n : {1, 2, 3, 5}) {
+    for (const int gpus : {2, 4}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " gpus=" +
+                   std::to_string(gpus));
+      auto platform = sim::MakeSupercomputerNode(4);
+      std::vector<double> u(static_cast<std::size_t>(n));
+      std::vector<double> unew(static_cast<std::size_t>(n), 0.0);
+      for (int i = 0; i < n; ++i) u[static_cast<std::size_t>(i)] = i + 1;
+      RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+      config.options.async_pipeline = GetParam();
+      config.options.validate = true;
+      ProgramRunner runner(program, config);
+      runner.BindArray("u", u.data(), ir::ValType::kF64, n);
+      runner.BindArray("unew", unew.data(), ir::ValType::kF64, n);
+      runner.BindScalar("n", static_cast<std::int64_t>(n));
+      const RunReport report = runner.Run("f");
+      EXPECT_EQ(report.validator.divergences, 0u);
+      EXPECT_GT(report.validator.kernels_checked, 0u);
+    }
+  }
+}
+
+TEST_P(SmallNSweep, WriteMissScatterHandlesEmptyDeviceRanges) {
+  constexpr char kSource[] = R"(
+void s(int n, int* perm, int* src, int* dst) {
+  #pragma acc data copyin(perm[0:n], src[0:n]) copy(dst[0:n])
+  {
+    #pragma acc localaccess(src: stride(1)) (dst: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < n; i++) { dst[perm[i]] = src[i] * 3; }
+  }
+}
+)";
+  const AccProgram program = AccProgram::FromSource("s", kSource);
+  for (const int n : {1, 2, 3}) {
+    for (const int gpus : {2, 4}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " gpus=" +
+                   std::to_string(gpus));
+      auto platform = sim::MakeSupercomputerNode(4);
+      std::vector<std::int32_t> perm(static_cast<std::size_t>(n));
+      std::vector<std::int32_t> src(static_cast<std::size_t>(n));
+      std::vector<std::int32_t> dst(static_cast<std::size_t>(n), -1);
+      for (int i = 0; i < n; ++i) {
+        perm[static_cast<std::size_t>(i)] = n - 1 - i;  // reversal: all miss
+        src[static_cast<std::size_t>(i)] = i;
+      }
+      RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+      config.options.async_pipeline = GetParam();
+      config.options.validate = true;
+      ProgramRunner runner(program, config);
+      runner.BindArray("perm", perm.data(), ir::ValType::kI32, n);
+      runner.BindArray("src", src.data(), ir::ValType::kI32, n);
+      runner.BindArray("dst", dst.data(), ir::ValType::kI32, n);
+      runner.BindScalar("n", static_cast<std::int64_t>(n));
+      const RunReport report = runner.Run("s");
+      EXPECT_EQ(report.validator.divergences, 0u);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(dst[static_cast<std::size_t>(n - 1 - i)], i * 3);
+      }
+    }
+  }
+}
+
+TEST_P(SmallNSweep, ReductionsHandleEmptyDeviceRanges) {
+  constexpr char kSource[] = R"(
+void r(int n, int k, int* bins, int* hist, int* total) {
+  int s = 0;
+  #pragma acc data copyin(bins[0:n]) copy(hist[0:k]) copyout(total[0:1])
+  {
+    #pragma acc parallel loop reduction(+:s)
+    for (int i = 0; i < n; i++) {
+      int c = bins[i];
+      #pragma acc reductiontoarray(+: hist[0:k])
+      hist[c] += 1;
+      s = s + 1;
+    }
+  }
+  total[0] = s;
+}
+)";
+  const AccProgram program = AccProgram::FromSource("r", kSource);
+  struct Case {
+    int n;
+    int k;
+  };
+  for (const Case c : {Case{1, 4}, Case{2, 1}, Case{3, 2}}) {
+    for (const int gpus : {2, 4}) {
+      SCOPED_TRACE("n=" + std::to_string(c.n) + " k=" + std::to_string(c.k) +
+                   " gpus=" + std::to_string(gpus));
+      auto platform = sim::MakeSupercomputerNode(4);
+      std::vector<std::int32_t> bins(static_cast<std::size_t>(c.n));
+      std::vector<std::int32_t> hist(static_cast<std::size_t>(c.k), 0);
+      std::vector<std::int32_t> want(static_cast<std::size_t>(c.k), 0);
+      std::vector<std::int32_t> total(1, -1);
+      for (int i = 0; i < c.n; ++i) {
+        bins[static_cast<std::size_t>(i)] = i % c.k;
+        ++want[static_cast<std::size_t>(i % c.k)];
+      }
+      RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+      config.options.async_pipeline = GetParam();
+      config.options.validate = true;
+      ProgramRunner runner(program, config);
+      runner.BindArray("bins", bins.data(), ir::ValType::kI32, c.n);
+      runner.BindArray("hist", hist.data(), ir::ValType::kI32, c.k);
+      runner.BindArray("total", total.data(), ir::ValType::kI32, 1);
+      runner.BindScalar("n", static_cast<std::int64_t>(c.n));
+      runner.BindScalar("k", static_cast<std::int64_t>(c.k));
+      const RunReport report = runner.Run("r");
+      EXPECT_EQ(report.validator.divergences, 0u);
+      EXPECT_EQ(hist, want);
+      EXPECT_EQ(total[0], c.n);
+    }
+  }
+}
+
+TEST_P(SmallNSweep, ZeroIterationLoopLeavesArraysIntact) {
+  constexpr char kSource[] = R"(
+void z(int n, int m, double* u) {
+  #pragma acc data copy(u[0:n])
+  {
+    #pragma acc localaccess(u: stride(1))
+    #pragma acc parallel loop
+    for (int i = 0; i < m; i++) { u[i] = u[i] + 1.0; }
+  }
+}
+)";
+  const AccProgram program = AccProgram::FromSource("z", kSource);
+  for (const int m : {0, 1}) {
+    for (const int gpus : {2, 4}) {
+      SCOPED_TRACE("m=" + std::to_string(m) + " gpus=" +
+                   std::to_string(gpus));
+      const int n = 8;
+      auto platform = sim::MakeSupercomputerNode(4);
+      std::vector<double> u(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) u[static_cast<std::size_t>(i)] = i;
+      RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+      config.options.async_pipeline = GetParam();
+      config.options.validate = true;
+      ProgramRunner runner(program, config);
+      runner.BindArray("u", u.data(), ir::ValType::kF64, n);
+      runner.BindScalar("n", static_cast<std::int64_t>(n));
+      runner.BindScalar("m", static_cast<std::int64_t>(m));
+      const RunReport report = runner.Run("z");
+      EXPECT_EQ(report.validator.divergences, 0u);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(u[static_cast<std::size_t>(i)],
+                  i + (i < m ? 1.0 : 0.0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncAndAsync, SmallNSweep, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "AsyncPipeline"
+                                             : "Synchronous";
+                         });
+
 }  // namespace
 }  // namespace accmg::runtime

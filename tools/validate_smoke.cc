@@ -3,11 +3,18 @@
 // validation") on 1-, 2- and 4-GPU configurations and compares the results
 // against the native references. Exits non-zero on the first divergence,
 // reference mismatch, or validator-reported fault. CI runs this as the
-// validate-smoke job; it is also a convenient local sanity sweep after
-// touching the data loader, the communication manager, or codegen.
+// validate-smoke job (and again as async-smoke with --async-pipeline); it is
+// also a convenient local sanity sweep after touching the data loader, the
+// communication manager, the executor's async pipeline, or codegen.
+//
+// Flags:
+//   --async-pipeline   run with ExecOptions::async_pipeline on, exercising
+//                      the dependence-driven boundary/interior split and
+//                      overlapped communication under the same validator.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,8 @@
 namespace {
 
 int failures = 0;
+
+accmg::runtime::ExecOptions base_options;
 
 void Report(const char* app, int gpus, const accmg::runtime::RunReport& report,
             bool outputs_match) {
@@ -43,7 +52,7 @@ void Fail(const char* app, int gpus, const std::string& why) {
 
 void RunMd(int gpus) {
   auto platform = accmg::sim::MakeSupercomputerNode(4);
-  accmg::runtime::ExecOptions options;
+  accmg::runtime::ExecOptions options = base_options;
   options.validate = true;
   const auto input = accmg::apps::MakeMdInput(512, 12);
   const std::vector<float> expected = accmg::apps::MdReference(input);
@@ -59,7 +68,7 @@ void RunMd(int gpus) {
 
 void RunKmeans(int gpus) {
   auto platform = accmg::sim::MakeSupercomputerNode(4);
-  accmg::runtime::ExecOptions options;
+  accmg::runtime::ExecOptions options = base_options;
   options.validate = true;
   const auto input = accmg::apps::MakeKmeansInput(800, 4, 4, 7);
   const auto expected = accmg::apps::KmeansReference(input);
@@ -81,7 +90,7 @@ void RunKmeans(int gpus) {
 
 void RunBfs(int gpus) {
   auto platform = accmg::sim::MakeSupercomputerNode(4);
-  accmg::runtime::ExecOptions options;
+  accmg::runtime::ExecOptions options = base_options;
   options.validate = true;
   const auto input = accmg::apps::MakeBfsInput(1000, 4);
   const std::vector<std::int32_t> expected = accmg::apps::BfsReference(input);
@@ -97,7 +106,7 @@ void RunBfs(int gpus) {
 
 void RunSpmv(int gpus) {
   auto platform = accmg::sim::MakeSupercomputerNode(4);
-  accmg::runtime::ExecOptions options;
+  accmg::runtime::ExecOptions options = base_options;
   options.validate = true;
   const auto input = accmg::apps::MakeSpmvInput(600, 8);
   const std::vector<float> expected = accmg::apps::SpmvReference(input);
@@ -113,7 +122,18 @@ void RunSpmv(int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--async-pipeline") == 0) {
+      base_options.async_pipeline = true;
+    } else {
+      std::fprintf(stderr, "validate_smoke: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (base_options.async_pipeline) {
+    std::printf("async pipeline: ON\n");
+  }
   for (const int gpus : {1, 2, 4}) {
     RunMd(gpus);
     RunKmeans(gpus);
