@@ -1,0 +1,45 @@
+// Self-contained SHA-256 (FIPS 180-4), used to derive content-addressed
+// cache keys for the compiled-program cache (service/cache.h). Translation
+// is a pure function of (source text, CompileOptions), so hashing those
+// inputs is a sound memoization key; SHA-256 makes accidental collisions
+// between different programs a non-concern.
+//
+// This is a cold-path utility (one hash per submitted job) — clarity over
+// throughput.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace accmg {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `size` bytes. May be called repeatedly.
+  void Update(const void* data, std::size_t size);
+  void Update(std::string_view text) { Update(text.data(), text.size()); }
+
+  /// Finishes the hash. The object must not be reused afterwards.
+  std::array<std::uint8_t, 32> Digest();
+
+  /// Digest as 64 lowercase hex characters.
+  std::string HexDigest();
+
+ private:
+  void Compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot convenience: hex SHA-256 of `text`.
+std::string Sha256Hex(std::string_view text);
+
+}  // namespace accmg

@@ -14,6 +14,7 @@ namespace accmg::trace {
 namespace {
 
 thread_local const char* tls_phase = nullptr;
+thread_local int tls_job = -1;
 
 std::uint64_t ThisThreadId() {
   return static_cast<std::uint64_t>(
@@ -60,6 +61,7 @@ Tracer::Shard& Tracer::ShardForThisThread() {
 void Tracer::Record(Event event) {
   if (!enabled()) return;
   if (event.thread_id == 0) event.thread_id = ThisThreadId();
+  if (event.job < 0) event.job = tls_job;
   Shard& shard = ShardForThisThread();
   std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.recorded;
@@ -148,12 +150,19 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-void Tracer::WriteChromeTrace(std::ostream& os) const {
+void Tracer::WriteChromeTrace(std::ostream& os, int job_filter) const {
   // Two trace "processes": pid 1 = the simulated platform (one thread row
   // per GPU), pid 2 = wall-clock host work (one row per recording thread).
   constexpr int kSimPid = 1;
   constexpr int kWallPid = 2;
-  const std::vector<Event> events = Snapshot();
+  std::vector<Event> events = Snapshot();
+  if (job_filter >= 0) {
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [job_filter](const Event& e) {
+                                  return e.job != job_filter;
+                                }),
+                 events.end());
+  }
 
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
@@ -211,15 +220,17 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     os << number << ",\"dur\":";
     std::snprintf(number, sizeof number, "%.3f", event.duration_us);
     os << number << ",\"args\":{\"device\":" << event.device
-       << ",\"timeline\":\"" << TimelineName(event.timeline) << "\"}}";
+       << ",\"job\":" << event.job << ",\"timeline\":\""
+       << TimelineName(event.timeline) << "\"}}";
   }
   os << "\n]}\n";
 }
 
-bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+bool Tracer::WriteChromeTraceFile(const std::string& path,
+                                  int job_filter) const {
   std::ofstream file(path);
   if (!file) return false;
-  WriteChromeTrace(file);
+  WriteChromeTrace(file, job_filter);
   return static_cast<bool>(file);
 }
 
@@ -276,5 +287,13 @@ PhaseScope::PhaseScope(const char* phase) : previous_(tls_phase) {
 PhaseScope::~PhaseScope() { tls_phase = previous_; }
 
 const char* PhaseScope::Current() { return tls_phase; }
+
+JobScope::JobScope(int job) : previous_(tls_job) {
+  if (job >= 0) tls_job = job;
+}
+
+JobScope::~JobScope() { tls_job = previous_; }
+
+int JobScope::Current() { return tls_job; }
 
 }  // namespace accmg::trace

@@ -59,6 +59,7 @@ struct Event {
   std::string category;
   Timeline timeline = Timeline::kWall;
   int device = -1;             ///< simulated device id; -1 = host
+  int job = -1;                ///< service job id; -1 = not part of a job
   double start_us = 0;         ///< on the event's timeline
   double duration_us = 0;
   std::uint64_t thread_id = 0; ///< recording thread (wall timeline rows)
@@ -109,11 +110,14 @@ class Tracer {
 
   /// Chrome trace event format. Sim-timeline events render under a "sim"
   /// process with one thread row per GPU; wall-timeline events under a
-  /// "wall" process with one row per recording thread.
-  void WriteChromeTrace(std::ostream& os) const;
+  /// "wall" process with one row per recording thread. `job_filter >= 0`
+  /// keeps only the spans recorded under that JobScope (the service's
+  /// per-job trace export); -1 exports everything.
+  void WriteChromeTrace(std::ostream& os, int job_filter = -1) const;
 
   /// WriteChromeTrace into `path`; returns false if the file can't open.
-  bool WriteChromeTraceFile(const std::string& path) const;
+  bool WriteChromeTraceFile(const std::string& path,
+                            int job_filter = -1) const;
 
   /// The summary as a fixed-width text table.
   std::string SummaryTable() const;
@@ -173,6 +177,28 @@ class PhaseScope {
 
  private:
   const char* previous_;
+};
+
+/// Thread-local job label, the service-mode analogue of PhaseScope: every
+/// event recorded on this thread while a scope with id >= 0 is active is
+/// stamped with that job id, so one ring buffer can hold interleaved spans
+/// of concurrent jobs and WriteChromeTrace(os, job) can split them apart
+/// again. Scopes nest; the innermost non-negative id wins. Fan-out code
+/// (the executor's per-device launcher threads) re-establishes the scope on
+/// each worker thread.
+class JobScope {
+ public:
+  explicit JobScope(int job);
+  ~JobScope();
+
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+  /// Innermost active job id on this thread, or -1.
+  static int Current();
+
+ private:
+  int previous_;
 };
 
 /// Escapes `text` for inclusion inside a JSON string literal.

@@ -422,6 +422,9 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     launchers.reserve(devices_.size());
     for (std::size_t g = 0; g < devices_.size(); ++g) {
       launchers.emplace_back([&, g] {
+        // Fresh threads don't inherit the caller's thread-local job label;
+        // re-establish it so per-device spans stay attributable to the job.
+        trace::JobScope job_scope(options_.job_id);
         try {
           launch_device(g);
         } catch (...) {

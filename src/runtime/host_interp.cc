@@ -120,11 +120,15 @@ HostInterpreter::HostInterpreter(ProgramRunner& runner,
   if (runner_.config_.use_cpu) {
     cpu_ = std::make_unique<CpuExecutor>(platform);
   } else {
-    std::vector<int> devices;
-    ACCMG_REQUIRE(runner_.config_.num_gpus >= 1 &&
-                      runner_.config_.num_gpus <= platform.num_devices(),
-                  "num_gpus out of range for the platform");
-    for (int d = 0; d < runner_.config_.num_gpus; ++d) devices.push_back(d);
+    // An explicit device lease (service/arena.h) overrides the default
+    // [0, num_gpus) prefix; the Executor validates the ids.
+    std::vector<int> devices = runner_.config_.devices;
+    if (devices.empty()) {
+      ACCMG_REQUIRE(runner_.config_.num_gpus >= 1 &&
+                        runner_.config_.num_gpus <= platform.num_devices(),
+                    "num_gpus out of range for the platform");
+      for (int d = 0; d < runner_.config_.num_gpus; ++d) devices.push_back(d);
+    }
     gpu_ = std::make_unique<Executor>(platform, runner_.config_.options,
                                       std::move(devices));
     if (runner_.config_.options.async_pipeline) {
@@ -165,9 +169,25 @@ ManagedArray& HostInterpreter::Managed(const VarDecl& decl) {
 }
 
 RunReport HostInterpreter::Run() {
+  trace::JobScope job_scope(runner_.config_.options.job_id);
   trace::Span run_span("run:" + fn_.function->name, trace::category::kHost);
   sim::Platform& platform = *runner_.config_.platform;
-  platform.ResetAccounting();
+
+  // On a shared platform other jobs' accounting must survive this run, so
+  // instead of resetting we snapshot and bill deltas (see RunConfig).
+  const bool shared = runner_.config_.shared_platform;
+  sim::TimeBreakdown time_before;
+  std::vector<sim::PlatformCounters> device_before;
+  if (shared) {
+    time_before = platform.clock().breakdown();
+    if (gpu_ != nullptr) {
+      for (const int d : gpu_->devices()) {
+        device_before.push_back(platform.device_counters(d));
+      }
+    }
+  } else {
+    platform.ResetAccounting();
+  }
   report_ = RunReport{};
 
   // Bind parameters.
@@ -200,9 +220,25 @@ RunReport HostInterpreter::Run() {
     }
   }
 
-  report_.time = platform.clock().breakdown();
+  if (shared) {
+    report_.time = platform.clock().breakdown();
+    for (std::size_t c = 0; c < report_.time.seconds.size(); ++c) {
+      report_.time.seconds[c] -= time_before.seconds[c];
+    }
+    // Per-device deltas over the lease: exact billing even while other
+    // jobs run on the remaining devices (sim::Platform::device_counters).
+    if (gpu_ != nullptr) {
+      const std::vector<int>& devices = gpu_->devices();
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        report_.counters +=
+            platform.device_counters(devices[i]) - device_before[i];
+      }
+    }
+  } else {
+    report_.time = platform.clock().breakdown();
+    report_.counters = platform.counters();
+  }
   report_.total_seconds = report_.time.Total();
-  report_.counters = platform.counters();
   if (gpu_ != nullptr) {
     report_.loader = gpu_->loader().stats();
     report_.comm = gpu_->comm().stats();

@@ -52,6 +52,13 @@ struct ExecOptions {
   /// every kernel — so strictly a debugging mode.
   bool validate = false;
 
+  /// Identifies the service job this execution belongs to (-1 outside the
+  /// resident service). The runtime wraps its worker entry points in
+  /// trace::JobScope(job_id) so every recorded span — including those from
+  /// per-device launcher threads — carries the job label, which is what
+  /// per-job Chrome-trace export filters on (service/service.h).
+  int job_id = -1;
+
   /// Relative tolerance used by the validator when comparing floating-point
   /// reduction results: chunk merge order differs between the multi-GPU run
   /// and the golden run, so float reductions are only reproducible up to

@@ -1,0 +1,112 @@
+#include "service/arena.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+#include "common/metrics.h"
+
+namespace accmg::service {
+
+namespace {
+
+struct ArenaMetrics {
+  metrics::Counter& leases;
+  metrics::Histogram& wait_seconds;
+  metrics::Gauge& devices_busy;
+
+  static ArenaMetrics& Get() {
+    static ArenaMetrics m{
+        metrics::Registry::Global().counter("service.arena.leases"),
+        metrics::Registry::Global().histogram("service.arena.wait_seconds"),
+        metrics::Registry::Global().gauge("service.arena.devices_busy"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+DeviceArena::DeviceArena(int num_devices) {
+  ACCMG_REQUIRE(num_devices >= 1, "arena needs at least one device");
+  busy_.assign(static_cast<std::size_t>(num_devices), false);
+}
+
+DeviceArena::Lease::Lease(Lease&& other) noexcept
+    : arena_(other.arena_), devices_(std::move(other.devices_)) {
+  other.arena_ = nullptr;
+  other.devices_.clear();
+}
+
+DeviceArena::Lease& DeviceArena::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    arena_ = other.arena_;
+    devices_ = std::move(other.devices_);
+    other.arena_ = nullptr;
+    other.devices_.clear();
+  }
+  return *this;
+}
+
+void DeviceArena::Lease::Release() {
+  if (arena_ == nullptr) return;
+  arena_->Release(devices_);
+  arena_ = nullptr;
+  devices_.clear();
+}
+
+DeviceArena::Lease DeviceArena::Acquire(int count) {
+  ACCMG_REQUIRE(count >= 1 && count <= num_devices(),
+                "lease size out of range for the arena");
+  const auto wait_start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  turn_or_free_.wait(lock, [&] {
+    return serving_ == ticket &&
+           static_cast<int>(std::count(busy_.begin(), busy_.end(), false)) >=
+               count;
+  });
+
+  std::vector<int> devices;
+  devices.reserve(static_cast<std::size_t>(count));
+  for (std::size_t d = 0; d < busy_.size() && devices.size() <
+                                                  static_cast<std::size_t>(count);
+       ++d) {
+    if (!busy_[d]) {
+      busy_[d] = true;
+      devices.push_back(static_cast<int>(d));
+    }
+  }
+  ++serving_;
+  ++leases_granted_;
+  ArenaMetrics::Get().leases.Add();
+  ArenaMetrics::Get().devices_busy.Set(static_cast<double>(
+      std::count(busy_.begin(), busy_.end(), true)));
+  lock.unlock();
+  // The next ticket may already be satisfiable with the devices we left.
+  turn_or_free_.notify_all();
+
+  ArenaMetrics::Get().wait_seconds.Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wait_start)
+          .count());
+  return Lease(this, std::move(devices));
+}
+
+void DeviceArena::Release(const std::vector<int>& devices) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int d : devices) busy_[static_cast<std::size_t>(d)] = false;
+    ArenaMetrics::Get().devices_busy.Set(static_cast<double>(
+        std::count(busy_.begin(), busy_.end(), true)));
+  }
+  turn_or_free_.notify_all();
+}
+
+int DeviceArena::free_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(std::count(busy_.begin(), busy_.end(), false));
+}
+
+}  // namespace accmg::service

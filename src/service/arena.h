@@ -1,0 +1,84 @@
+// Device arena: shards the simulated GPUs of one long-lived platform across
+// concurrent service jobs.
+//
+// A job asks for N devices and blocks until N are free *and* it is at the
+// head of the FIFO ticket line — strict arrival-order granting, so a 4-GPU
+// job behind two 1-GPU jobs cannot be starved by a stream of later small
+// jobs (head-of-line blocking is the accepted cost of that guarantee; the
+// admission controller, not the arena, is where smarter policies belong).
+//
+// Leases hand out *disjoint* device-id sets. That disjointness is what makes
+// per-job billing exact on a shared platform: every byte a job moves lands
+// in sim::Platform::device_counters() of a device only that job owns, so
+// snapshot deltas over the lease attribute traffic with no cross-talk
+// (RunConfig::shared_platform).
+//
+// Metrics: service.arena.leases (counter), service.arena.wait_seconds
+// (histogram of time blocked in Acquire), service.arena.devices_busy
+// (gauge).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace accmg::service {
+
+class DeviceArena {
+ public:
+  /// Manages device ids [0, num_devices).
+  explicit DeviceArena(int num_devices);
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Move-only RAII lease; releases its devices (and wakes the ticket
+  /// line) on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    bool valid() const { return arena_ != nullptr; }
+    const std::vector<int>& devices() const { return devices_; }
+
+    /// Early release (idempotent).
+    void Release();
+
+   private:
+    friend class DeviceArena;
+    Lease(DeviceArena* arena, std::vector<int> devices)
+        : arena_(arena), devices_(std::move(devices)) {}
+    DeviceArena* arena_ = nullptr;
+    std::vector<int> devices_;
+  };
+
+  /// Blocks until `count` devices are free and this caller is first in
+  /// line, then leases the `count` lowest-numbered free devices. Requires
+  /// 1 <= count <= num_devices() (throws otherwise — such a job could
+  /// never be satisfied).
+  Lease Acquire(int count);
+
+  int num_devices() const { return static_cast<int>(busy_.size()); }
+  int free_count() const;
+  std::uint64_t leases_granted() const { return leases_granted_; }
+
+ private:
+  void Release(const std::vector<int>& devices);
+
+  mutable std::mutex mutex_;
+  std::condition_variable turn_or_free_;
+  std::vector<bool> busy_;
+  /// FIFO tickets: Acquire #k waits until serving_ == k.
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t serving_ = 0;
+  std::uint64_t leases_granted_ = 0;
+};
+
+}  // namespace accmg::service

@@ -1,0 +1,147 @@
+#include "service/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/metrics.h"
+#include "common/sha256.h"
+
+namespace accmg::service {
+
+namespace {
+
+struct CacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& evictions;
+  metrics::Counter& compiles;
+  metrics::Gauge& size;
+
+  static CacheMetrics& Get() {
+    static CacheMetrics m{
+        metrics::Registry::Global().counter("service.cache.hits"),
+        metrics::Registry::Global().counter("service.cache.misses"),
+        metrics::Registry::Global().counter("service.cache.evictions"),
+        metrics::Registry::Global().counter("service.cache.compiles"),
+        metrics::Registry::Global().gauge("service.cache.size"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+ProgramCache::ProgramCache(std::size_t capacity, std::size_t shards)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      shard_capacity_(std::max<std::size_t>(
+          1, (capacity_ + std::max<std::size_t>(1, shards) - 1) /
+                 std::max<std::size_t>(1, shards))) {
+  const std::size_t n = std::min(std::max<std::size_t>(1, shards), capacity_);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string ProgramCache::KeyFor(const std::string& source,
+                                 const translator::CompileOptions& options) {
+  // Versioned canonical serialization: bump the tag when CompileOptions
+  // grows a field so stale processes never alias new-option programs.
+  Sha256 hasher;
+  hasher.Update("accmg-program-key-v1");
+  hasher.Update("\0", 1);
+  hasher.Update(options.check_directives ? "check_directives=1"
+                                         : "check_directives=0");
+  hasher.Update("\0", 1);
+  hasher.Update(source);
+  return hasher.HexDigest();
+}
+
+ProgramCache::Shard& ProgramCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const runtime::AccProgram> ProgramCache::LookupIn(
+    Shard& shard, const std::string& key) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  // Refresh recency: splice the entry to the front without invalidating
+  // the iterator stored in the index.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->program;
+}
+
+void ProgramCache::Insert(Shard& shard, const std::string& key,
+                          std::shared_ptr<const runtime::AccProgram> program) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.index.find(key) != shard.index.end()) {
+    // A concurrent compile of the same key won the race; keep its entry.
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(program)});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions.Add();
+  }
+}
+
+std::shared_ptr<const runtime::AccProgram> ProgramCache::GetOrCompile(
+    const std::string& name, const std::string& source,
+    const translator::CompileOptions& options, bool* was_hit) {
+  const std::string key = KeyFor(source, options);
+  Shard& shard = ShardFor(key);
+  if (auto program = LookupIn(shard, key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().hits.Add();
+    if (was_hit != nullptr) *was_hit = true;
+    return program;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().misses.Add();
+  if (was_hit != nullptr) *was_hit = false;
+
+  // Compile outside the shard lock: translation can be slow and must not
+  // stall unrelated keys. Two racing submitters of a brand-new key may both
+  // compile; Insert keeps the first and the loser's copy dies with its
+  // shared_ptr — correctness is unaffected, only effort is duplicated.
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().compiles.Add();
+  auto program = std::make_shared<const runtime::AccProgram>(
+      runtime::AccProgram::FromSource(name, source, options));
+  Insert(shard, key, program);
+  UpdateSizeGauge();
+  return program;
+}
+
+std::shared_ptr<const runtime::AccProgram> ProgramCache::Lookup(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  auto program = LookupIn(shard, key);
+  if (program != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().hits.Add();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().misses.Add();
+  }
+  return program;
+}
+
+std::size_t ProgramCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void ProgramCache::UpdateSizeGauge() const {
+  CacheMetrics::Get().size.Set(static_cast<double>(size()));
+}
+
+}  // namespace accmg::service

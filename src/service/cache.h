@@ -1,0 +1,101 @@
+// Content-hashed compiled-program cache for the resident service.
+//
+// Translation in accmg is a pure function of (source text, CompileOptions):
+// the frontend, analyses and kernel extraction consult nothing else. The
+// cache therefore keys on SHA-256 of a canonical serialization of exactly
+// those inputs and memoizes the full AccProgram (AST + per-loop kernels)
+// behind a sharded LRU. Two submissions that differ only in program *name*
+// share an entry; two that differ in one CompileOptions bit never collide.
+//
+// Programs are handed out as shared_ptr<const AccProgram>: an entry evicted
+// while a job still executes it stays alive until that job drops its
+// reference, so eviction never invalidates in-flight work.
+//
+// Metrics (common/metrics.h): service.cache.hits, service.cache.misses,
+// service.cache.evictions, service.cache.compiles (counters) and
+// service.cache.size (gauge).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/program.h"
+#include "translator/offload.h"
+
+namespace accmg::service {
+
+class ProgramCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// independently locked LRU shards (a key always maps to one shard, so
+  /// per-key LRU order is exact; only the global order is approximate).
+  explicit ProgramCache(std::size_t capacity, std::size_t shards = 8);
+
+  ProgramCache(const ProgramCache&) = delete;
+  ProgramCache& operator=(const ProgramCache&) = delete;
+
+  /// The cache key: hex SHA-256 over a versioned canonical serialization of
+  /// the compile inputs. Byte-identical source hits; any textual difference
+  /// (even whitespace) or any CompileOptions difference misses.
+  static std::string KeyFor(const std::string& source,
+                            const translator::CompileOptions& options);
+
+  /// Returns the cached program for (source, options), compiling and
+  /// inserting on miss. Throws CompileError on translation failure (failed
+  /// compiles are not cached). `name` is display metadata only — it is NOT
+  /// part of the key; on a hit the cached program keeps its original name.
+  /// When `was_hit` is non-null it reports whether this call compiled.
+  std::shared_ptr<const runtime::AccProgram> GetOrCompile(
+      const std::string& name, const std::string& source,
+      const translator::CompileOptions& options, bool* was_hit = nullptr);
+
+  /// Lookup by precomputed key without compiling; null on miss. Counts a
+  /// hit/miss like GetOrCompile.
+  std::shared_ptr<const runtime::AccProgram> Lookup(const std::string& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Per-instance statistics (the service.cache.* registry metrics are
+  /// process-global and aggregate across cache instances).
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+  std::uint64_t compiles() const { return compiles_.load(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const runtime::AccProgram> program;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used. Stable iterators let the index point in.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  /// Looks `key` up in `shard` under its lock, refreshing LRU order.
+  std::shared_ptr<const runtime::AccProgram> LookupIn(Shard& shard,
+                                                      const std::string& key);
+  void Insert(Shard& shard, const std::string& key,
+              std::shared_ptr<const runtime::AccProgram> program);
+  void UpdateSizeGauge() const;
+
+  const std::size_t capacity_;
+  const std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+};
+
+}  // namespace accmg::service

@@ -1,0 +1,72 @@
+// Job model of the resident service: what a client submits, how the service
+// tracks it, and what comes back.
+//
+// Apps bind host arrays programmatically (runtime/program.h), so a request
+// carries a `bind` callback instead of serialized operands: the service
+// invokes it with the job's ProgramRunner right before Run(). The bound
+// host storage must stay alive until the job completes — closures typically
+// own it (see tools/accmgc_serve.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/options.h"
+#include "runtime/program.h"
+#include "translator/offload.h"
+
+namespace accmg::service {
+
+enum class JobState {
+  kQueued,   ///< admitted, waiting for a worker
+  kRunning,  ///< compiling / leasing devices / executing
+  kDone,     ///< finished; result available
+  kFailed,   ///< compile or runtime error; result carries the message
+};
+
+const char* JobStateName(JobState state);
+
+struct JobRequest {
+  /// Fairness domain for queue scheduling (per-tenant round-robin).
+  std::string tenant = "default";
+
+  std::string name;      ///< program display name (not part of the cache key)
+  std::string source;    ///< annotated OpenACC source text
+  std::string function;  ///< function to execute
+
+  int gpus = 1;  ///< device-lease size requested from the arena
+
+  translator::CompileOptions compile_options;
+  runtime::ExecOptions exec_options;
+
+  /// Binds host arrays/scalars to the runner. Called on a worker thread
+  /// after compile and device-lease acquisition, before Run().
+  std::function<void(runtime::ProgramRunner&)> bind;
+
+  /// Optional: runs on the worker thread right after the job reaches
+  /// kDone/kFailed, before waiters wake (e.g. to read ScalarAfterRun or
+  /// copy outputs while the runner still exists).
+  std::function<void(runtime::ProgramRunner*)> on_finish;
+};
+
+struct JobResult {
+  int job_id = -1;
+  JobState state = JobState::kQueued;
+  std::string program_key;  ///< hex SHA-256 cache key of (source, options)
+  bool cache_hit = false;   ///< program came from the cache (no compile)
+  std::vector<int> devices;  ///< the lease the job ran on
+  runtime::RunReport report;
+  std::string trace_path;  ///< per-job Chrome trace, when exported
+  std::string error;       ///< non-empty iff state == kFailed
+};
+
+/// A request admitted into the queue, with its service-assigned identity
+/// and precomputed cache key (batching groups jobs by this key).
+struct QueuedJob {
+  int id = -1;
+  std::string program_key;
+  JobRequest request;
+};
+
+}  // namespace accmg::service

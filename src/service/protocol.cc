@@ -1,0 +1,99 @@
+#include "service/protocol.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "service/service.h"
+
+namespace accmg::service {
+
+namespace {
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  for (const std::string& field : Split(line, ' ')) {
+    if (!field.empty()) tokens.push_back(field);
+  }
+  return tokens;
+}
+
+bool ParseJobId(const std::vector<std::string>& tokens, Request& request) {
+  if (tokens.size() != 2) return false;
+  try {
+    std::size_t used = 0;
+    request.job_id = std::stoi(tokens[1], &used);
+    return used == tokens[1].size() && request.job_id >= 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Request ParseRequest(const std::string& line) {
+  Request request;
+  const std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return request;  // kInvalid with empty error: skip silently
+  }
+  const std::vector<std::string> tokens = Tokenize(trimmed);
+  const std::string& verb = tokens.front();
+
+  if (verb == "submit") {
+    request.kind = Request::Kind::kSubmit;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string::npos || eq == 0) {
+        request.kind = Request::Kind::kInvalid;
+        request.error = "submit parameters must be key=value: " + tokens[i];
+        return request;
+      }
+      request.params[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+    return request;
+  }
+  if (verb == "status" || verb == "result") {
+    request.kind =
+        verb == "status" ? Request::Kind::kStatus : Request::Kind::kResult;
+    if (!ParseJobId(tokens, request)) {
+      request.kind = Request::Kind::kInvalid;
+      request.error = "usage: " + verb + " <job-id>";
+    }
+    return request;
+  }
+  if (verb == "metrics" && tokens.size() == 1) {
+    request.kind = Request::Kind::kMetrics;
+    return request;
+  }
+  if (verb == "quit" && tokens.size() == 1) {
+    request.kind = Request::Kind::kQuit;
+    return request;
+  }
+  request.error = "unknown request: " + std::string(trimmed);
+  return request;
+}
+
+std::string FormatResultLine(const JobResult& result) {
+  std::ostringstream os;
+  os << "result " << result.job_id << ' ' << JobStateName(result.state);
+  if (result.state == JobState::kFailed) {
+    // The error text goes last and unescaped; it is the rest of the line.
+    os << " error=" << result.error;
+    return os.str();
+  }
+  const sim::PlatformCounters& c = result.report.counters;
+  char sim_s[32];
+  std::snprintf(sim_s, sizeof sim_s, "%.6f", result.report.total_seconds);
+  os << " key=" << result.program_key.substr(0, 12)
+     << " cache=" << (result.cache_hit ? "hit" : "miss")
+     << " gpus=" << result.devices.size() << " sim_s=" << sim_s
+     << " bytes=" << (c.h2d_bytes + c.d2h_bytes + c.p2p_bytes)
+     << " transfers=" << (c.h2d_transfers + c.d2h_transfers + c.p2p_transfers)
+     << " kernels=" << c.kernel_launches;
+  if (!result.trace_path.empty()) os << " trace=" << result.trace_path;
+  return os.str();
+}
+
+}  // namespace accmg::service

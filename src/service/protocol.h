@@ -1,0 +1,55 @@
+// Line-delimited request protocol of the resident service front-end
+// (tools/accmgc_serve.cc). One request per line, one reply line per
+// request (plus a multi-line block for `metrics`):
+//
+//   submit app=md gpus=2 [tenant=T] [validate=1] [trace=1] [async=1]
+//          [weighted=1] [no-check=1] [salt=TEXT]
+//     -> "job <id>"  |  "rejected <reason>"
+//   status <id>
+//     -> "status <id> queued|running|done|failed"
+//   result <id>              (blocks until the job finishes)
+//     -> "result <id> <done|failed> key=<prefix> cache=<hit|miss>
+//         gpus=<n> sim_s=<t> bytes=<b> transfers=<n> kernels=<n> ..."
+//   metrics
+//     -> the metrics registry as text, terminated by "end"
+//   quit
+//     -> "bye"
+//
+// The parser only understands the framing; `submit` parameters are opaque
+// key=value pairs interpreted by the serving tool (which knows the builtin
+// apps). Keeping the parser app-agnostic makes it unit-testable without a
+// platform. docs/SERVING.md walks through a full transcript.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "service/job.h"
+
+namespace accmg::service {
+
+struct Request {
+  enum class Kind {
+    kSubmit,
+    kStatus,
+    kResult,
+    kMetrics,
+    kQuit,
+    kInvalid,
+  };
+
+  Kind kind = Kind::kInvalid;
+  int job_id = -1;  ///< status/result
+  std::unordered_map<std::string, std::string> params;  ///< submit key=values
+  std::string error;  ///< non-empty iff kind == kInvalid
+};
+
+/// Parses one protocol line (leading/trailing whitespace ignored; empty
+/// lines and `#` comments parse as kInvalid with an empty error, which
+/// callers should silently skip).
+Request ParseRequest(const std::string& line);
+
+/// The one-line `result` reply for a finished job.
+std::string FormatResultLine(const JobResult& result);
+
+}  // namespace accmg::service

@@ -1,0 +1,108 @@
+#include "service/queue.h"
+
+#include "common/metrics.h"
+
+namespace accmg::service {
+
+namespace {
+
+struct QueueMetrics {
+  metrics::Gauge& depth;
+  metrics::Counter& rejects;
+  metrics::Counter& batched;
+
+  static QueueMetrics& Get() {
+    static QueueMetrics m{
+        metrics::Registry::Global().gauge("service.queue.depth"),
+        metrics::Registry::Global().counter("service.admission.rejects"),
+        metrics::Registry::Global().counter("service.queue.batched_jobs"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool JobQueue::Push(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return false;
+    if (depth_ >= capacity_) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      QueueMetrics::Get().rejects.Add();
+      return false;
+    }
+    TenantQueue* queue = nullptr;
+    for (TenantQueue& t : tenants_) {
+      if (t.tenant == job.request.tenant) {
+        queue = &t;
+        break;
+      }
+    }
+    if (queue == nullptr) {
+      // Tenant entries persist once created (the ring stays small and the
+      // round-robin cursor never has to survive index shifts).
+      tenants_.push_back(TenantQueue{job.request.tenant, {}});
+      queue = &tenants_.back();
+    }
+    queue->jobs.push_back(std::move(job));
+    ++depth_;
+    QueueMetrics::Get().depth.Set(static_cast<double>(depth_));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::vector<QueuedJob> JobQueue::PopBatch(std::size_t max_batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return depth_ > 0 || stopped_; });
+  if (depth_ == 0) return {};  // stopped and drained
+  if (max_batch == 0) max_batch = 1;
+
+  // Fair pick: the next non-empty tenant after the round-robin cursor.
+  const std::size_t n = tenants_.size();
+  std::size_t idx = rr_cursor_ % n;
+  while (tenants_[idx].jobs.empty()) idx = (idx + 1) % n;
+  rr_cursor_ = (idx + 1) % n;
+
+  std::vector<QueuedJob> batch;
+  batch.push_back(std::move(tenants_[idx].jobs.front()));
+  tenants_[idx].jobs.pop_front();
+  --depth_;
+
+  // Same-program pulls: one compile serves the whole batch. Copy the key —
+  // push_back below may reallocate `batch` out from under a reference.
+  const std::string key = batch.front().program_key;
+  for (std::size_t t = 0; t < n && batch.size() < max_batch; ++t) {
+    std::deque<QueuedJob>& jobs = tenants_[(idx + t) % n].jobs;
+    for (auto it = jobs.begin(); it != jobs.end() && batch.size() < max_batch;) {
+      if (it->program_key == key) {
+        batch.push_back(std::move(*it));
+        it = jobs.erase(it);
+        --depth_;
+        QueueMetrics::Get().batched.Add();
+      } else {
+        ++it;
+      }
+    }
+  }
+  QueueMetrics::Get().depth.Set(static_cast<double>(depth_));
+  return batch;
+}
+
+void JobQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace accmg::service

@@ -1,0 +1,71 @@
+// Bounded job queue with per-tenant fairness and same-program batching —
+// the admission controller of the resident service.
+//
+// Admission: capacity is a hard bound; Push on a full queue rejects
+// immediately (counted in service.admission.rejects) instead of blocking
+// the submitter — back-pressure is the client's problem, by design.
+//
+// Fairness: jobs are FIFO within a tenant, and tenants are served
+// round-robin, so one tenant flooding the queue delays its own jobs, not
+// everyone else's.
+//
+// Batching: when a worker pops, it takes the fair pick first, then drains
+// up to `max_batch - 1` more queued jobs with the SAME program key (from
+// any tenant, each tenant's internal order preserved). The batch shares one
+// compiled program and one cache probe; placement still happens per job.
+// Cross-tenant batch pulls slightly bend round-robin in exchange for
+// amortizing compilation — the fair pick always comes first, so no tenant
+// can be skipped two pops in a row.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace accmg::service {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits the job, or returns false when the queue is full or stopped
+  /// (the reject counter only counts capacity rejects).
+  bool Push(QueuedJob job);
+
+  /// Blocks until work is available, then returns the fair pick plus any
+  /// same-key jobs (at most `max_batch` total). Returns an empty vector
+  /// only when the queue is stopped AND drained.
+  std::vector<QueuedJob> PopBatch(std::size_t max_batch);
+
+  /// Stops admission and wakes poppers. Already-queued jobs still drain.
+  void Stop();
+
+  std::size_t depth() const;
+  std::uint64_t rejects() const { return rejects_.load(); }
+
+ private:
+  struct TenantQueue {
+    std::string tenant;
+    std::deque<QueuedJob> jobs;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<TenantQueue> tenants_;  ///< round-robin ring; empties pruned
+  std::size_t rr_cursor_ = 0;
+  std::size_t depth_ = 0;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> rejects_{0};
+};
+
+}  // namespace accmg::service

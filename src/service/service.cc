@@ -1,0 +1,243 @@
+#include "service/service.h"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace accmg::service {
+
+namespace {
+
+struct ServiceMetrics {
+  metrics::Counter& submitted;
+  metrics::Counter& completed;
+  metrics::Counter& failed;
+  metrics::Counter& billed_bytes;
+  metrics::Counter& billed_transfers;
+  metrics::Histogram& billed_sim_seconds;
+
+  static ServiceMetrics& Get() {
+    static ServiceMetrics m{
+        metrics::Registry::Global().counter("service.jobs.submitted"),
+        metrics::Registry::Global().counter("service.jobs.completed"),
+        metrics::Registry::Global().counter("service.jobs.failed"),
+        metrics::Registry::Global().counter("service.billed.bytes"),
+        metrics::Registry::Global().counter("service.billed.transfers"),
+        metrics::Registry::Global().histogram("service.billed.sim_seconds"),
+    };
+    return m;
+  }
+};
+
+bool Terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed;
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+AccService::AccService(Config config)
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity, config_.cache_shards),
+      arena_(config_.platform != nullptr ? config_.platform->num_devices()
+                                         : 1),
+      queue_(config_.queue_capacity) {
+  ACCMG_REQUIRE(config_.platform != nullptr, "AccService requires a platform");
+  ACCMG_REQUIRE(config_.workers >= 1, "AccService requires >= 1 worker");
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AccService::~AccService() { Stop(); }
+
+int AccService::Submit(JobRequest request) {
+  ACCMG_REQUIRE(request.gpus >= 1 && request.gpus <= arena_.num_devices(),
+                "job requests more GPUs than the platform has");
+  QueuedJob job;
+  job.program_key =
+      ProgramCache::KeyFor(request.source, request.compile_options);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job.id = next_job_id_++;
+    JobResult& record = jobs_[job.id];
+    record.job_id = job.id;
+    record.state = JobState::kQueued;
+    record.program_key = job.program_key;
+  }
+  const int id = job.id;
+  job.request = std::move(request);
+  if (!queue_.Push(std::move(job))) {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.erase(id);
+    return -1;
+  }
+  ServiceMetrics::Get().submitted.Add();
+  return id;
+}
+
+JobState AccService::Status(int job_id) const {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(job_id);
+  ACCMG_REQUIRE(it != jobs_.end(), "unknown job id");
+  return it->second.state;
+}
+
+JobResult AccService::Wait(int job_id) {
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(job_id);
+  ACCMG_REQUIRE(it != jobs_.end(), "unknown job id");
+  job_done_.wait(lock, [&] { return Terminal(jobs_.at(job_id).state); });
+  return jobs_.at(job_id);
+}
+
+void AccService::Drain() {
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  job_done_.wait(lock, [&] {
+    for (const auto& [id, record] : jobs_) {
+      if (!Terminal(record.state)) return false;
+    }
+    return true;
+  });
+}
+
+void AccService::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Stop();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void AccService::WorkerLoop() {
+  while (true) {
+    std::vector<QueuedJob> batch = queue_.PopBatch(config_.max_batch);
+    if (batch.empty()) return;  // stopped and drained
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void AccService::ProcessBatch(std::vector<QueuedJob> batch) {
+  // One cache probe — and at most one compile — for the whole batch; every
+  // job in it has the same program key by construction (queue.h).
+  std::shared_ptr<const runtime::AccProgram> program;
+  bool first_was_hit = false;
+  std::string compile_error;
+  try {
+    const JobRequest& lead = batch.front().request;
+    program = cache_.GetOrCompile(lead.name, lead.source, lead.compile_options,
+                                  &first_was_hit);
+  } catch (const std::exception& e) {
+    compile_error = e.what();
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (program == nullptr) {
+      JobResult result;
+      result.job_id = batch[i].id;
+      result.program_key = batch[i].program_key;
+      result.state = JobState::kFailed;
+      result.error = "compile failed: " + compile_error;
+      if (batch[i].request.on_finish) batch[i].request.on_finish(nullptr);
+      Finish(std::move(result));
+      continue;
+    }
+    // Batch-mates after the first never trigger a compile, so they count
+    // as cache hits regardless of how the leader fared.
+    RunJob(batch[i], program, i == 0 ? first_was_hit : true);
+  }
+}
+
+void AccService::RunJob(
+    QueuedJob& job, const std::shared_ptr<const runtime::AccProgram>& program,
+    bool cache_hit) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.at(job.id).state = JobState::kRunning;
+  }
+
+  JobResult result;
+  result.job_id = job.id;
+  result.program_key = job.program_key;
+  result.cache_hit = cache_hit;
+
+  try {
+    DeviceArena::Lease lease = arena_.Acquire(job.request.gpus);
+    result.devices = lease.devices();
+
+    runtime::RunConfig run_config;
+    run_config.platform = config_.platform;
+    run_config.num_gpus = job.request.gpus;
+    run_config.devices = lease.devices();
+    run_config.shared_platform = true;
+    run_config.options = job.request.exec_options;
+    run_config.options.job_id = job.id;
+
+    trace::JobScope job_scope(job.id);
+    runtime::ProgramRunner runner(*program, run_config);
+    if (job.request.bind) job.request.bind(runner);
+
+    {
+      // The shared SimClock admits one execution at a time (service.h);
+      // billing exactness comes from the per-device counters, not from
+      // this lock.
+      std::lock_guard<std::mutex> run_lock(run_mutex_);
+      result.report = runner.Run(job.request.function);
+    }
+
+    const sim::PlatformCounters& c = result.report.counters;
+    ServiceMetrics::Get().billed_bytes.Add(c.h2d_bytes + c.d2h_bytes +
+                                           c.p2p_bytes);
+    ServiceMetrics::Get().billed_transfers.Add(
+        c.h2d_transfers + c.d2h_transfers + c.p2p_transfers);
+    ServiceMetrics::Get().billed_sim_seconds.Observe(
+        result.report.total_seconds);
+
+    if (run_config.options.trace && !config_.trace_dir.empty()) {
+      const std::string path =
+          config_.trace_dir + "/job_" + std::to_string(job.id) + ".json";
+      if (trace::Tracer::Global().WriteChromeTraceFile(path, job.id)) {
+        result.trace_path = path;
+      }
+    }
+
+    result.state = JobState::kDone;
+    if (job.request.on_finish) job.request.on_finish(&runner);
+  } catch (const std::exception& e) {
+    result.state = JobState::kFailed;
+    result.error = e.what();
+    if (job.request.on_finish) job.request.on_finish(nullptr);
+  }
+  Finish(std::move(result));
+}
+
+void AccService::Finish(JobResult result) {
+  if (result.state == JobState::kFailed) {
+    ServiceMetrics::Get().failed.Add();
+  } else {
+    ServiceMetrics::Get().completed.Add();
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_[result.job_id] = std::move(result);
+  }
+  job_done_.notify_all();
+}
+
+}  // namespace accmg::service

@@ -1,0 +1,121 @@
+// AccService: the resident compile-once / serve-many front of the accmg
+// system (ROADMAP item: "Compile-once, serve-many").
+//
+// One long-lived simulated platform is shared by every job. The moving
+// parts, in submission order:
+//
+//   Submit ──> JobQueue (bounded; per-tenant round-robin; same-hash
+//              batching) ──> worker pops a batch ──> ProgramCache
+//              (one compile per batch key) ──> DeviceArena lease
+//              (disjoint devices) ──> ProgramRunner::Run in
+//              shared-platform mode ──> per-job billing + trace export.
+//
+// Concurrency contract: admission, compilation and host-array binding all
+// run concurrently across workers, but the simulated executions themselves
+// are serialized on one mutex — the SimClock is a single global timeline
+// whose Barrier() assumes no in-flight billing (sim/platform.h), so
+// interleaving two Run() calls would corrupt simulated *time*. Billing
+// exactness does NOT depend on that serialization: it comes from snapshot
+// deltas of per-device counters over each job's disjoint lease
+// (RunConfig::shared_platform), which is what the billing-identity test
+// and bench_serve_saturation verify.
+//
+// Metrics: service.jobs.{submitted,completed,failed} (counters),
+// service.billed.bytes / service.billed.transfers (counters),
+// service.billed.sim_seconds (histogram), plus the cache/queue/arena
+// metrics documented in their headers. docs/SERVING.md is the operator
+// guide for all of this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/arena.h"
+#include "service/cache.h"
+#include "service/job.h"
+#include "service/queue.h"
+#include "sim/platform.h"
+
+namespace accmg::service {
+
+class AccService {
+ public:
+  struct Config {
+    sim::Platform* platform = nullptr;  ///< required; outlives the service
+
+    int workers = 2;  ///< worker threads popping job batches
+
+    std::size_t cache_capacity = 64;  ///< compiled-program LRU entries
+    std::size_t cache_shards = 8;
+
+    std::size_t queue_capacity = 64;  ///< admission bound (hard reject)
+    std::size_t max_batch = 8;        ///< same-hash jobs per popped batch
+
+    /// When non-empty, jobs that run with ExecOptions::trace get their
+    /// events exported to `<trace_dir>/job_<id>.json` (Chrome trace format,
+    /// filtered to that job's events). The directory must exist.
+    std::string trace_dir;
+  };
+
+  explicit AccService(Config config);
+  /// Stops admission, drains queued jobs, joins workers.
+  ~AccService();
+
+  AccService(const AccService&) = delete;
+  AccService& operator=(const AccService&) = delete;
+
+  /// Admits a job. Returns its id, or -1 when the queue rejected it
+  /// (capacity, or the service is stopping).
+  int Submit(JobRequest request);
+
+  /// State of a known job id (throws on unknown ids).
+  JobState Status(int job_id) const;
+
+  /// Blocks until the job reaches kDone/kFailed and returns its result.
+  JobResult Wait(int job_id);
+
+  /// Blocks until every admitted job has finished.
+  void Drain();
+
+  /// Stops admission, drains already-queued jobs, joins workers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  ProgramCache& cache() { return cache_; }
+  DeviceArena& arena() { return arena_; }
+  JobQueue& queue() { return queue_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void WorkerLoop();
+  void ProcessBatch(std::vector<QueuedJob> batch);
+  void RunJob(QueuedJob& job,
+              const std::shared_ptr<const runtime::AccProgram>& program,
+              bool cache_hit);
+  void Finish(JobResult result);
+
+  Config config_;
+  ProgramCache cache_;
+  DeviceArena arena_;
+  JobQueue queue_;
+
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable job_done_;
+  std::unordered_map<int, JobResult> jobs_;  ///< state + eventual result
+  int next_job_id_ = 0;
+
+  /// Serializes ProgramRunner::Run on the shared SimClock (see file
+  /// comment); everything before Run runs concurrently.
+  std::mutex run_mutex_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace accmg::service

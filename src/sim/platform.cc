@@ -66,6 +66,30 @@ void RecordSimSpan(NameFn&& make_name, const char* fallback_cat, int device,
 
 }  // namespace
 
+PlatformCounters& PlatformCounters::operator+=(const PlatformCounters& other) {
+  kernel_launches += other.kernel_launches;
+  h2d_transfers += other.h2d_transfers;
+  d2h_transfers += other.d2h_transfers;
+  p2p_transfers += other.p2p_transfers;
+  h2d_bytes += other.h2d_bytes;
+  d2h_bytes += other.d2h_bytes;
+  p2p_bytes += other.p2p_bytes;
+  return *this;
+}
+
+PlatformCounters PlatformCounters::operator-(
+    const PlatformCounters& earlier) const {
+  PlatformCounters delta;
+  delta.kernel_launches = kernel_launches - earlier.kernel_launches;
+  delta.h2d_transfers = h2d_transfers - earlier.h2d_transfers;
+  delta.d2h_transfers = d2h_transfers - earlier.d2h_transfers;
+  delta.p2p_transfers = p2p_transfers - earlier.p2p_transfers;
+  delta.h2d_bytes = h2d_bytes - earlier.h2d_bytes;
+  delta.d2h_bytes = d2h_bytes - earlier.d2h_bytes;
+  delta.p2p_bytes = p2p_bytes - earlier.p2p_bytes;
+  return delta;
+}
+
 Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
                    CpuSpec host, std::size_t worker_threads)
     : topology_(std::move(topology)),
@@ -93,6 +117,12 @@ Platform::Platform(std::vector<DeviceSpec> gpus, TopologyConfig topology,
                                                 dma, async_dma));
   }
   PublishSpecMetrics(host_);
+  device_counters_.resize(devices_.size());
+}
+
+const PlatformCounters& Platform::device_counters(int id) const {
+  ACCMG_REQUIRE(id >= 0 && id < num_devices(), "bad device id");
+  return device_counters_[static_cast<std::size_t>(id)];
 }
 
 Device& Platform::device(int id) {
@@ -122,6 +152,9 @@ double Platform::BillHostToDevice(int device_id, std::size_t bytes,
     end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.h2d_transfers;
     counters_.h2d_bytes += bytes;
+    auto& dev = device_counters_[static_cast<std::size_t>(device_id)];
+    ++dev.h2d_transfers;
+    dev.h2d_bytes += bytes;
   }
   RecordSimSpan([&] { return "h2d " + FormatBytes(bytes); },
                 trace::category::kTransfer, device_id, end, duration);
@@ -144,6 +177,9 @@ double Platform::BillDeviceToHost(int device_id, std::size_t bytes,
     end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.d2h_transfers;
     counters_.d2h_bytes += bytes;
+    auto& dev = device_counters_[static_cast<std::size_t>(device_id)];
+    ++dev.d2h_transfers;
+    dev.d2h_bytes += bytes;
   }
   RecordSimSpan([&] { return "d2h " + FormatBytes(bytes); },
                 trace::category::kTransfer, device_id, end, duration);
@@ -184,6 +220,12 @@ double Platform::BillDeviceToDevice(int src_device, int dst_device,
     end = clock_.ScheduleAfter(resources, duration, ready_at);
     ++counters_.p2p_transfers;
     counters_.p2p_bytes += bytes;
+    // P2P attribution: the source device owns the transfer. Jobs always
+    // exchange between their own devices, so either endpoint would do —
+    // the source matches how the DMA engine cost is carried.
+    auto& dev = device_counters_[static_cast<std::size_t>(src_device)];
+    ++dev.p2p_transfers;
+    dev.p2p_bytes += bytes;
   }
   RecordSimSpan(
       [&] {
@@ -266,6 +308,7 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch,
     end = clock_.ScheduleAfter(dev.compute_resource(), duration,
                                launch.ready_at);
     ++counters_.kernel_launches;
+    ++device_counters_[static_cast<std::size_t>(device_id)].kernel_launches;
   }
   if (end_s != nullptr) *end_s = end;
   RecordSimSpan(
@@ -288,6 +331,7 @@ std::size_t Platform::TotalPeakDeviceBytes() const {
 void Platform::ResetAccounting() {
   clock_.Reset();
   counters_ = PlatformCounters{};
+  for (auto& dev : device_counters_) dev = PlatformCounters{};
 }
 
 std::unique_ptr<Platform> MakeDesktopMachine(int num_gpus) {

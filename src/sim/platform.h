@@ -32,6 +32,12 @@ struct PlatformCounters {
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
   std::uint64_t p2p_bytes = 0;
+
+  PlatformCounters& operator+=(const PlatformCounters& other);
+  /// Element-wise difference (this - earlier); counters are monotonic, so
+  /// a snapshot delta over a window is exact.
+  PlatformCounters operator-(const PlatformCounters& earlier) const;
+  bool operator==(const PlatformCounters&) const = default;
 };
 
 class Platform {
@@ -52,6 +58,14 @@ class Platform {
   const SimClock& clock() const { return clock_; }
   ThreadPool& workers() { return workers_; }
   const PlatformCounters& counters() const { return counters_; }
+
+  /// Per-device attribution of the global counters: kernels and H2D/D2H
+  /// transfers count against the device they run on / move to or from, and
+  /// P2P transfers against the SOURCE device. When disjoint device subsets
+  /// are leased to different service jobs (service/arena.h), summing a
+  /// job's devices over a snapshot window therefore yields that job's exact
+  /// billed traffic — which is how RunReport bills in shared-platform mode.
+  const PlatformCounters& device_counters(int id) const;
 
   /// --- Copy engines (immediate data effect, simulated duration) ---
   /// Each call returns the transfer's simulated end time (or the current
@@ -123,6 +137,7 @@ class Platform {
   std::vector<SimClock::Resource> io_root_resources_;  // one per IO group
   ThreadPool workers_;
   PlatformCounters counters_;
+  std::vector<PlatformCounters> device_counters_;  // parallel to devices_
   /// Serializes clock scheduling + counter updates for Bill*/LaunchKernel.
   mutable std::mutex accounting_mutex_;
 };
