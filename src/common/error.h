@@ -44,6 +44,47 @@ class CompileError : public Error {
   using Error::Error;
 };
 
+/// An *injected* fault from the sim's fault-injection layer (sim/fault.h).
+/// Derives DeviceError so pre-existing DeviceError handlers keep working,
+/// while the recovery machinery (runtime/recovery.h) can distinguish
+/// injected faults (retryable) from genuine device bugs (not retryable).
+class FaultError : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+/// Injected transient transfer failure on an H2D/D2H/P2P DMA operation.
+class TransferError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// Injected transient kernel-launch failure.
+class KernelLaunchError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// A device died permanently (injected device loss, or every device of a
+/// lease is gone). Carries the id of the lost device; -1 when the error
+/// describes an exhausted device *set* rather than one device.
+class DeviceLostError : public FaultError {
+ public:
+  DeviceLostError(int device, std::string what)
+      : FaultError(std::move(what)), device_(device) {}
+  int device() const { return device_; }
+
+ private:
+  int device_ = -1;
+};
+
+/// A job exceeded its deadline (simulated-time budget checked by the
+/// executor, or wall-clock watchdog cancellation at the service layer).
+class JobTimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] void FailCheck(const char* file, int line, const char* expr,
                             const std::string& msg);

@@ -86,6 +86,11 @@ void ScanDirtyRuns(const std::uint8_t* dirty1, std::int64_t lo,
 
 }  // namespace
 
+void CommManager::RemoveDevice(int device) {
+  devices_.erase(std::remove(devices_.begin(), devices_.end(), device),
+                 devices_.end());
+}
+
 CommManager::CommManager(sim::Platform& platform, const ExecOptions& options,
                          std::vector<int> devices)
     : platform_(platform), options_(options), devices_(std::move(devices)) {}

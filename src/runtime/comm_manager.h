@@ -57,6 +57,10 @@ class CommManager {
   double RefreshHalos(ManagedArray& array, double ready_at = 0,
                       sim::Stream stream = sim::Stream::kDefault);
 
+  /// Drops a lost device from the participating set (executor device-set
+  /// shrink during fault recovery).
+  void RemoveDevice(int device);
+
   const CommStats& stats() const { return stats_; }
 
  private:

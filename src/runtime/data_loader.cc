@@ -170,6 +170,14 @@ double DataLoader::LoadDistributed(const ArrayRequirement& req,
   return end;
 }
 
+void DataLoader::RemoveDevice(int device) {
+  devices_.erase(std::remove(devices_.begin(), devices_.end(), device),
+                 devices_.end());
+  ACCMG_CHECK(!devices_.empty(),
+              "data loader lost its last device — the executor must fail the "
+              "offload before shrinking to an empty set");
+}
+
 bool DataLoader::IsParticipating(int device) const {
   for (int d : devices_) {
     if (d == device) return true;
@@ -255,17 +263,30 @@ double DataLoader::GatherToHost(ManagedArray& array, double ready_at) {
                              "' is host-only but the host copy is stale");
       break;
     case Placement::kReplicated: {
-      // Any valid replica is authoritative.
+      // Any valid replica is authoritative. Prefer replicas on devices the
+      // fault injector still considers alive, so a retried gather after a
+      // device loss reads a healthy copy instead of re-faulting on the dead
+      // one; the dead replica is only a last resort (and will surface a
+      // DeviceLostError that the caller escalates as typed data loss).
+      const sim::FaultInjector& faults = platform_.faults();
+      int pick = -1;
       for (int d = 0; d < array.num_shards(); ++d) {
         const DeviceShard& shard = array.shard(d);
-        if (shard.valid) {
-          end = platform_.CopyDeviceToHost(host, *shard.data, 0,
-                                           array.total_bytes(), ready_at);
-          array.set_host_valid(true);
-          ++stats_.gathers;
-          LoaderMetrics::Get().gathers.Add();
-          return end;
+        if (!shard.valid) continue;
+        if (pick < 0) pick = d;
+        if (!faults.armed() || faults.alive(d)) {
+          pick = d;
+          break;
         }
+      }
+      if (pick >= 0) {
+        const DeviceShard& shard = array.shard(pick);
+        end = platform_.CopyDeviceToHost(host, *shard.data, 0,
+                                         array.total_bytes(), ready_at);
+        array.set_host_valid(true);
+        ++stats_.gathers;
+        LoaderMetrics::Get().gathers.Add();
+        return end;
       }
       ACCMG_CHECK(false, "replicated array '" + array.name() +
                              "' has no valid replica to gather from");
@@ -299,10 +320,17 @@ double DataLoader::ScatterFromHost(ManagedArray& array, double ready_at) {
                     "'");
   const std::size_t elem = array.elem_size();
   const auto* host = static_cast<const std::byte*>(array.host_data());
+  const sim::FaultInjector& faults = platform_.faults();
   double end = platform_.clock().Now();
   for (int d = 0; d < array.num_shards(); ++d) {
     DeviceShard& shard = array.shard(d);
     if (shard.data == nullptr) continue;
+    if (faults.armed() && !faults.alive(d)) {
+      // The host copy is authoritative (REQUIRE above); a shard stranded on
+      // a dead device must not keep claiming validity.
+      shard.valid = false;
+      continue;
+    }
     end = std::max(
         end, platform_.CopyHostToDevice(
                  *shard.data, 0,

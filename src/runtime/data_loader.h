@@ -55,7 +55,14 @@ class DataLoader {
 
   /// Pushes the host copy to wherever the array currently lives on devices
   /// (update-device directive). Returns the last transfer's end time.
+  /// Shards on devices the fault injector reports dead are skipped and
+  /// invalidated (the host copy is authoritative here by contract).
   double ScatterFromHost(ManagedArray& array, double ready_at = 0);
+
+  /// Drops a lost device from the participating set (executor device-set
+  /// shrink during fault recovery). Subsequent loads partition over the
+  /// survivors only.
+  void RemoveDevice(int device);
 
   const LoaderStats& stats() const { return stats_; }
 

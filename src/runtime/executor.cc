@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "ir/exec.h"
+#include "runtime/recovery.h"
 #include "runtime/reduction.h"
 
 namespace accmg::runtime {
@@ -90,6 +91,16 @@ void Executor::FinishPendingComm() {
 
 void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
                           const ArrayResolver& resolve) {
+  CheckInterrupts();
+  if (platform_.faults().armed()) {
+    RunOffloadWithRecovery(offload, env, resolve);
+    return;
+  }
+  RunOffloadAttempt(offload, env, resolve);
+}
+
+void Executor::RunOffloadAttempt(const LoopOffload& offload, HostEnv& env,
+                                 const ArrayResolver& resolve) {
   if (validator_ == nullptr) {
     RunOffloadImpl(offload, env, resolve);
     return;
@@ -97,12 +108,112 @@ void Executor::RunOffload(const LoopOffload& offload, HostEnv& env,
   validator_->BeginOffload(offload, env, resolve);
   try {
     RunOffloadImpl(offload, env, resolve);
+  } catch (const FaultError&) {
+    // Injected faults belong to the recovery loop (rollback + retry), not
+    // to the validator, which would misreport them as divergences.
+    throw;
   } catch (const DeviceError& fault) {
     // On real hardware this is silent corruption; the simulator faults
     // loudly, and the validator attributes it to the running kernel.
     validator_->ReportFault(offload, fault);
   }
   validator_->CheckOffload(offload, env, resolve);
+}
+
+void Executor::CheckInterrupts() const {
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    throw JobTimeoutError("job cancelled by watchdog (wall-clock timeout)");
+  }
+  if (options_.deadline_sim_s > 0 &&
+      platform_.clock().Now() - run_start_sim_ > options_.deadline_sim_s) {
+    throw JobTimeoutError("simulated deadline of " +
+                          std::to_string(options_.deadline_sim_s) +
+                          "s exceeded");
+  }
+}
+
+void Executor::ShrinkDevices(const std::vector<int>& lost) {
+  for (int d : lost) {
+    devices_.erase(std::remove(devices_.begin(), devices_.end(), d),
+                   devices_.end());
+    loader_.RemoveDevice(d);
+    comm_.RemoveDevice(d);
+    if (validator_ != nullptr) validator_->RemoveDevice(d);
+    RecoveryMetrics::Get().device_shrinks.Add();
+    ACCMG_LOG(kWarn) << "device " << d
+                     << " lost; continuing on " << devices_.size()
+                     << " survivor(s)";
+  }
+  ACCMG_CHECK(!devices_.empty(),
+              "ShrinkDevices must leave at least one survivor");
+}
+
+void Executor::RunOffloadWithRecovery(const LoopOffload& offload,
+                                      HostEnv& env,
+                                      const ArrayResolver& resolve) {
+  auto& recovery = RecoveryMetrics::Get();
+  const sim::FaultInjector& faults = platform_.faults();
+
+  // Outstanding async communication belongs to earlier offloads; settle it
+  // so the checkpoint images a quiescent state.
+  FinishPendingComm();
+
+  OffloadCheckpoint checkpoint;
+  checkpoint.Capture(offload, env, resolve);
+
+  double backoff = options_.fault_backoff_s;
+  int transient_retries = 0;
+  for (;;) {
+    CheckInterrupts();
+    const std::uint64_t injected_before = faults.injected();
+    try {
+      RunOffloadAttempt(offload, env, resolve);
+      return;
+    } catch (const FaultError& fault) {
+      // Attribute this attempt's injected faults to exactly one recovery
+      // bucket below; the delta can be 0 when a dead device merely echoed
+      // its earlier loss.
+      const std::uint64_t delta = faults.injected() - injected_before;
+
+      // Roll back before deciding anything: partial writes from the failed
+      // attempt must never leak into the retry or the caller.
+      checkpoint.Restore(env);
+      ready_.clear();
+      pending_comm_end_ = platform_.clock().Now();
+
+      std::vector<int> lost;
+      for (int d : devices_) {
+        if (!faults.alive(d)) lost.push_back(d);
+      }
+      if (!lost.empty()) {
+        if (lost.size() == devices_.size()) {
+          recovery.failures.Add(delta);
+          throw DeviceLostError(lost.front(),
+                                "all participating devices lost during '" +
+                                    offload.name + "'");
+        }
+        // A device loss is handled by degrading, not by burning the
+        // transient retry budget: shrink onto the survivors and retry
+        // immediately — the restored host image repartitions cleanly.
+        recovery.degraded.Add(delta);
+        ShrinkDevices(lost);
+        continue;
+      }
+
+      if (transient_retries >= options_.fault_max_retries) {
+        recovery.failures.Add(delta);
+        throw;
+      }
+      recovery.retries.Add(delta);
+      recovery.retry_rounds.Add();
+      recovery.backoff_sim_seconds.Observe(backoff);
+      trace::Span span("retry:" + offload.name, "recovery");
+      platform_.clock().AddSerial(sim::TimeCategory::kOther, backoff);
+      backoff = std::min(backoff * 2, options_.fault_backoff_cap_s);
+      ++transient_retries;
+    }
+  }
 }
 
 void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,

@@ -42,8 +42,26 @@ class Executor {
   /// iteration space equally across the participating GPUs, loads data per
   /// placement policy, launches the kernels, and runs the communication
   /// manager. Scalar reduction results are written back into `env`.
+  ///
+  /// When the platform's fault injector is armed this runs under recovery
+  /// (docs/ROBUSTNESS.md): managed state is checkpointed at offload entry;
+  /// an injected FaultError rolls back and retries with capped exponential
+  /// backoff, a device loss shrinks the device set onto the survivors and
+  /// retries without consuming the budget, and only an exhausted budget or
+  /// the loss of every device escalates to the caller (typed FaultError /
+  /// DeviceLostError — never a hang).
   void RunOffload(const translator::LoopOffload& offload,
                   translator::HostEnv& env, const ArrayResolver& resolve);
+
+  /// Marks the start of one job's execution on the simulated clock;
+  /// ExecOptions::deadline_sim_s is measured from here. Call once before
+  /// interpreting a function (HostInterpreter::Run does).
+  void BeginRun() { run_start_sim_ = platform_.clock().Now(); }
+
+  /// Throws JobTimeoutError when the caller's cancel flag is set (service
+  /// watchdog) or the simulated deadline has passed. Checked at offload
+  /// entry, between recovery retry rounds, and per host statement.
+  void CheckInterrupts() const;
 
   /// Installs the inter-offload dependence graph of the function being
   /// interpreted (async pipeline only): communication after each offload is
@@ -75,6 +93,24 @@ class Executor {
   void RunOffloadImpl(const translator::LoopOffload& offload,
                       translator::HostEnv& env, const ArrayResolver& resolve);
 
+  /// Checkpoint/retry/degrade wrapper used when the fault injector is
+  /// armed. Attributes every injected fault to exactly one recovery.*
+  /// bucket (see runtime/recovery.h).
+  void RunOffloadWithRecovery(const translator::LoopOffload& offload,
+                              translator::HostEnv& env,
+                              const ArrayResolver& resolve);
+
+  /// One attempt of the offload, with the validator wrapped around it when
+  /// validation is on. Injected FaultErrors escape to the recovery loop;
+  /// genuine (non-injected) DeviceErrors still go to the validator.
+  void RunOffloadAttempt(const translator::LoopOffload& offload,
+                         translator::HostEnv& env,
+                         const ArrayResolver& resolve);
+
+  /// Drops lost devices from the executor, loader, comm manager and
+  /// validator. The remaining devices repartition on the next attempt.
+  void ShrinkDevices(const std::vector<int>& lost);
+
   /// Per-array readiness under the async pipeline. `bulk` is when the
   /// array's non-halo contents are safe to use (kernel completion plus any
   /// dirty-merge / miss-replay transfers); `halo` additionally covers an
@@ -96,6 +132,7 @@ class Executor {
   const DepGraph* depgraph_ = nullptr;
   std::unordered_map<const ManagedArray*, ArrayReady> ready_;
   double pending_comm_end_ = 0;
+  double run_start_sim_ = 0;  ///< deadline epoch, set by BeginRun()
 };
 
 }  // namespace accmg::runtime

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/trace.h"
 #include "frontend/sema.h"
+#include "runtime/recovery.h"
 #include "translator/type_map.h"
 
 namespace accmg::runtime {
@@ -177,11 +178,16 @@ RunReport HostInterpreter::Run() {
   // instead of resetting we snapshot and bill deltas (see RunConfig).
   const bool shared = runner_.config_.shared_platform;
   sim::TimeBreakdown time_before;
+  // Billing is keyed on the ORIGINAL lease: fault recovery may shrink the
+  // executor's device set mid-run, and a dead device's counters stopped
+  // advancing at its death, so the full-lease delta stays exact.
+  std::vector<int> lease_devices;
   std::vector<sim::PlatformCounters> device_before;
   if (shared) {
     time_before = platform.clock().breakdown();
     if (gpu_ != nullptr) {
-      for (const int d : gpu_->devices()) {
+      lease_devices = gpu_->devices();
+      for (const int d : lease_devices) {
         device_before.push_back(platform.device_counters(d));
       }
     }
@@ -189,6 +195,7 @@ RunReport HostInterpreter::Run() {
     platform.ResetAccounting();
   }
   report_ = RunReport{};
+  if (gpu_ != nullptr) gpu_->BeginRun();
 
   // Bind parameters.
   for (const auto& param : fn_.function->params) {
@@ -228,10 +235,9 @@ RunReport HostInterpreter::Run() {
     // Per-device deltas over the lease: exact billing even while other
     // jobs run on the remaining devices (sim::Platform::device_counters).
     if (gpu_ != nullptr) {
-      const std::vector<int>& devices = gpu_->devices();
-      for (std::size_t i = 0; i < devices.size(); ++i) {
+      for (std::size_t i = 0; i < lease_devices.size(); ++i) {
         report_.counters +=
-            platform.device_counters(devices[i]) - device_before[i];
+            platform.device_counters(lease_devices[i]) - device_before[i];
       }
     }
   } else {
@@ -251,6 +257,11 @@ RunReport HostInterpreter::Run() {
 }
 
 HostInterpreter::Flow HostInterpreter::ExecStmt(const Stmt& stmt) {
+  // Per-statement interrupt point: a watchdog cancel or an expired
+  // simulated deadline surfaces here as JobTimeoutError even when the
+  // program never offloads again.
+  if (gpu_ != nullptr) gpu_->CheckInterrupts();
+
   // 1. Directives that wrap or precede the statement.
   std::vector<RegionEntry> region;
   bool has_data_region = false;
@@ -497,7 +508,7 @@ void HostInterpreter::RunOffloadStmt(const frontend::ForStmt& loop,
       double end = runner_.config_.platform->clock().Now();
       for (const VarDecl* decl : implicit) {
         ManagedArray& array = *managed_[decl->id];
-        end = std::max(end, gpu_->loader().GatherToHost(array));
+        end = std::max(end, GuardedGather(array));
         array.DropDeviceState();
         managed_.erase(decl->id);
       }
@@ -508,7 +519,7 @@ void HostInterpreter::RunOffloadStmt(const frontend::ForStmt& loop,
   }
   for (const VarDecl* decl : implicit) {
     ManagedArray& array = *managed_[decl->id];
-    gpu_->loader().GatherToHost(array);
+    GuardedGather(array);
     array.DropDeviceState();
     managed_.erase(decl->id);
   }
@@ -558,7 +569,7 @@ void HostInterpreter::ExitDataRegion(const std::vector<RegionEntry>& entries) {
     ManagedArray& array = Managed(*entry.decl);
     if (entry.clause == DataClauseKind::kCopy ||
         entry.clause == DataClauseKind::kCopyOut) {
-      end = std::max(end, gpu_->loader().GatherToHost(array));
+      end = std::max(end, GuardedGather(array));
     }
     array.DropDeviceState();
     managed_.erase(entry.decl->id);
@@ -593,7 +604,7 @@ void HostInterpreter::ExitDataUnstructured(const Directive& directive) {
                     "exit data: '" + section.name +
                         "' is not in any data region");
       if (clause.kind == frontend::DataClauseKind::kCopyOut) {
-        end = std::max(end, gpu_->loader().GatherToHost(*array));
+        end = std::max(end, GuardedGather(*array));
       }
       array->DropDeviceState();
       managed_.erase(decl->id);
@@ -618,9 +629,9 @@ void HostInterpreter::ApplyUpdate(const Directive& directive) {
       ManagedArray* array = FindManaged(*decl);
       if (array == nullptr) continue;  // not on any device: nothing to move
       if (update.to_host) {
-        end = std::max(end, gpu_->loader().GatherToHost(*array));
+        end = std::max(end, GuardedGather(*array));
       } else {
-        end = std::max(end, gpu_->loader().ScatterFromHost(*array));
+        end = std::max(end, GuardedScatter(*array));
       }
     }
   }
@@ -645,7 +656,7 @@ void HostInterpreter::SyncForHostAccess(const Stmt& stmt) {
     if (!array->host_valid()) {
       // First gather is a host synchronization point under the pipeline.
       if (!moved && AsyncPipeline()) gpu_->FinishPendingComm();
-      end = std::max(end, gpu_->loader().GatherToHost(*array));
+      end = std::max(end, GuardedGather(*array));
       moved = true;
     }
   }
@@ -666,6 +677,24 @@ void HostInterpreter::SyncForHostAccess(const Stmt& stmt) {
       runner_.config_.platform->Barrier(sim::TimeCategory::kCpuGpu);
     }
   }
+}
+
+double HostInterpreter::GuardedGather(ManagedArray& array) {
+  sim::Platform& platform = *runner_.config_.platform;
+  if (!platform.faults().armed()) {
+    return gpu_->loader().GatherToHost(array);
+  }
+  return RetryTransfer(platform, gpu_->options(), "gather",
+                       [&] { return gpu_->loader().GatherToHost(array); });
+}
+
+double HostInterpreter::GuardedScatter(ManagedArray& array) {
+  sim::Platform& platform = *runner_.config_.platform;
+  if (!platform.faults().armed()) {
+    return gpu_->loader().ScatterFromHost(array);
+  }
+  return RetryTransfer(platform, gpu_->options(), "scatter",
+                       [&] { return gpu_->loader().ScatterFromHost(array); });
 }
 
 void HostInterpreter::UpdateMemoryPeaks() {

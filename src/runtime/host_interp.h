@@ -50,6 +50,14 @@ class HostInterpreter {
   /// the host, and invalidate device copies the statement will overwrite.
   void SyncForHostAccess(const frontend::Stmt& stmt);
 
+  /// GatherToHost / ScatterFromHost with the fault-retry policy wrapped
+  /// around them when the injector is armed (runtime/recovery.h). These
+  /// transfers run outside any offload, so the executor's checkpoint loop
+  /// doesn't cover them; they are idempotent (billing precedes the memcpy)
+  /// and therefore safe to re-issue as-is.
+  double GuardedGather(ManagedArray& array);
+  double GuardedScatter(ManagedArray& array);
+
   void UpdateMemoryPeaks();
 
   /// True when the GPU executor runs the dependence-driven async pipeline.

@@ -1,5 +1,8 @@
 #include "runtime/managed_array.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/error.h"
 
 namespace accmg::runtime {
@@ -72,6 +75,35 @@ void DeviceShard::Release() {
 void ManagedArray::DropDeviceState() {
   for (auto& shard : shards_) shard.Release();
   placement_ = Placement::kHostOnly;
+}
+
+void ManagedArray::SnapshotAuthoritative(std::byte* out) const {
+  std::memcpy(out, host_data_, total_bytes());
+  if (host_valid_) return;
+  const std::size_t esize = elem_size();
+  if (placement_ == Placement::kDistributed) {
+    for (const DeviceShard& shard : shards_) {
+      if (!shard.valid || shard.data == nullptr) continue;
+      const Range overlay{std::max(shard.owned.lo, shard.loaded.lo),
+                          std::min(shard.owned.hi, shard.loaded.hi)};
+      if (overlay.empty()) continue;
+      std::memcpy(out + overlay.lo * static_cast<std::int64_t>(esize),
+                  shard.data->bytes().data() +
+                      (overlay.lo - shard.loaded.lo) *
+                          static_cast<std::int64_t>(esize),
+                  static_cast<std::size_t>(overlay.size()) * esize);
+    }
+  } else {
+    for (const DeviceShard& shard : shards_) {
+      if (!shard.valid || shard.data == nullptr || shard.loaded.empty()) {
+        continue;
+      }
+      std::memcpy(out + shard.loaded.lo * static_cast<std::int64_t>(esize),
+                  shard.data->bytes().data(),
+                  static_cast<std::size_t>(shard.loaded.size()) * esize);
+      break;  // any one valid replica is authoritative
+    }
+  }
 }
 
 }  // namespace accmg::runtime

@@ -98,6 +98,15 @@ class ManagedArray {
   /// (does NOT copy anything back — callers gather first when needed).
   void DropDeviceState();
 
+  /// Writes the authoritative full-array image into `out` (total_bytes()
+  /// long): the host bytes, overlaid — when the host image is stale — with
+  /// the valid owner segments (distributed) or any one valid replica
+  /// (replicated). Reads device buffers directly, so it never perturbs
+  /// billed counters or the simulated clock; this is what both the
+  /// validator's golden pre-image and the executor's recovery checkpoint
+  /// are built from.
+  void SnapshotAuthoritative(std::byte* out) const;
+
  private:
   std::string name_;
   ir::ValType elem_;

@@ -1,6 +1,7 @@
 // Tunables of the multi-GPU runtime.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -64,6 +65,29 @@ struct ExecOptions {
   /// and the golden run, so float reductions are only reproducible up to
   /// rounding. Non-reduction stores are compared bit-exactly.
   double validate_rel_tol = 1e-5;
+
+  /// Fault recovery (docs/ROBUSTNESS.md): how many times one offload (or one
+  /// guarded transfer) may be retried after a transient injected fault before
+  /// the fault escalates to the caller. Device losses do not consume retries
+  /// — they trigger a device-set shrink instead.
+  int fault_max_retries = 3;
+
+  /// Initial retry backoff in simulated seconds; doubles per retry round up
+  /// to fault_backoff_cap_s. Billed on the simulated clock (kOther) so
+  /// recovery latency is visible in traces and bench output.
+  double fault_backoff_s = 1e-4;
+  double fault_backoff_cap_s = 1e-2;
+
+  /// Per-job deadline in simulated seconds (0 = none). When the simulated
+  /// clock advances past start + deadline, the executor throws
+  /// JobTimeoutError at the next interrupt check — offload entry, retry
+  /// round, or host statement boundary.
+  double deadline_sim_s = 0;
+
+  /// Cooperative cancellation flag owned by the caller (the service watchdog
+  /// sets it on wall-clock timeout). Checked at the same interrupt points as
+  /// the deadline; null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace accmg::runtime

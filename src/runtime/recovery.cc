@@ -1,0 +1,92 @@
+#include "runtime/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/trace.h"
+#include "sim/clock.h"
+
+namespace accmg::runtime {
+
+RecoveryMetrics& RecoveryMetrics::Get() {
+  auto& reg = metrics::Registry::Global();
+  static RecoveryMetrics m{
+      reg.counter("recovery.retries"),
+      reg.counter("recovery.degraded"),
+      reg.counter("recovery.failures"),
+      reg.counter("recovery.retry_rounds"),
+      reg.counter("recovery.device_shrinks"),
+      reg.counter("recovery.checkpoints"),
+      reg.counter("recovery.rollbacks"),
+      reg.histogram("recovery.backoff_sim_seconds"),
+  };
+  return m;
+}
+
+void OffloadCheckpoint::Capture(const translator::LoopOffload& offload,
+                                translator::HostEnv& env,
+                                const ArrayResolver& resolve) {
+  arrays_.clear();
+  scalar_reds_.clear();
+  for (const auto& config : offload.arrays) {
+    ManagedArray& array = resolve(*config.decl);
+    ArrayImage image;
+    image.array = &array;
+    image.bytes.resize(array.total_bytes());
+    array.SnapshotAuthoritative(image.bytes.data());
+    arrays_.push_back(std::move(image));
+  }
+  for (const auto& red : offload.scalar_reds) {
+    scalar_reds_.push_back({red.decl, env.GetScalar(*red.decl)});
+  }
+  RecoveryMetrics::Get().checkpoints.Add();
+}
+
+void OffloadCheckpoint::Restore(translator::HostEnv& env) const {
+  for (const auto& image : arrays_) {
+    ManagedArray& array = *image.array;
+    std::memcpy(array.host_data(), image.bytes.data(), image.bytes.size());
+    // Dropping all shards (even valid survivors) is what makes restore
+    // simple and always correct: the retry reloads every participant from
+    // the restored host image, so no stale partial writes can linger on a
+    // device that ran part of the faulted attempt.
+    array.DropDeviceState();
+    array.set_host_valid(true);
+  }
+  for (const auto& scalar : scalar_reds_) {
+    env.SetScalar(*scalar.decl, scalar.value);
+  }
+  RecoveryMetrics::Get().rollbacks.Add();
+}
+
+double RetryTransfer(sim::Platform& platform, const ExecOptions& options,
+                     const char* what, const std::function<double()>& op) {
+  auto& recovery = RecoveryMetrics::Get();
+  const sim::FaultInjector& faults = platform.faults();
+  double backoff = options.fault_backoff_s;
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t injected_before = faults.injected();
+    try {
+      return op();
+    } catch (const FaultError& fault) {
+      // DeviceLostError is retryable here too: the transfer is idempotent
+      // (billing precedes the memcpy) and a retried gather prefers replicas
+      // on alive devices, so losing one source mid-gather is survivable.
+      const std::uint64_t delta = faults.injected() - injected_before;
+      if (attempt >= options.fault_max_retries) {
+        recovery.failures.Add(delta);
+        throw;
+      }
+      recovery.retries.Add(delta);
+      recovery.retry_rounds.Add();
+      recovery.backoff_sim_seconds.Observe(backoff);
+      trace::Span span(std::string("retry:") + what, "recovery");
+      platform.clock().AddSerial(sim::TimeCategory::kOther, backoff);
+      backoff = std::min(backoff * 2, options.fault_backoff_cap_s);
+    }
+  }
+}
+
+}  // namespace accmg::runtime

@@ -1,0 +1,97 @@
+// Fault recovery for the multi-GPU executor (docs/ROBUSTNESS.md).
+//
+// Three pieces the executor and host interpreter share:
+//
+//  * RecoveryMetrics — the recovery.* registry counters. Every injected
+//    fault is attributed to exactly one of retries / degraded / failures
+//    at the catch point that handles it (delta accounting against
+//    FaultInjector::injected()), so the acceptance identity
+//      fault.injected == recovery.retries + recovery.degraded
+//                        + recovery.failures
+//    holds at all times.
+//
+//  * OffloadCheckpoint — the managed-state image an offload is rolled back
+//    to before a retry: the authoritative bytes of every array the offload
+//    touches (via ManagedArray::SnapshotAuthoritative — direct memory
+//    reads, billing-neutral) plus the pre-loop values of scalar reduction
+//    variables (RunOffloadImpl writes them into the host env before the
+//    fault can be detected). Restore drops all device state, so the retry
+//    re-loads from the restored host image — which is also what makes a
+//    retry after a device loss correct: the dead device's shards are gone
+//    and the survivors reload their (re)partitioned segments from host.
+//
+//  * RetryTransfer — wraps an idempotent host<->device transfer (gathers
+//    and scatters issued by the host interpreter outside any offload) in
+//    the same capped-exponential-backoff retry loop the executor uses for
+//    whole offloads. The wrapped op must be restartable as-is: Copy* bills
+//    (and injects) before moving bytes, so a faulted transfer leaves the
+//    destination untouched, and GatherToHost prefers replicas on alive
+//    devices — which is why even a DeviceLostError is worth retrying here.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "runtime/managed_array.h"
+#include "runtime/options.h"
+#include "runtime/validator.h"
+#include "sim/platform.h"
+#include "translator/eval.h"
+#include "translator/offload.h"
+
+namespace accmg::runtime {
+
+struct RecoveryMetrics {
+  metrics::Counter& retries;        ///< injected faults absorbed by a retry
+  metrics::Counter& degraded;       ///< injected faults absorbed by a shrink
+  metrics::Counter& failures;       ///< injected faults escalated to caller
+  metrics::Counter& retry_rounds;   ///< retry attempts performed
+  metrics::Counter& device_shrinks; ///< devices dropped from live sets
+  metrics::Counter& checkpoints;    ///< offload checkpoints captured
+  metrics::Counter& rollbacks;      ///< checkpoint restores performed
+  metrics::Histogram& backoff_sim_seconds;
+
+  static RecoveryMetrics& Get();
+};
+
+/// Pre-offload image of everything RunOffloadImpl may have mutated by the
+/// time a fault surfaces. Captured once per offload; Restore may run any
+/// number of times and always returns to the captured state.
+class OffloadCheckpoint {
+ public:
+  /// Snapshots the authoritative bytes of every array in `offload.arrays`
+  /// and the current values of its scalar reduction variables.
+  void Capture(const translator::LoopOffload& offload,
+               translator::HostEnv& env, const ArrayResolver& resolve);
+
+  /// Rolls managed state back: authoritative bytes into the host image,
+  /// all device shards dropped (placement -> kHostOnly, host valid), and
+  /// scalar reduction variables reset in `env`. The next attempt reloads
+  /// devices from the restored host copy.
+  void Restore(translator::HostEnv& env) const;
+
+ private:
+  struct ArrayImage {
+    ManagedArray* array = nullptr;
+    std::vector<std::byte> bytes;
+  };
+  struct ScalarImage {
+    const frontend::VarDecl* decl = nullptr;
+    translator::TypedValue value;
+  };
+
+  std::vector<ArrayImage> arrays_;
+  std::vector<ScalarImage> scalar_reds_;
+};
+
+/// Runs `op` (returning a simulated end time) under the fault-retry policy
+/// of `options`: on FaultError, bills exponential backoff on the simulated
+/// clock and retries up to options.fault_max_retries times before
+/// escalating. Attributes every injected fault to recovery.retries or
+/// recovery.failures (delta accounting). `what` labels trace/log output.
+double RetryTransfer(sim::Platform& platform, const ExecOptions& options,
+                     const char* what, const std::function<double()>& op);
+
+}  // namespace accmg::runtime

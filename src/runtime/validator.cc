@@ -173,11 +173,10 @@ void Validator::BeginOffload(const LoopOffload& offload, HostEnv& env,
                          : dest.count() - red_lower_[r];
   }
 
-  // Authoritative pre-image of every touched array. Base layer: the host
-  // bytes. When the host image is stale the current truth lives on devices —
-  // the full loaded range of any valid replica, or the union of valid owner
-  // segments under distribution. Reads go straight to the underlying buffer
-  // storage (no platform copy): capturing must not perturb billing.
+  // Authoritative pre-image of every touched array: host bytes overlaid
+  // with the valid device truth (ManagedArray::SnapshotAuthoritative).
+  // Reads go straight to the underlying buffer storage (no platform copy):
+  // capturing must not perturb billing.
   arrays_.clear();
   arrays_.reserve(offload.arrays.size());
   for (const auto& config : offload.arrays) {
@@ -185,40 +184,14 @@ void Validator::BeginOffload(const LoopOffload& offload, HostEnv& env,
     GoldenArray golden;
     golden.config = &config;
     golden.bytes.resize(array.total_bytes());
-    std::memcpy(golden.bytes.data(), array.host_data(), array.total_bytes());
-    const std::size_t esize = array.elem_size();
-    if (!array.host_valid()) {
-      if (array.placement() == Placement::kDistributed) {
-        for (int d = 0; d < array.num_shards(); ++d) {
-          const DeviceShard& shard = array.shard(d);
-          if (!shard.valid || shard.data == nullptr) continue;
-          const Range overlay{std::max(shard.owned.lo, shard.loaded.lo),
-                              std::min(shard.owned.hi, shard.loaded.hi)};
-          if (overlay.empty()) continue;
-          std::memcpy(
-              golden.bytes.data() + overlay.lo * static_cast<std::int64_t>(
-                                                     esize),
-              shard.data->bytes().data() +
-                  (overlay.lo - shard.loaded.lo) *
-                      static_cast<std::int64_t>(esize),
-              static_cast<std::size_t>(overlay.size()) * esize);
-        }
-      } else {
-        for (int d = 0; d < array.num_shards(); ++d) {
-          const DeviceShard& shard = array.shard(d);
-          if (!shard.valid || shard.data == nullptr || shard.loaded.empty()) {
-            continue;
-          }
-          std::memcpy(golden.bytes.data() +
-                          shard.loaded.lo * static_cast<std::int64_t>(esize),
-                      shard.data->bytes().data(),
-                      static_cast<std::size_t>(shard.loaded.size()) * esize);
-          break;  // any one valid replica is authoritative
-        }
-      }
-    }
+    array.SnapshotAuthoritative(golden.bytes.data());
     arrays_.push_back(std::move(golden));
   }
+}
+
+void Validator::RemoveDevice(int device) {
+  devices_.erase(std::remove(devices_.begin(), devices_.end(), device),
+                 devices_.end());
 }
 
 void Validator::CheckOffload(const LoopOffload& offload, HostEnv& env,

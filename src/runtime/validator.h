@@ -67,6 +67,11 @@ class Validator {
   [[noreturn]] void ReportFault(const translator::LoopOffload& offload,
                                 const std::exception& fault);
 
+  /// Drops a lost device from the diff set (executor device-set shrink
+  /// during fault recovery): its shards no longer participate, so checking
+  /// them — or requiring written-array validity on them — would be wrong.
+  void RemoveDevice(int device);
+
   const ValidatorStats& stats() const { return stats_; }
 
  private:

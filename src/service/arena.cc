@@ -14,12 +14,18 @@ struct ArenaMetrics {
   metrics::Counter& leases;
   metrics::Histogram& wait_seconds;
   metrics::Gauge& devices_busy;
+  metrics::Gauge& dead_devices;
+  metrics::Gauge& quarantined;
+  metrics::Counter& lease_timeouts;
 
   static ArenaMetrics& Get() {
     static ArenaMetrics m{
         metrics::Registry::Global().counter("service.arena.leases"),
         metrics::Registry::Global().histogram("service.arena.wait_seconds"),
         metrics::Registry::Global().gauge("service.arena.devices_busy"),
+        metrics::Registry::Global().gauge("service.arena.dead_devices"),
+        metrics::Registry::Global().gauge("service.arena.quarantined"),
+        metrics::Registry::Global().counter("service.arena.lease_timeouts"),
     };
     return m;
   }
@@ -30,6 +36,8 @@ struct ArenaMetrics {
 DeviceArena::DeviceArena(int num_devices) {
   ACCMG_REQUIRE(num_devices >= 1, "arena needs at least one device");
   busy_.assign(static_cast<std::size_t>(num_devices), false);
+  dead_.assign(static_cast<std::size_t>(num_devices), false);
+  quarantine_.assign(static_cast<std::size_t>(num_devices), 0);
 }
 
 DeviceArena::Lease::Lease(Lease&& other) noexcept
@@ -57,32 +65,71 @@ void DeviceArena::Lease::Release() {
 }
 
 DeviceArena::Lease DeviceArena::Acquire(int count) {
+  return AcquireInternal(count, /*bounded=*/false, {});
+}
+
+DeviceArena::Lease DeviceArena::Acquire(int count,
+                                        std::chrono::milliseconds timeout) {
+  return AcquireInternal(count, /*bounded=*/true,
+                         std::chrono::steady_clock::now() + timeout);
+}
+
+DeviceArena::Lease DeviceArena::AcquireInternal(
+    int count, bool bounded, std::chrono::steady_clock::time_point deadline) {
   ACCMG_REQUIRE(count >= 1 && count <= num_devices(),
                 "lease size out of range for the arena");
   const auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mutex_);
   const std::uint64_t ticket = next_ticket_++;
-  turn_or_free_.wait(lock, [&] {
-    return serving_ == ticket &&
-           static_cast<int>(std::count(busy_.begin(), busy_.end(), false)) >=
-               count;
-  });
+  for (;;) {
+    if (count > HealthyLocked()) {
+      // The healthy set only shrinks — this request can never be granted.
+      AbandonLocked(ticket);
+      turn_or_free_.notify_all();
+      throw DeviceError("lease of " + std::to_string(count) +
+                        " device(s) exceeds the " +
+                        std::to_string(HealthyLocked()) +
+                        " still-healthy device(s)");
+    }
+    if (serving_ == ticket && SelectableLocked() >= count) break;
+    if (bounded) {
+      if (turn_or_free_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        if (serving_ == ticket && SelectableLocked() >= count) break;
+        AbandonLocked(ticket);
+        ArenaMetrics::Get().lease_timeouts.Add();
+        turn_or_free_.notify_all();
+        return Lease{};
+      }
+    } else {
+      turn_or_free_.wait(lock);
+    }
+  }
 
+  // Grant pass 1: free, alive and trusted; pass 2 tops up from quarantined
+  // devices so probation can never leave a satisfiable request waiting.
   std::vector<int> devices;
   devices.reserve(static_cast<std::size_t>(count));
-  for (std::size_t d = 0; d < busy_.size() && devices.size() <
-                                                  static_cast<std::size_t>(count);
-       ++d) {
-    if (!busy_[d]) {
+  for (const bool allow_quarantined : {false, true}) {
+    for (std::size_t d = 0;
+         d < busy_.size() && devices.size() < static_cast<std::size_t>(count);
+         ++d) {
+      if (busy_[d] || dead_[d]) continue;
+      if (!allow_quarantined && quarantine_[d] > 0) continue;
+      if (allow_quarantined && quarantine_[d] > 0) --quarantine_[d];
       busy_[d] = true;
       devices.push_back(static_cast<int>(d));
     }
   }
+  std::sort(devices.begin(), devices.end());
   ++serving_;
+  AdvanceServingLocked();
   ++leases_granted_;
   ArenaMetrics::Get().leases.Add();
   ArenaMetrics::Get().devices_busy.Set(static_cast<double>(
       std::count(busy_.begin(), busy_.end(), true)));
+  ArenaMetrics::Get().quarantined.Set(static_cast<double>(std::count_if(
+      quarantine_.begin(), quarantine_.end(), [](int q) { return q > 0; })));
   lock.unlock();
   // The next ticket may already be satisfiable with the devices we left.
   turn_or_free_.notify_all();
@@ -92,6 +139,56 @@ DeviceArena::Lease DeviceArena::Acquire(int count) {
                                     wait_start)
           .count());
   return Lease(this, std::move(devices));
+}
+
+void DeviceArena::MarkDead(int device) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (device < 0 || device >= num_devices()) return;
+    const auto d = static_cast<std::size_t>(device);
+    if (dead_[d]) return;
+    dead_[d] = true;
+    quarantine_[d] = 0;
+    ArenaMetrics::Get().dead_devices.Set(static_cast<double>(
+        std::count(dead_.begin(), dead_.end(), true)));
+  }
+  // Waiters whose requests exceed the new healthy count must fail fast.
+  turn_or_free_.notify_all();
+}
+
+void DeviceArena::MarkSuspect(int device, int probation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= num_devices()) return;
+  const auto d = static_cast<std::size_t>(device);
+  if (dead_[d]) return;
+  quarantine_[d] = std::max(quarantine_[d], probation);
+  ArenaMetrics::Get().quarantined.Set(static_cast<double>(std::count_if(
+      quarantine_.begin(), quarantine_.end(), [](int q) { return q > 0; })));
+}
+
+int DeviceArena::HealthyLocked() const {
+  return static_cast<int>(std::count(dead_.begin(), dead_.end(), false));
+}
+
+int DeviceArena::SelectableLocked() const {
+  int n = 0;
+  for (std::size_t d = 0; d < busy_.size(); ++d) {
+    if (!busy_[d] && !dead_[d]) ++n;
+  }
+  return n;
+}
+
+void DeviceArena::AbandonLocked(std::uint64_t ticket) {
+  if (serving_ == ticket) {
+    ++serving_;
+    AdvanceServingLocked();
+  } else {
+    abandoned_.insert(ticket);
+  }
+}
+
+void DeviceArena::AdvanceServingLocked() {
+  while (abandoned_.erase(serving_) > 0) ++serving_;
 }
 
 void DeviceArena::Release(const std::vector<int>& devices) {
@@ -107,6 +204,22 @@ void DeviceArena::Release(const std::vector<int>& devices) {
 int DeviceArena::free_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(std::count(busy_.begin(), busy_.end(), false));
+}
+
+int DeviceArena::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HealthyLocked();
+}
+
+int DeviceArena::busy_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(std::count(busy_.begin(), busy_.end(), true));
+}
+
+bool DeviceArena::alive(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (device < 0 || device >= num_devices()) return false;
+  return !dead_[static_cast<std::size_t>(device)];
 }
 
 }  // namespace accmg::service

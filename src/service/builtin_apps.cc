@@ -85,6 +85,10 @@ JobRequest MakeMdJob(const AppJobOptions& options,
   request.source = SaltedSource(apps::MdSource(), options.source_salt);
   request.bind = [state](runtime::ProgramRunner& runner) {
     const apps::MdInput& in = state->input;
+    // Bind runs once per execution attempt: reset the outputs so a job
+    // retried after a fault starts from pristine state, not from the
+    // failed attempt's partial writes.
+    state->force.assign(state->force.size(), 0.0f);
     runner.BindArray("pos", const_cast<float*>(in.pos.data()),
                      ir::ValType::kF32,
                      static_cast<std::int64_t>(in.pos.size()));
@@ -138,6 +142,12 @@ JobRequest MakeKmeansJob(const AppJobOptions& options,
   request.source = SaltedSource(apps::KmeansSource(), options.source_salt);
   request.bind = [state](runtime::ProgramRunner& runner) {
     const apps::KmeansInput& in = state->input;
+    // Reset per-attempt state: kmeans iterates over its own outputs, so a
+    // faulted attempt's partial centroids would poison a retry.
+    state->centroids = in.centroids;
+    state->membership.assign(state->membership.size(), 0);
+    state->sums.assign(state->sums.size(), 0.0f);
+    state->counts.assign(state->counts.size(), 0);
     runner.BindArray("features", const_cast<float*>(in.features.data()),
                      ir::ValType::kF32,
                      static_cast<std::int64_t>(in.features.size()));
@@ -190,6 +200,11 @@ JobRequest MakeBfsJob(const AppJobOptions& options,
   request.source = SaltedSource(apps::BfsSource(), options.source_salt);
   request.bind = [state](runtime::ProgramRunner& runner) {
     const apps::BfsInput& in = state->input;
+    // Reset per-attempt state: the frontier expansion reads `cost` back,
+    // so a retry must restart from the unvisited graph.
+    state->cost.assign(state->cost.size(), -1);
+    state->cost[static_cast<std::size_t>(in.source)] = 0;
+    state->flag = 0;
     runner.BindArray("offsets", const_cast<std::int32_t*>(in.offsets.data()),
                      ir::ValType::kI32,
                      static_cast<std::int64_t>(in.offsets.size()));
@@ -234,6 +249,7 @@ JobRequest MakeSpmvJob(const AppJobOptions& options,
   request.source = SaltedSource(apps::SpmvSource(), options.source_salt);
   request.bind = [state](runtime::ProgramRunner& runner) {
     const apps::SpmvInput& in = state->input;
+    state->y.assign(state->y.size(), 0.0f);  // idempotent across retries
     runner.BindArray("values", const_cast<float*>(in.values.data()),
                      ir::ValType::kF32,
                      static_cast<std::int64_t>(in.values.size()));

@@ -8,6 +8,7 @@
 // own it (see tools/accmgc_serve.cc).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -37,11 +38,22 @@ struct JobRequest {
 
   int gpus = 1;  ///< device-lease size requested from the arena
 
+  /// Wall-clock deadline in milliseconds, measured from submission
+  /// (0 = the service default, negative = none). Covers queue wait, lease
+  /// wait and execution: an expired queued job fails without running, and
+  /// the watchdog cancels an expired running job (JobTimeoutError,
+  /// error_kind "timeout").
+  double deadline_ms = 0;
+
   translator::CompileOptions compile_options;
   runtime::ExecOptions exec_options;
 
   /// Binds host arrays/scalars to the runner. Called on a worker thread
-  /// after compile and device-lease acquisition, before Run().
+  /// after compile and device-lease acquisition, before Run(). Called
+  /// once per execution *attempt* — a job re-run after a fault binds
+  /// again — so it must be idempotent: (re)establish the attempt's
+  /// initial host state rather than assuming pristine buffers (a failed
+  /// attempt may have left partial writes behind).
   std::function<void(runtime::ProgramRunner&)> bind;
 
   /// Optional: runs on the worker thread right after the job reaches
@@ -59,6 +71,11 @@ struct JobResult {
   runtime::RunReport report;
   std::string trace_path;  ///< per-job Chrome trace, when exported
   std::string error;       ///< non-empty iff state == kFailed
+  /// Failure class when state == kFailed: "fault" (injected transfer or
+  /// kernel fault that exhausted the retry budget), "device_lost",
+  /// "timeout" (deadline or watchdog), "compile", or "internal".
+  std::string error_kind;
+  int retries = 0;  ///< service-level re-runs this job consumed
 };
 
 /// A request admitted into the queue, with its service-assigned identity
@@ -67,6 +84,14 @@ struct QueuedJob {
   int id = -1;
   std::string program_key;
   JobRequest request;
+  /// Absolute wall-clock deadline resolved at submission (see
+  /// JobRequest::deadline_ms); meaningful only when has_deadline.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool ExpiredBy(std::chrono::steady_clock::time_point now) const {
+    return has_deadline && now >= deadline;
+  }
 };
 
 }  // namespace accmg::service

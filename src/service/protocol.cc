@@ -30,6 +30,16 @@ bool ParseJobId(const std::vector<std::string>& tokens, Request& request) {
   }
 }
 
+bool ParseTimeoutMs(const std::string& token, Request& request) {
+  try {
+    std::size_t used = 0;
+    request.timeout_ms = std::stod(token, &used);
+    return used == token.size() && request.timeout_ms >= 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 Request ParseRequest(const std::string& line) {
@@ -57,9 +67,20 @@ Request ParseRequest(const std::string& line) {
   if (verb == "status" || verb == "result") {
     request.kind =
         verb == "status" ? Request::Kind::kStatus : Request::Kind::kResult;
-    if (!ParseJobId(tokens, request)) {
+    // `result <id> [timeout-ms]` takes an optional bounded wait.
+    std::vector<std::string> id_tokens = tokens;
+    if (verb == "result" && tokens.size() == 3) {
+      id_tokens.pop_back();
+      if (!ParseTimeoutMs(tokens[2], request)) {
+        request.kind = Request::Kind::kInvalid;
+        request.error = "usage: result <job-id> [timeout-ms]";
+        return request;
+      }
+    }
+    if (!ParseJobId(id_tokens, request)) {
       request.kind = Request::Kind::kInvalid;
-      request.error = "usage: " + verb + " <job-id>";
+      request.error = verb == "result" ? "usage: result <job-id> [timeout-ms]"
+                                       : "usage: status <job-id>";
     }
     return request;
   }
@@ -79,6 +100,8 @@ std::string FormatResultLine(const JobResult& result) {
   std::ostringstream os;
   os << "result " << result.job_id << ' ' << JobStateName(result.state);
   if (result.state == JobState::kFailed) {
+    if (!result.error_kind.empty()) os << " kind=" << result.error_kind;
+    if (result.retries > 0) os << " retries=" << result.retries;
     // The error text goes last and unescaped; it is the rest of the line.
     os << " error=" << result.error;
     return os.str();
@@ -92,6 +115,7 @@ std::string FormatResultLine(const JobResult& result) {
      << " bytes=" << (c.h2d_bytes + c.d2h_bytes + c.p2p_bytes)
      << " transfers=" << (c.h2d_transfers + c.d2h_transfers + c.p2p_transfers)
      << " kernels=" << c.kernel_launches;
+  if (result.retries > 0) os << " retries=" << result.retries;
   if (!result.trace_path.empty()) os << " trace=" << result.trace_path;
   return os.str();
 }

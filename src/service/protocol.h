@@ -7,9 +7,14 @@
 //     -> "job <id>"  |  "rejected <reason>"
 //   status <id>
 //     -> "status <id> queued|running|done|failed"
-//   result <id>              (blocks until the job finishes)
+//   result <id> [timeout-ms]  (blocks until the job finishes; with the
+//                              optional bound, at most timeout-ms)
 //     -> "result <id> <done|failed> key=<prefix> cache=<hit|miss>
 //         gpus=<n> sim_s=<t> bytes=<b> transfers=<n> kernels=<n> ..."
+//      | "result <id> timeout waited_ms=<t>"   (job still running; the
+//         bounded wait elapsed — ask again later)
+//     failed results carry "kind=<fault|device_lost|timeout|compile|
+//     internal>" before the trailing error text
 //   metrics
 //     -> the metrics registry as text, terminated by "end"
 //   quit
@@ -40,6 +45,8 @@ struct Request {
 
   Kind kind = Kind::kInvalid;
   int job_id = -1;  ///< status/result
+  /// Bounded wait for `result` in milliseconds; negative = block forever.
+  double timeout_ms = -1;
   std::unordered_map<std::string, std::string> params;  ///< submit key=values
   std::string error;  ///< non-empty iff kind == kInvalid
 };

@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -18,6 +20,9 @@ struct ServiceMetrics {
   metrics::Counter& billed_bytes;
   metrics::Counter& billed_transfers;
   metrics::Histogram& billed_sim_seconds;
+  metrics::Counter& job_retries;
+  metrics::Counter& watchdog_cancels;
+  metrics::Counter& degraded_rejects;
 
   static ServiceMetrics& Get() {
     static ServiceMetrics m{
@@ -27,6 +32,10 @@ struct ServiceMetrics {
         metrics::Registry::Global().counter("service.billed.bytes"),
         metrics::Registry::Global().counter("service.billed.transfers"),
         metrics::Registry::Global().histogram("service.billed.sim_seconds"),
+        metrics::Registry::Global().counter("recovery.job_retries"),
+        metrics::Registry::Global().counter("recovery.watchdog_cancels"),
+        metrics::Registry::Global().counter(
+            "service.admission.degraded_rejects"),
     };
     return m;
   }
@@ -34,6 +43,17 @@ struct ServiceMetrics {
 
 bool Terminal(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed;
+}
+
+/// Typed failure class of a job error (JobResult::error_kind).
+const char* ClassifyError(const std::exception& e) {
+  if (dynamic_cast<const DeviceLostError*>(&e) != nullptr) {
+    return "device_lost";
+  }
+  if (dynamic_cast<const FaultError*>(&e) != nullptr) return "fault";
+  if (dynamic_cast<const JobTimeoutError*>(&e) != nullptr) return "timeout";
+  if (dynamic_cast<const CompileError*>(&e) != nullptr) return "compile";
+  return "internal";
 }
 
 }  // namespace
@@ -60,6 +80,7 @@ AccService::AccService(Config config)
       queue_(config_.queue_capacity) {
   ACCMG_REQUIRE(config_.platform != nullptr, "AccService requires a platform");
   ACCMG_REQUIRE(config_.workers >= 1, "AccService requires >= 1 worker");
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -68,12 +89,33 @@ AccService::AccService(Config config)
 
 AccService::~AccService() { Stop(); }
 
-int AccService::Submit(JobRequest request) {
+int AccService::Submit(JobRequest request, std::string* reject_reason) {
   ACCMG_REQUIRE(request.gpus >= 1 && request.gpus <= arena_.num_devices(),
                 "job requests more GPUs than the platform has");
+  // Degraded-mode admission: dead devices never come back, so a lease the
+  // healthy set cannot cover is rejected up front with the reason instead
+  // of being queued to fail later.
+  const int healthy = arena_.healthy_count();
+  if (request.gpus > healthy) {
+    ServiceMetrics::Get().degraded_rejects.Add();
+    if (reject_reason != nullptr) {
+      *reject_reason = "degraded: " + std::to_string(request.gpus) +
+                       " gpus requested, " + std::to_string(healthy) +
+                       " healthy";
+    }
+    return -1;
+  }
   QueuedJob job;
   job.program_key =
       ProgramCache::KeyFor(request.source, request.compile_options);
+  double deadline_ms = request.deadline_ms;
+  if (deadline_ms == 0) deadline_ms = config_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<std::int64_t>(deadline_ms * 1000));
+  }
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     job.id = next_job_id_++;
@@ -87,6 +129,7 @@ int AccService::Submit(JobRequest request) {
   if (!queue_.Push(std::move(job))) {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     jobs_.erase(id);
+    if (reject_reason != nullptr) *reject_reason = "queue-full";
     return -1;
   }
   ServiceMetrics::Get().submitted.Add();
@@ -108,6 +151,18 @@ JobResult AccService::Wait(int job_id) {
   return jobs_.at(job_id);
 }
 
+std::optional<JobResult> AccService::WaitFor(
+    int job_id, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(job_id);
+  ACCMG_REQUIRE(it != jobs_.end(), "unknown job id");
+  if (!job_done_.wait_for(lock, timeout,
+                          [&] { return Terminal(jobs_.at(job_id).state); })) {
+    return std::nullopt;
+  }
+  return jobs_.at(job_id);
+}
+
 void AccService::Drain() {
   std::unique_lock<std::mutex> lock(jobs_mutex_);
   job_done_.wait(lock, [&] {
@@ -123,6 +178,35 @@ void AccService::Stop() {
   queue_.Stop();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_wake_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void AccService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(running_mutex_);
+  const auto poll = std::chrono::microseconds(
+      static_cast<std::int64_t>(std::max(1.0, config_.watchdog_poll_ms) *
+                                1000));
+  while (!watchdog_stop_) {
+    watchdog_wake_.wait_for(lock, poll);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, running] : running_) {
+      if (running->has_deadline && now >= running->deadline &&
+          !running->cancel.exchange(true)) {
+        ServiceMetrics::Get().watchdog_cancels.Add();
+      }
+    }
+  }
+}
+
+void AccService::SyncDeadDevices() {
+  const sim::FaultInjector& faults = config_.platform->faults();
+  if (!faults.armed()) return;
+  for (const int d : faults.dead_devices()) arena_.MarkDead(d);
 }
 
 void AccService::WorkerLoop() {
@@ -154,6 +238,20 @@ void AccService::ProcessBatch(std::vector<QueuedJob> batch) {
       result.program_key = batch[i].program_key;
       result.state = JobState::kFailed;
       result.error = "compile failed: " + compile_error;
+      result.error_kind = "compile";
+      if (batch[i].request.on_finish) batch[i].request.on_finish(nullptr);
+      Finish(std::move(result));
+      continue;
+    }
+    if (batch[i].ExpiredBy(std::chrono::steady_clock::now())) {
+      // The deadline covers queue wait too: an expired job fails without
+      // burning a device lease.
+      JobResult result;
+      result.job_id = batch[i].id;
+      result.program_key = batch[i].program_key;
+      result.state = JobState::kFailed;
+      result.error = "deadline expired while queued";
+      result.error_kind = "timeout";
       if (batch[i].request.on_finish) batch[i].request.on_finish(nullptr);
       Finish(std::move(result));
       continue;
@@ -177,54 +275,121 @@ void AccService::RunJob(
   result.program_key = job.program_key;
   result.cache_hit = cache_hit;
 
-  try {
-    DeviceArena::Lease lease = arena_.Acquire(job.request.gpus);
-    result.devices = lease.devices();
+  auto running = std::make_shared<RunningJob>();
+  running->has_deadline = job.has_deadline;
+  running->deadline = job.deadline;
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    running_[job.id] = running;
+  }
 
-    runtime::RunConfig run_config;
-    run_config.platform = config_.platform;
-    run_config.num_gpus = job.request.gpus;
-    run_config.devices = lease.devices();
-    run_config.shared_platform = true;
-    run_config.options = job.request.exec_options;
-    run_config.options.job_id = job.id;
-
-    trace::JobScope job_scope(job.id);
-    runtime::ProgramRunner runner(*program, run_config);
-    if (job.request.bind) job.request.bind(runner);
-
-    {
-      // The shared SimClock admits one execution at a time (service.h);
-      // billing exactness comes from the per-device counters, not from
-      // this lock.
-      std::lock_guard<std::mutex> run_lock(run_mutex_);
-      result.report = runner.Run(job.request.function);
-    }
-
-    const sim::PlatformCounters& c = result.report.counters;
-    ServiceMetrics::Get().billed_bytes.Add(c.h2d_bytes + c.d2h_bytes +
-                                           c.p2p_bytes);
-    ServiceMetrics::Get().billed_transfers.Add(
-        c.h2d_transfers + c.d2h_transfers + c.p2p_transfers);
-    ServiceMetrics::Get().billed_sim_seconds.Observe(
-        result.report.total_seconds);
-
-    if (run_config.options.trace && !config_.trace_dir.empty()) {
-      const std::string path =
-          config_.trace_dir + "/job_" + std::to_string(job.id) + ".json";
-      if (trace::Tracer::Global().WriteChromeTraceFile(path, job.id)) {
-        result.trace_path = path;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      RunAttempt(job, program, result, *running);
+      result.state = JobState::kDone;
+      result.error.clear();
+      result.error_kind.clear();
+      break;
+    } catch (const std::exception& e) {
+      // The attempt's lease is already released (RAII) and any devices the
+      // injector killed are revoked before the next lease is taken.
+      SyncDeadDevices();
+      result.error_kind = ClassifyError(e);
+      const bool retryable =
+          dynamic_cast<const FaultError*>(&e) != nullptr &&
+          !running->cancel.load(std::memory_order_relaxed);
+      if (retryable && attempt < config_.job_retries) {
+        // Transiently-faulting devices get a spell of soft quarantine so
+        // the re-lease prefers others when the arena has spares.
+        if (result.error_kind == "fault") {
+          for (const int d : result.devices) arena_.MarkSuspect(d);
+        }
+        ServiceMetrics::Get().job_retries.Add();
+        ++result.retries;
+        continue;
       }
+      result.state = JobState::kFailed;
+      result.error = e.what();
+      if (job.request.on_finish) job.request.on_finish(nullptr);
+      break;
     }
+  }
 
-    result.state = JobState::kDone;
-    if (job.request.on_finish) job.request.on_finish(&runner);
-  } catch (const std::exception& e) {
-    result.state = JobState::kFailed;
-    result.error = e.what();
-    if (job.request.on_finish) job.request.on_finish(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(running_mutex_);
+    running_.erase(job.id);
   }
   Finish(std::move(result));
+}
+
+void AccService::RunAttempt(
+    QueuedJob& job, const std::shared_ptr<const runtime::AccProgram>& program,
+    JobResult& result, RunningJob& running) {
+  // Degraded mode: the lease shrinks to what is still healthy rather than
+  // waiting forever on devices that cannot come back.
+  const int gpus = std::min(job.request.gpus, arena_.healthy_count());
+  if (gpus < 1) {
+    throw DeviceLostError(-1, "no healthy devices left in the arena");
+  }
+
+  // RAII lease: every exit path below — including thrown faults, timeouts
+  // and bind/run exceptions — releases the devices via ~Lease.
+  DeviceArena::Lease lease;
+  if (job.has_deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= job.deadline) {
+      throw JobTimeoutError("deadline expired before a device lease");
+    }
+    lease = arena_.Acquire(
+        gpus, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  job.deadline - now));
+    if (!lease.valid()) {
+      throw JobTimeoutError("deadline expired waiting for a device lease");
+    }
+  } else {
+    lease = arena_.Acquire(gpus);
+  }
+  result.devices = lease.devices();
+
+  runtime::RunConfig run_config;
+  run_config.platform = config_.platform;
+  run_config.num_gpus = gpus;
+  run_config.devices = lease.devices();
+  run_config.shared_platform = true;
+  run_config.options = job.request.exec_options;
+  run_config.options.job_id = job.id;
+  run_config.options.cancel = &running.cancel;
+
+  trace::JobScope job_scope(job.id);
+  runtime::ProgramRunner runner(*program, run_config);
+  if (job.request.bind) job.request.bind(runner);
+
+  {
+    // The shared SimClock admits one execution at a time (service.h);
+    // billing exactness comes from the per-device counters, not from
+    // this lock.
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    result.report = runner.Run(job.request.function);
+  }
+
+  const sim::PlatformCounters& c = result.report.counters;
+  ServiceMetrics::Get().billed_bytes.Add(c.h2d_bytes + c.d2h_bytes +
+                                         c.p2p_bytes);
+  ServiceMetrics::Get().billed_transfers.Add(
+      c.h2d_transfers + c.d2h_transfers + c.p2p_transfers);
+  ServiceMetrics::Get().billed_sim_seconds.Observe(
+      result.report.total_seconds);
+
+  if (run_config.options.trace && !config_.trace_dir.empty()) {
+    const std::string path =
+        config_.trace_dir + "/job_" + std::to_string(job.id) + ".json";
+    if (trace::Tracer::Global().WriteChromeTraceFile(path, job.id)) {
+      result.trace_path = path;
+    }
+  }
+
+  SyncDeadDevices();
+  if (job.request.on_finish) job.request.on_finish(&runner);
 }
 
 void AccService::Finish(JobResult result) {

@@ -143,9 +143,14 @@ std::vector<SimClock::Resource> Platform::RootResources(int device_id) const {
 double Platform::BillHostToDevice(int device_id, std::size_t bytes,
                                   double ready_at) {
   if (bytes == 0) return clock_.Now();
+  double fault_mult = 1.0;
+  if (faults_.armed()) {
+    fault_mult = faults_.OnOperation(FaultSite::kH2D, device_id);
+  }
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
-  const double duration = topology_.host_link.TransferSeconds(bytes);
+  const double duration =
+      fault_mult * topology_.host_link.TransferSeconds(bytes);
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
@@ -168,9 +173,14 @@ double Platform::BillHostToDevice(int device_id, std::size_t bytes,
 double Platform::BillDeviceToHost(int device_id, std::size_t bytes,
                                   double ready_at) {
   if (bytes == 0) return clock_.Now();
+  double fault_mult = 1.0;
+  if (faults_.armed()) {
+    fault_mult = faults_.OnOperation(FaultSite::kD2H, device_id);
+  }
   auto resources = RootResources(device_id);
   resources.push_back(device(device_id).dma_resource());
-  const double duration = topology_.host_link.TransferSeconds(bytes);
+  const double duration =
+      fault_mult * topology_.host_link.TransferSeconds(bytes);
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
@@ -194,6 +204,18 @@ double Platform::BillDeviceToDevice(int src_device, int dst_device,
                                     std::size_t bytes, double ready_at,
                                     Stream stream) {
   if (bytes == 0) return clock_.Now();
+  double fault_mult = 1.0;
+  if (faults_.armed()) {
+    // One decision keyed on the source device (which owns the transfer for
+    // billing); a destination-side death still surfaces because dead
+    // devices echo DeviceLostError on their next keyed operation.
+    fault_mult = faults_.OnOperation(FaultSite::kP2P, src_device);
+    if (!faults_.alive(dst_device)) {
+      throw DeviceLostError(dst_device,
+                            "device " + std::to_string(dst_device) +
+                                " is lost (p2p destination)");
+    }
+  }
   std::vector<SimClock::Resource> resources;
   resources.push_back(device(src_device).dma_resource(stream));
   if (src_device != dst_device) {
@@ -214,6 +236,7 @@ double Platform::BillDeviceToDevice(int src_device, int dst_device,
     // link, serialized.
     duration = 2 * topology_.host_link.TransferSeconds(bytes);
   }
+  duration *= fault_mult;
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);
@@ -246,8 +269,11 @@ double Platform::CopyHostToDevice(DeviceBuffer& dst, std::size_t dst_offset,
   if (bytes == 0) return clock_.Now();
   ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
                 "H2D copy out of range for buffer '" + dst.name() + "'");
+  // Bill first: an injected transfer fault must leave the destination
+  // bytes untouched so a retry starts from a clean state.
+  const double end = BillHostToDevice(dst.device_id(), bytes, ready_at);
   std::memcpy(dst.bytes().data() + dst_offset, src, bytes);
-  return BillHostToDevice(dst.device_id(), bytes, ready_at);
+  return end;
 }
 
 double Platform::CopyDeviceToHost(void* dst, const DeviceBuffer& src,
@@ -256,8 +282,9 @@ double Platform::CopyDeviceToHost(void* dst, const DeviceBuffer& src,
   if (bytes == 0) return clock_.Now();
   ACCMG_REQUIRE(src_offset + bytes <= src.size_bytes(),
                 "D2H copy out of range for buffer '" + src.name() + "'");
+  const double end = BillDeviceToHost(src.device_id(), bytes, ready_at);
   std::memcpy(dst, src.bytes().data() + src_offset, bytes);
-  return BillDeviceToHost(src.device_id(), bytes, ready_at);
+  return end;
 }
 
 double Platform::CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
@@ -269,10 +296,11 @@ double Platform::CopyDeviceToDevice(DeviceBuffer& dst, std::size_t dst_offset,
                 "P2P copy out of range for source '" + src.name() + "'");
   ACCMG_REQUIRE(dst_offset + bytes <= dst.size_bytes(),
                 "P2P copy out of range for destination '" + dst.name() + "'");
+  const double end = BillDeviceToDevice(src.device_id(), dst.device_id(),
+                                        bytes, ready_at, stream);
   std::memcpy(dst.bytes().data() + dst_offset,
               src.bytes().data() + src_offset, bytes);
-  return BillDeviceToDevice(src.device_id(), dst.device_id(), bytes, ready_at,
-                            stream);
+  return end;
 }
 
 KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch,
@@ -280,6 +308,11 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch,
   ACCMG_REQUIRE(launch.body != nullptr, "kernel launch without a body");
   ACCMG_REQUIRE(launch.num_threads >= 0, "negative thread count");
   ACCMG_REQUIRE(launch.block_size > 0, "non-positive block size");
+  double fault_mult = 1.0;
+  if (faults_.armed()) {
+    // Consulted before the body runs: a failed launch has no data effect.
+    fault_mult = faults_.OnOperation(FaultSite::kKernel, device_id);
+  }
   Device& dev = device(device_id);
 
   KernelStats total;
@@ -301,7 +334,8 @@ KernelStats Platform::LaunchKernel(int device_id, const KernelLaunch& launch,
       static_cast<double>(total.bytes_read + total.bytes_written) /
       dev.spec().mem_bandwidth_bps;
   const double duration =
-      dev.spec().launch_overhead_s + std::max(compute_s, memory_s);
+      fault_mult *
+      (dev.spec().launch_overhead_s + std::max(compute_s, memory_s));
   double end;
   {
     std::lock_guard<std::mutex> lock(accounting_mutex_);

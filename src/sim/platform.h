@@ -18,6 +18,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "sim/device.h"
+#include "sim/fault.h"
 #include "sim/kernel.h"
 #include "sim/topology.h"
 
@@ -58,6 +59,16 @@ class Platform {
   const SimClock& clock() const { return clock_; }
   ThreadPool& workers() { return workers_; }
   const PlatformCounters& counters() const { return counters_; }
+
+  /// --- Fault injection (sim/fault.h) ---
+  /// While armed, every Bill*/Copy*/LaunchKernel consults the injector
+  /// before executing: the operation may throw a typed FaultError (with no
+  /// data effect — copies bill before they move bytes) or run with a
+  /// stall-inflated simulated duration.
+  void ArmFaults(const FaultPlan& plan) { faults_.Arm(plan, num_devices()); }
+  void DisarmFaults() { faults_.Disarm(); }
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   /// Per-device attribution of the global counters: kernels and H2D/D2H
   /// transfers count against the device they run on / move to or from, and
@@ -136,6 +147,7 @@ class Platform {
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<SimClock::Resource> io_root_resources_;  // one per IO group
   ThreadPool workers_;
+  FaultInjector faults_;
   PlatformCounters counters_;
   std::vector<PlatformCounters> device_counters_;  // parallel to devices_
   /// Serializes clock scheduling + counter updates for Bill*/LaunchKernel.

@@ -21,6 +21,11 @@
 //   --queue-capacity=N  admission bound (default 64)
 //   --max-batch=N       same-hash jobs per popped batch (default 8)
 //   --trace-dir=DIR     export per-job Chrome traces for trace=1 jobs
+//   --fault-plan=SPEC   arm the fault injector (sim/fault.h spec, e.g.
+//                       "seed=7,kernel=0.01,transfer=0.02,death=0.001")
+//   --chaos=SEED        arm the moderate-chaos preset with that seed
+//   --job-retries=N     re-runs a faulted job gets on a fresh lease (dft 1)
+//   --deadline-ms=N     default per-job wall-clock deadline (0 = none)
 //
 // Submit parameters (all optional except app=):
 //   app=md|kmeans|bfs|spmv   builtin workload
@@ -33,8 +38,11 @@
 //   weighted=1    throughput-weighted task mapping
 //   no-check=1    disable the static directive checker (changes the key!)
 //   salt=TEXT     appended as a source comment — forces a distinct cache key
+//   deadline-ms=N per-job wall-clock deadline (overrides --deadline-ms)
 //
 // docs/SERVING.md documents the architecture and a full transcript.
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -47,6 +55,7 @@
 #include "service/builtin_apps.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "sim/fault.h"
 #include "sim/platform.h"
 
 namespace {
@@ -65,6 +74,11 @@ struct Flags {
   std::size_t queue_capacity = 64;
   std::size_t max_batch = 8;
   std::string trace_dir;
+  std::string fault_plan;  ///< sim::FaultPlan::Parse spec; empty = disarmed
+  bool chaos = false;
+  long chaos_seed = 0;
+  int job_retries = 1;
+  double deadline_ms = 0;
 };
 
 bool ParseIntFlag(const char* arg, const char* name, long* out) {
@@ -95,10 +109,19 @@ Flags ParseFlags(int argc, char** argv) {
       flags.queue_capacity = static_cast<std::size_t>(value);
     } else if (ParseIntFlag(arg, "--max-batch", &value)) {
       flags.max_batch = static_cast<std::size_t>(value);
+    } else if (ParseIntFlag(arg, "--chaos", &value)) {
+      flags.chaos = true;
+      flags.chaos_seed = value;
+    } else if (ParseIntFlag(arg, "--job-retries", &value)) {
+      flags.job_retries = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--deadline-ms", &value)) {
+      flags.deadline_ms = static_cast<double>(value);
     } else if (std::strncmp(arg, "--platform=", 11) == 0) {
       flags.platform = arg + 11;
     } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
       flags.trace_dir = arg + 12;
+    } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      flags.fault_plan = arg + 13;
     } else {
       std::fprintf(stderr, "accmgc_serve: unknown flag %s\n", arg);
       std::exit(2);
@@ -114,7 +137,8 @@ struct Submitted {
 };
 
 int SubmitFromParams(AccService& service, const Request& request,
-                     std::map<int, Submitted>& submitted, std::string* error) {
+                     std::map<int, Submitted>& submitted, std::string* error,
+                     std::string* reject_reason) {
   AppJobOptions options;
   auto param = [&](const char* key) -> const std::string* {
     auto it = request.params.find(key);
@@ -144,8 +168,12 @@ int SubmitFromParams(AccService& service, const Request& request,
   options.compile.check_directives = !flag_set("no-check");
 
   auto outcome = std::make_shared<AppJobOutcome>();
-  const int id = service.Submit(
-      accmg::service::MakeAppJob(options, outcome));
+  accmg::service::JobRequest job =
+      accmg::service::MakeAppJob(options, outcome);
+  if (const std::string* deadline = param("deadline-ms")) {
+    job.deadline_ms = std::stod(*deadline);
+  }
+  const int id = service.Submit(std::move(job), reject_reason);
   if (id >= 0) {
     submitted[id] = Submitted{std::move(outcome), options.validate_result};
   }
@@ -162,6 +190,21 @@ int main(int argc, char** argv) {
           ? accmg::sim::MakeDesktopMachine(flags.gpus)
           : accmg::sim::MakeSupercomputerNode(flags.gpus);
 
+  bool faults_armed = false;
+  try {
+    if (!flags.fault_plan.empty()) {
+      platform->ArmFaults(accmg::sim::FaultPlan::Parse(flags.fault_plan));
+      faults_armed = true;
+    } else if (flags.chaos) {
+      platform->ArmFaults(accmg::sim::FaultPlan::Chaos(
+          static_cast<std::uint64_t>(flags.chaos_seed)));
+      faults_armed = true;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "accmgc_serve: bad fault plan: %s\n", e.what());
+    return 2;
+  }
+
   AccService::Config config;
   config.platform = platform.get();
   config.workers = flags.workers;
@@ -169,13 +212,16 @@ int main(int argc, char** argv) {
   config.queue_capacity = flags.queue_capacity;
   config.max_batch = flags.max_batch;
   config.trace_dir = flags.trace_dir;
+  config.job_retries = flags.job_retries;
+  config.default_deadline_ms = flags.deadline_ms;
   AccService service(config);
 
   std::map<int, Submitted> submitted;
 
   std::cout << "ready gpus=" << flags.gpus << " workers=" << flags.workers
             << " cache=" << flags.cache_capacity
-            << " queue=" << flags.queue_capacity << std::endl;
+            << " queue=" << flags.queue_capacity
+            << (faults_armed ? " faults=armed" : "") << std::endl;
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -189,13 +235,17 @@ int main(int argc, char** argv) {
           break;
         case Request::Kind::kSubmit: {
           std::string error;
-          const int id = SubmitFromParams(service, request, submitted, &error);
+          std::string reject_reason;
+          const int id = SubmitFromParams(service, request, submitted, &error,
+                                          &reject_reason);
           if (id >= 0) {
             std::cout << "job " << id << std::endl;
           } else if (!error.empty()) {
             std::cout << "error " << error << std::endl;
           } else {
-            std::cout << "rejected queue-full" << std::endl;
+            std::cout << "rejected "
+                      << (reject_reason.empty() ? "queue-full" : reject_reason)
+                      << std::endl;
           }
           break;
         }
@@ -206,7 +256,21 @@ int main(int argc, char** argv) {
                     << std::endl;
           break;
         case Request::Kind::kResult: {
-          const JobResult result = service.Wait(request.job_id);
+          JobResult result;
+          if (request.timeout_ms >= 0) {
+            auto bounded = service.WaitFor(
+                request.job_id,
+                std::chrono::milliseconds(
+                    static_cast<long long>(request.timeout_ms)));
+            if (!bounded.has_value()) {
+              std::cout << "result " << request.job_id << " timeout"
+                        << " waited_ms=" << request.timeout_ms << std::endl;
+              break;
+            }
+            result = std::move(*bounded);
+          } else {
+            result = service.Wait(request.job_id);
+          }
           std::string reply = accmg::service::FormatResultLine(result);
           auto it = submitted.find(request.job_id);
           if (it != submitted.end() && it->second.validated &&
