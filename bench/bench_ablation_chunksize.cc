@@ -4,14 +4,27 @@
 // data but pay per-transfer latency for many chunks; large chunks amortize
 // latency but ship more clean bytes. The sweet spot for BFS-like scattered
 // writes sits near the paper's choice.
+//
+// Usage: bench_ablation_chunksize [--json=FILE]
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 
 namespace accmg::bench {
 namespace {
 
-void Run() {
+int Run(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   const double scale = BenchScale();
   std::printf("Dirty-bit chunk-size ablation on bfs, desktop, 2 GPUs "
               "(input scale %.3g)\n", scale);
@@ -21,6 +34,8 @@ void Run() {
 
   Table table({"chunk", "GPU-GPU [ms]", "chunks sent", "chunks skipped",
                "total [ms]"});
+  std::string json = "[\n";
+  bool first_row = true;
   for (std::size_t chunk : {std::size_t{4} << 10, std::size_t{64} << 10,
                             std::size_t{256} << 10, std::size_t{1} << 20,
                             std::size_t{4} << 20, std::size_t{16} << 20}) {
@@ -35,11 +50,37 @@ void Run() {
         std::to_string(report.comm.clean_chunks_skipped),
         FormatFixed(report.total_seconds * 1e3, 3),
     });
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "  {\"chunk_bytes\": %zu, \"gpu_gpu_s\": %.9g, "
+                  "\"chunks_sent\": %llu, \"chunks_skipped\": %llu, "
+                  "\"total_s\": %.9g}",
+                  chunk, report.time[sim::TimeCategory::kGpuGpu],
+                  static_cast<unsigned long long>(
+                      report.comm.dirty_chunks_sent),
+                  static_cast<unsigned long long>(
+                      report.comm.clean_chunks_skipped),
+                  report.total_seconds);
+    json += (first_row ? "" : ",\n");
+    json += row;
+    first_row = false;
   }
+  json += "\n]\n";
   table.Print("Two-level dirty-bit chunk size sweep (paper choice: 1MB)");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace accmg::bench
 
-int main() { accmg::bench::Run(); }
+int main(int argc, char** argv) { return accmg::bench::Run(argc, argv); }

@@ -5,14 +5,27 @@
 // memory grows ~linearly with the GPU count and every written distributed
 // array turns into dirty-bit traffic. The loader's reload-skip cache is what
 // makes iterative apps (kmeans, bfs) pay the big uploads only once.
+//
+// Usage: bench_ablation_placement [--json=FILE]
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 
 namespace accmg::bench {
 namespace {
 
-void Run() {
+int Run(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   const double scale = BenchScale();
   std::printf("Placement-policy ablation, desktop, 2 GPUs (input scale "
               "%.3g)\n", scale);
@@ -23,6 +36,8 @@ void Run() {
 
   Table table({"app", "policy", "total [ms]", "GPU-GPU [ms]", "user mem",
                "loads", "reloads skipped"});
+  std::string json = "[\n";
+  bool first_row = true;
   for (const AppRunners& app : PaperApps(scale)) {
     for (const auto& [label, options] :
          {std::pair{"distribute", &with_ext}, std::pair{"replicate", &no_ext}}) {
@@ -37,17 +52,45 @@ void Run() {
           std::to_string(report.loader.loads_performed),
           std::to_string(report.loader.loads_skipped),
       });
+      char row[320];
+      std::snprintf(row, sizeof(row),
+                    "  {\"app\": \"%s\", \"policy\": \"%s\", "
+                    "\"total_s\": %.9g, \"gpu_gpu_s\": %.9g, "
+                    "\"peak_user_bytes\": %zu, \"loads\": %llu, "
+                    "\"reloads_skipped\": %llu}",
+                    app.name.c_str(), label, report.total_seconds,
+                    report.time[sim::TimeCategory::kGpuGpu],
+                    report.peak_user_bytes,
+                    static_cast<unsigned long long>(
+                        report.loader.loads_performed),
+                    static_cast<unsigned long long>(
+                        report.loader.loads_skipped));
+      json += (first_row ? "" : ",\n");
+      json += row;
+      first_row = false;
     }
   }
+  json += "\n]\n";
   table.Print("Replica vs distribution placement (localaccess honoured vs "
               "ignored)");
   std::printf(
       "\nExpected: distribution needs less user memory and less traffic for "
       "md/kmeans;\nthe skipped-reload column shows the loader cache at work "
       "on iterative apps.\n");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace accmg::bench
 
-int main() { accmg::bench::Run(); }
+int main(int argc, char** argv) { return accmg::bench::Run(argc, argv); }

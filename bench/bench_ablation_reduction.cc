@@ -7,7 +7,11 @@
 // Sweep of the destination-section length on a histogram kernel shows where
 // the hierarchical scheme wins and how the inter-GPU combine cost grows
 // with the section length and the GPU count.
+//
+// Usage: bench_ablation_reduction [--json=FILE]
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -29,7 +33,16 @@ void histogram(int n, int k, int* keys, int* hist) {
 }
 )";
 
-void Run() {
+int Run(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   const int n = static_cast<int>(2000000 * BenchScale() * 10);
   std::printf("reductiontoarray ablation: histogram of %d keys, desktop\n",
               n);
@@ -44,6 +57,8 @@ void Run() {
 
   Table table({"k (section len)", "gpus", "hierarchical [ms]",
                "GPU-GPU [ms]", "naive seq. [ms]", "speedup"});
+  std::string json = "[\n";
+  bool first_row = true;
   for (int k : {64, 1024, 16384, 262144}) {
     for (int gpus : {1, 2}) {
       auto platform = sim::MakeDesktopMachine(2);
@@ -73,16 +88,39 @@ void Run() {
           FormatFixed(naive * 1e3, 3),
           FormatFixed(naive / report.total_seconds, 1) + "x",
       });
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "  {\"k\": %d, \"gpus\": %d, \"hierarchical_s\": %.9g, "
+                    "\"gpu_gpu_s\": %.9g, \"naive_s\": %.9g, "
+                    "\"speedup\": %.6g}",
+                    k, gpus, report.total_seconds,
+                    report.time[sim::TimeCategory::kGpuGpu], naive,
+                    naive / report.total_seconds);
+      json += (first_row ? "" : ",\n");
+      json += row;
+      first_row = false;
     }
   }
+  json += "\n]\n";
   table.Print("Hierarchical reduction-to-array vs sequential fallback");
   std::printf(
       "\nExpected: the hierarchical scheme wins by a large factor; its "
       "GPU-GPU\ncombine cost grows with the section length and GPU count "
       "but stays small.\n");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace accmg::bench
 
-int main() { accmg::bench::Run(); }
+int main(int argc, char** argv) { return accmg::bench::Run(argc, argv); }

@@ -15,26 +15,28 @@ std::vector<MachineConfig> Machines() {
   };
 }
 
-std::vector<AppRunners> PaperApps(double scale) {
+std::vector<AppRunners> PaperApps(double scale,
+                                  const translator::CompileOptions& copts) {
   std::vector<AppRunners> apps;
 
   {
     auto input = std::make_shared<apps::MdInput>(apps::MakePaperMdInput(scale));
     apps.push_back(AppRunners{
-        "md", [input](sim::Platform& platform, int gpus,
-                      const runtime::ExecOptions& options) {
+        "md", [input, copts](sim::Platform& platform, int gpus,
+                             const runtime::ExecOptions& options) {
           std::vector<float> force;
           if (gpus == 0) return apps::RunMdOpenMp(*input, platform, &force);
           if (gpus == -1) return apps::RunMdCuda(*input, platform, &force);
-          return apps::RunMdAcc(*input, platform, gpus, &force, options);
+          return apps::RunMdAcc(*input, platform, gpus, &force, options,
+                                copts);
         }});
   }
   {
     auto input = std::make_shared<apps::KmeansInput>(
         apps::MakePaperKmeansInput(scale));
     apps.push_back(AppRunners{
-        "kmeans", [input](sim::Platform& platform, int gpus,
-                          const runtime::ExecOptions& options) {
+        "kmeans", [input, copts](sim::Platform& platform, int gpus,
+                                 const runtime::ExecOptions& options) {
           apps::KmeansResult result;
           if (gpus == 0) {
             return apps::RunKmeansOpenMp(*input, platform, &result);
@@ -42,22 +44,37 @@ std::vector<AppRunners> PaperApps(double scale) {
           if (gpus == -1) {
             return apps::RunKmeansCuda(*input, platform, &result);
           }
-          return apps::RunKmeansAcc(*input, platform, gpus, &result, options);
+          return apps::RunKmeansAcc(*input, platform, gpus, &result, options,
+                                    copts);
         }});
   }
   {
     auto input =
         std::make_shared<apps::BfsInput>(apps::MakePaperBfsInput(scale));
     apps.push_back(AppRunners{
-        "bfs", [input](sim::Platform& platform, int gpus,
-                       const runtime::ExecOptions& options) {
+        "bfs", [input, copts](sim::Platform& platform, int gpus,
+                              const runtime::ExecOptions& options) {
           std::vector<std::int32_t> cost;
           if (gpus == 0) return apps::RunBfsOpenMp(*input, platform, &cost);
           if (gpus == -1) return apps::RunBfsCuda(*input, platform, &cost);
-          return apps::RunBfsAcc(*input, platform, gpus, &cost, options);
+          return apps::RunBfsAcc(*input, platform, gpus, &cost, options,
+                                 copts);
         }});
   }
   return apps;
+}
+
+bool ParseOptLevelFlag(const std::string& arg,
+                       translator::CompileOptions* copts) {
+  if (arg.rfind("--opt-level=", 0) != 0) return false;
+  const int level = std::atoi(arg.c_str() + 12);
+  if (level < 0 || level > 2) {
+    std::fprintf(stderr, "bad flag '%s': expected --opt-level={0,1,2}\n",
+                 arg.c_str());
+    std::exit(2);
+  }
+  copts->opt_level = level;
+  return true;
 }
 
 Table::Table(std::vector<std::string> headers)

@@ -52,7 +52,16 @@ struct AppRunners {
 };
 
 /// The three paper applications at `scale` of the paper's input sizes.
-std::vector<AppRunners> PaperApps(double scale);
+/// `copts` selects the translator optimization level for the proposal runs
+/// (gpus >= 1); the OpenMP/CUDA baselines ignore it.
+std::vector<AppRunners> PaperApps(double scale,
+                                  const translator::CompileOptions& copts = {});
+
+/// Parses "--opt-level=N" into `copts->opt_level`. Returns true when the
+/// flag was consumed; false when `arg` is not an --opt-level flag. Exits
+/// with status 2 on a value outside {0, 1, 2}.
+bool ParseOptLevelFlag(const std::string& arg,
+                       translator::CompileOptions* copts);
 
 /// Minimal fixed-width table printer.
 class Table {

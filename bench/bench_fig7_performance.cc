@@ -3,6 +3,10 @@
 // Paper result shape: every GPU version beats OpenMP except bfs on the
 // supercomputer node; the proposal on multiple GPUs beats hand-written CUDA
 // on one GPU; best cases ~6.75x (desktop, 2 GPUs) and ~2.95x (node, 3 GPUs).
+//
+// Usage: bench_fig7_performance [--opt-level={0,1,2}]
+// --opt-level selects the translator's mid-end level for the proposal runs
+// (docs/ARCHITECTURE.md, "Optimizing mid-end"); default 1.
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -10,17 +14,26 @@
 namespace accmg::bench {
 namespace {
 
-void Run() {
+int Run(int argc, char** argv) {
+  translator::CompileOptions copts;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseOptLevelFlag(argv[i], &copts)) {
+      std::fprintf(stderr,
+                   "usage: bench_fig7_performance [--opt-level={0,1,2}]\n");
+      return 2;
+    }
+  }
   const double scale = BenchScale();
-  std::printf("Fig. 7 reproduction (input scale %.3g; set ACCMG_BENCH_SCALE"
-              "=1 for paper-size inputs)\n", scale);
+  std::printf("Fig. 7 reproduction (input scale %.3g; opt-level %d; set "
+              "ACCMG_BENCH_SCALE=1 for paper-size inputs)\n",
+              scale, copts.opt_level);
 
   const runtime::ExecOptions defaults;
   runtime::ExecOptions no_ext;
   no_ext.honor_localaccess = false;
 
   for (const MachineConfig& machine : Machines()) {
-    auto apps = PaperApps(scale);
+    auto apps = PaperApps(scale, copts);
     std::vector<std::string> headers{"app",         "OpenMP",
                                      "ACC(1,noext)", "CUDA(1)"};
     for (int g = 1; g <= machine.max_gpus; ++g) {
@@ -57,9 +70,10 @@ void Run() {
       "\nPaper shape: all GPU bars > 1 except bfs on the supercomputer "
       "node;\nProposal(2/3) > CUDA(1); peaks ~6.75x (desktop) and ~2.95x "
       "(node).\n");
+  return 0;
 }
 
 }  // namespace
 }  // namespace accmg::bench
 
-int main() { accmg::bench::Run(); }
+int main(int argc, char** argv) { return accmg::bench::Run(argc, argv); }

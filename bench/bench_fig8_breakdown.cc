@@ -15,6 +15,8 @@
 //       counters (exit code 1 on mismatch)
 //   bench_fig8_breakdown --metrics             also dump the unified
 //       metrics registry at the end (combines with either mode)
+//   bench_fig8_breakdown --opt-level={0,1,2}   translator mid-end level for
+//       the proposal runs (default 1; combines with either mode)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -29,13 +31,14 @@
 namespace accmg::bench {
 namespace {
 
-void RunFig8Table() {
+void RunFig8Table(const translator::CompileOptions& copts) {
   const double scale = BenchScale();
-  std::printf("Fig. 8 reproduction (input scale %.3g)\n", scale);
+  std::printf("Fig. 8 reproduction (input scale %.3g; opt-level %d)\n", scale,
+              copts.opt_level);
 
   const runtime::ExecOptions defaults;
   for (const MachineConfig& machine : Machines()) {
-    auto apps = PaperApps(scale);
+    auto apps = PaperApps(scale, copts);
     Table table({"app", "gpus", "GPU-GPU", "CPU-GPU", "KERNELS", "total"});
     for (const AppRunners& app : apps) {
       double one_gpu_total = 0;
@@ -97,7 +100,8 @@ runtime::RunReport RunScatter(sim::Platform& platform, int gpus) {
   return runner.Run("scatter");
 }
 
-int RunTraceCapture(const std::string& trace_out) {
+int RunTraceCapture(const std::string& trace_out,
+                    const translator::CompileOptions& copts) {
   // Keep the traced run small so the ring buffer retains every span — the
   // count cross-check below is only exact with zero drops.
   const double scale = std::min(BenchScale(), 0.05);
@@ -132,7 +136,7 @@ int RunTraceCapture(const std::string& trace_out) {
     offload_runs += report.kernel_executions;
   };
 
-  for (const AppRunners& app : PaperApps(scale)) {
+  for (const AppRunners& app : PaperApps(scale, copts)) {
     auto platform = sim::MakeDesktopMachine(kGpus);
     std::printf("  tracing %s ...\n", app.name.c_str());
     absorb(app.run(*platform, kGpus, options));
@@ -227,25 +231,28 @@ int RunTraceCapture(const std::string& trace_out) {
 int Run(int argc, char** argv) {
   std::string trace_out;
   bool print_metrics = false;
+  translator::CompileOptions copts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg == "--metrics") {
       print_metrics = true;
+    } else if (ParseOptLevelFlag(arg, &copts)) {
+      // handled
     } else {
       std::fprintf(stderr,
                    "usage: bench_fig8_breakdown [--trace-out=FILE] "
-                   "[--metrics]\n");
+                   "[--metrics] [--opt-level={0,1,2}]\n");
       return 2;
     }
   }
 
   int status = 0;
   if (trace_out.empty()) {
-    RunFig8Table();
+    RunFig8Table(copts);
   } else {
-    status = RunTraceCapture(trace_out);
+    status = RunTraceCapture(trace_out, copts);
   }
   if (print_metrics) {
     std::ostringstream text;

@@ -131,9 +131,11 @@ runtime::RunReport RunBfsProgram(const BfsInput& input,
                                  sim::Platform& platform, int num_gpus,
                                  bool use_cpu,
                                  std::vector<std::int32_t>* cost_out,
-                                 const runtime::ExecOptions& options) {
-  static const runtime::AccProgram* program = new runtime::AccProgram(
-      runtime::AccProgram::FromSource("bfs", BfsSource()));
+                                 const runtime::ExecOptions& options,
+                                 const translator::CompileOptions& copts =
+                                     {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("bfs", BfsSource(), copts);
   cost_out->assign(static_cast<std::size_t>(input.nnodes), -1);
   (*cost_out)[static_cast<std::size_t>(input.source)] = 0;
   std::int32_t flag = 0;
@@ -143,7 +145,7 @@ runtime::RunReport RunBfsProgram(const BfsInput& input,
   config.num_gpus = num_gpus;
   config.use_cpu = use_cpu;
   config.options = options;
-  runtime::ProgramRunner runner(*program, config);
+  runtime::ProgramRunner runner(program, config);
   runner.BindArray("offsets", const_cast<std::int32_t*>(input.offsets.data()),
                    ir::ValType::kI32,
                    static_cast<std::int64_t>(input.offsets.size()));
@@ -163,9 +165,10 @@ runtime::RunReport RunBfsProgram(const BfsInput& input,
 
 runtime::RunReport RunBfsAcc(const BfsInput& input, sim::Platform& platform,
                              int num_gpus, std::vector<std::int32_t>* cost_out,
-                             const runtime::ExecOptions& options) {
+                             const runtime::ExecOptions& options,
+                             const translator::CompileOptions& copts) {
   return RunBfsProgram(input, platform, num_gpus, /*use_cpu=*/false, cost_out,
-                       options);
+                       options, copts);
 }
 
 runtime::RunReport RunBfsOpenMp(const BfsInput& input, sim::Platform& platform,

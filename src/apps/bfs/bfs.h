@@ -42,7 +42,8 @@ const std::string& BfsSource();
 
 runtime::RunReport RunBfsAcc(const BfsInput& input, sim::Platform& platform,
                              int num_gpus, std::vector<std::int32_t>* cost_out,
-                             const runtime::ExecOptions& options = {});
+                             const runtime::ExecOptions& options = {},
+                             const translator::CompileOptions& copts = {});
 
 runtime::RunReport RunBfsOpenMp(const BfsInput& input, sim::Platform& platform,
                                 std::vector<std::int32_t>* cost_out);

@@ -187,9 +187,11 @@ namespace {
 runtime::RunReport RunKmeansProgram(const KmeansInput& input,
                                     sim::Platform& platform, int num_gpus,
                                     bool use_cpu, KmeansResult* result,
-                                    const runtime::ExecOptions& options) {
-  static const runtime::AccProgram* program = new runtime::AccProgram(
-      runtime::AccProgram::FromSource("kmeans", KmeansSource()));
+                                    const runtime::ExecOptions& options,
+                                    const translator::CompileOptions& copts =
+                                        {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("kmeans", KmeansSource(), copts);
   result->centroids = input.centroids;
   result->membership.assign(static_cast<std::size_t>(input.npoints), 0);
   std::vector<float> sums(static_cast<std::size_t>(input.nclusters) *
@@ -203,7 +205,7 @@ runtime::RunReport RunKmeansProgram(const KmeansInput& input,
   config.num_gpus = num_gpus;
   config.use_cpu = use_cpu;
   config.options = options;
-  runtime::ProgramRunner runner(*program, config);
+  runtime::ProgramRunner runner(program, config);
   runner.BindArray("features", const_cast<float*>(input.features.data()),
                    ir::ValType::kF32,
                    static_cast<std::int64_t>(input.features.size()));
@@ -228,9 +230,10 @@ runtime::RunReport RunKmeansProgram(const KmeansInput& input,
 runtime::RunReport RunKmeansAcc(const KmeansInput& input,
                                 sim::Platform& platform, int num_gpus,
                                 KmeansResult* result,
-                                const runtime::ExecOptions& options) {
+                                const runtime::ExecOptions& options,
+                                const translator::CompileOptions& copts) {
   return RunKmeansProgram(input, platform, num_gpus, /*use_cpu=*/false,
-                          result, options);
+                          result, options, copts);
 }
 
 runtime::RunReport RunKmeansOpenMp(const KmeansInput& input,

@@ -46,7 +46,8 @@ const std::string& KmeansSource();
 runtime::RunReport RunKmeansAcc(const KmeansInput& input,
                                 sim::Platform& platform, int num_gpus,
                                 KmeansResult* result,
-                                const runtime::ExecOptions& options = {});
+                                const runtime::ExecOptions& options = {},
+                                const translator::CompileOptions& copts = {});
 
 runtime::RunReport RunKmeansOpenMp(const KmeansInput& input,
                                    sim::Platform& platform,

@@ -143,9 +143,10 @@ namespace {
 runtime::RunReport RunMdProgram(const MdInput& input, sim::Platform& platform,
                                 int num_gpus, bool use_cpu,
                                 std::vector<float>* force_out,
-                                const runtime::ExecOptions& options) {
-  static const runtime::AccProgram* program = new runtime::AccProgram(
-      runtime::AccProgram::FromSource("md", MdSource()));
+                                const runtime::ExecOptions& options,
+                                const translator::CompileOptions& copts = {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("md", MdSource(), copts);
   force_out->assign(static_cast<std::size_t>(input.natoms) * 3, 0.0f);
 
   runtime::RunConfig config;
@@ -153,7 +154,7 @@ runtime::RunReport RunMdProgram(const MdInput& input, sim::Platform& platform,
   config.num_gpus = num_gpus;
   config.use_cpu = use_cpu;
   config.options = options;
-  runtime::ProgramRunner runner(*program, config);
+  runtime::ProgramRunner runner(program, config);
   // const_cast is safe: copyin arrays are never written by the program.
   runner.BindArray("pos", const_cast<float*>(input.pos.data()),
                    ir::ValType::kF32,
@@ -175,9 +176,10 @@ runtime::RunReport RunMdProgram(const MdInput& input, sim::Platform& platform,
 
 runtime::RunReport RunMdAcc(const MdInput& input, sim::Platform& platform,
                             int num_gpus, std::vector<float>* force_out,
-                            const runtime::ExecOptions& options) {
+                            const runtime::ExecOptions& options,
+                            const translator::CompileOptions& copts) {
   return RunMdProgram(input, platform, num_gpus, /*use_cpu=*/false, force_out,
-                      options);
+                      options, copts);
 }
 
 runtime::RunReport RunMdOpenMp(const MdInput& input, sim::Platform& platform,

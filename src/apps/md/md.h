@@ -40,10 +40,13 @@ std::vector<float> MdReference(const MdInput& input);
 /// The annotated OpenACC source consumed by the translator.
 const std::string& MdSource();
 
-/// Proposal: translated program on `num_gpus` simulated GPUs.
+/// Proposal: translated program on `num_gpus` simulated GPUs. `copts`
+/// selects the translator's optimization level (docs/ARCHITECTURE.md,
+/// "Optimizing mid-end"); programs are cached per level.
 runtime::RunReport RunMdAcc(const MdInput& input, sim::Platform& platform,
                             int num_gpus, std::vector<float>* force_out,
-                            const runtime::ExecOptions& options = {});
+                            const runtime::ExecOptions& options = {},
+                            const translator::CompileOptions& copts = {});
 
 /// OpenMP baseline: same program on the host CPU.
 runtime::RunReport RunMdOpenMp(const MdInput& input, sim::Platform& platform,

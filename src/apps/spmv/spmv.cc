@@ -91,16 +91,18 @@ namespace {
 runtime::RunReport RunSpmvProgram(const SpmvInput& input,
                                   sim::Platform& platform, int num_gpus,
                                   bool use_cpu, std::vector<float>* y_out,
-                                  const runtime::ExecOptions& options) {
-  static const runtime::AccProgram* program = new runtime::AccProgram(
-      runtime::AccProgram::FromSource("spmv", SpmvSource()));
+                                  const runtime::ExecOptions& options,
+                                  const translator::CompileOptions& copts =
+                                      {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("spmv", SpmvSource(), copts);
   y_out->assign(static_cast<std::size_t>(input.rows), 0.0f);
   runtime::RunConfig config;
   config.platform = &platform;
   config.num_gpus = num_gpus;
   config.use_cpu = use_cpu;
   config.options = options;
-  runtime::ProgramRunner runner(*program, config);
+  runtime::ProgramRunner runner(program, config);
   runner.BindArray("values", const_cast<float*>(input.values.data()),
                    ir::ValType::kF32,
                    static_cast<std::int64_t>(input.values.size()));
@@ -121,9 +123,10 @@ runtime::RunReport RunSpmvProgram(const SpmvInput& input,
 
 runtime::RunReport RunSpmvAcc(const SpmvInput& input, sim::Platform& platform,
                               int num_gpus, std::vector<float>* y_out,
-                              const runtime::ExecOptions& options) {
+                              const runtime::ExecOptions& options,
+                              const translator::CompileOptions& copts) {
   return RunSpmvProgram(input, platform, num_gpus, /*use_cpu=*/false, y_out,
-                        options);
+                        options, copts);
 }
 
 runtime::RunReport RunSpmvOpenMp(const SpmvInput& input,

@@ -36,7 +36,8 @@ const std::string& SpmvSource();
 
 runtime::RunReport RunSpmvAcc(const SpmvInput& input, sim::Platform& platform,
                               int num_gpus, std::vector<float>* y_out,
-                              const runtime::ExecOptions& options = {});
+                              const runtime::ExecOptions& options = {},
+                              const translator::CompileOptions& copts = {});
 
 runtime::RunReport RunSpmvOpenMp(const SpmvInput& input,
                                  sim::Platform& platform,

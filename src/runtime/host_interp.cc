@@ -294,6 +294,10 @@ HostInterpreter::Flow HostInterpreter::ExecStmt(const Stmt& stmt) {
 }
 
 HostInterpreter::Flow HostInterpreter::ExecBody(const Stmt& stmt) {
+  // A loop the mid-end fused into a preceding offload already ran as part
+  // of that offload's kernel; its statement is a no-op here.
+  if (fn_.fused_away.count(&stmt) != 0) return Flow::kNext;
+
   // Offloaded loop?
   auto offload_it = fn_.offload_of_stmt.find(&stmt);
   if (offload_it != fn_.offload_of_stmt.end()) {

@@ -1,5 +1,7 @@
 #include "runtime/program.h"
 
+#include <mutex>
+
 #include "common/error.h"
 #include "frontend/sema.h"
 #include "runtime/host_interp.h"
@@ -20,6 +22,24 @@ AccProgram AccProgram::FromSource(const std::string& name,
   program.ast_ = frontend::ParseAndAnalyze(buffer);
   program.compiled_ = translator::Compile(*program.ast_, options);
   return program;
+}
+
+const AccProgram& AccProgram::Cached(const std::string& name,
+                                     const std::string& source,
+                                     const translator::CompileOptions& options) {
+  static std::mutex* mu = new std::mutex;
+  static auto* cache =
+      new std::unordered_map<std::string, std::unique_ptr<AccProgram>>;
+  const std::string key = name + "@O" + std::to_string(options.opt_level);
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(key, std::make_unique<AccProgram>(
+                                FromSource(name, source, options)))
+             .first;
+  }
+  return *it->second;
 }
 
 ProgramRunner::ProgramRunner(const AccProgram& program, RunConfig config)

@@ -43,6 +43,14 @@ class AccProgram {
                                const std::string& source,
                                const translator::CompileOptions& options);
 
+  /// Process-wide compile cache keyed by (name, options.opt_level). The app
+  /// runners compile their embedded sources at most once per optimization
+  /// level and reuse the result across benchmark repetitions. Thread-safe.
+  /// Callers must pass the same `source` for a given `name`.
+  static const AccProgram& Cached(const std::string& name,
+                                  const std::string& source,
+                                  const translator::CompileOptions& options);
+
   const frontend::Program& ast() const { return *ast_; }
   const translator::CompiledProgram& compiled() const { return compiled_; }
   const std::string& name() const { return name_; }

@@ -48,10 +48,12 @@ std::string ProgramCache::KeyFor(const std::string& source,
   // Versioned canonical serialization: bump the tag when CompileOptions
   // grows a field so stale processes never alias new-option programs.
   Sha256 hasher;
-  hasher.Update("accmg-program-key-v1");
+  hasher.Update("accmg-program-key-v2");
   hasher.Update("\0", 1);
   hasher.Update(options.check_directives ? "check_directives=1"
                                          : "check_directives=0");
+  hasher.Update("\0", 1);
+  hasher.Update("opt_level=" + std::to_string(options.opt_level));
   hasher.Update("\0", 1);
   hasher.Update(source);
   return hasher.HexDigest();

@@ -7,6 +7,7 @@
 #include "translator/eval.h"
 #include "translator/lowering.h"
 #include "translator/offload.h"
+#include "translator/opt.h"
 #include "translator/type_map.h"
 
 namespace accmg::translator {
@@ -555,6 +556,90 @@ class FunctionCompiler {
           min_off >= -left && max_off <= stride - 1 + right;
     }
 
+    // --- affine read summaries ---
+    // The read-side twin of the write summary, consumed by the mid-end
+    // fusion legality analysis: every read index of the array (including
+    // compound-assignment targets, which load before storing) as a*i + b
+    // with one common coefficient.
+    for (auto& config : offload.arrays) {
+      if (!config.is_read) continue;
+      bool all_affine = true;
+      bool saw_affine = false;
+      std::int64_t coeff = 0, min_off = 0, max_off = 0;
+      auto note_read_index = [&](const Expr& index) {
+        std::int64_t a, b;
+        if (!MatchAffine(index, *offload.induction, &a, &b)) {
+          all_affine = false;
+          return;
+        }
+        if (!saw_affine) {
+          coeff = a;
+          min_off = max_off = b;
+          saw_affine = true;
+        } else if (a != coeff) {
+          all_affine = false;
+        } else {
+          min_off = std::min(min_off, b);
+          max_off = std::max(max_off, b);
+        }
+      };
+      auto note_reads_in = [&](const Expr& e) {
+        WalkExprs(e, [&](const Expr& inner) {
+          if (inner.kind != ExprKind::kSubscript) return;
+          const auto& sub = As<frontend::SubscriptExpr>(inner);
+          if (sub.base->kind != ExprKind::kVarRef) return;
+          if (As<frontend::VarRef>(*sub.base).decl != config.decl) return;
+          note_read_index(*sub.index);
+        });
+      };
+      WalkStmts(*loop.body, [&](const Stmt& s) {
+        switch (s.kind) {
+          case StmtKind::kDecl:
+            if (As<frontend::DeclStmt>(s).init != nullptr) {
+              note_reads_in(*As<frontend::DeclStmt>(s).init);
+            }
+            break;
+          case StmtKind::kAssign: {
+            const auto& assign = As<frontend::AssignStmt>(s);
+            note_reads_in(*assign.value);
+            if (assign.target->kind == ExprKind::kSubscript) {
+              const auto& sub =
+                  As<frontend::SubscriptExpr>(*assign.target);
+              note_reads_in(*sub.index);
+              if (assign.op != frontend::AssignOp::kAssign &&
+                  sub.base->kind == ExprKind::kVarRef &&
+                  As<frontend::VarRef>(*sub.base).decl == config.decl) {
+                note_read_index(*sub.index);
+              }
+            }
+            break;
+          }
+          case StmtKind::kExpr:
+            note_reads_in(*As<frontend::ExprStmt>(s).expr);
+            break;
+          case StmtKind::kIf:
+            note_reads_in(*As<frontend::IfStmt>(s).cond);
+            break;
+          case StmtKind::kFor:
+            if (As<ForStmt>(s).cond != nullptr) {
+              note_reads_in(*As<ForStmt>(s).cond);
+            }
+            break;
+          case StmtKind::kWhile:
+            note_reads_in(*As<frontend::WhileStmt>(s).cond);
+            break;
+          default:
+            break;
+        }
+      });
+      if (all_affine && saw_affine) {
+        config.has_affine_reads = true;
+        config.read_coeff = coeff;
+        config.read_min_off = min_off;
+        config.read_max_off = max_off;
+      }
+    }
+
     for (const VarDecl* decl : scalar_order) {
       ScalarArg arg;
       arg.decl = decl;
@@ -578,6 +663,38 @@ class FunctionCompiler {
 };
 
 }  // namespace
+
+bool ExprStructurallyEqual(const Expr& x, const Expr& y) {
+  if (x.kind != y.kind) return false;
+  switch (x.kind) {
+    case ExprKind::kIntLiteral:
+      return As<frontend::IntLiteral>(x).value ==
+             As<frontend::IntLiteral>(y).value;
+    case ExprKind::kFloatLiteral:
+      return As<frontend::FloatLiteral>(x).value ==
+             As<frontend::FloatLiteral>(y).value;
+    case ExprKind::kVarRef:
+      return As<frontend::VarRef>(x).decl == As<frontend::VarRef>(y).decl;
+    case ExprKind::kSubscript:
+      return ExprStructurallyEqual(*As<frontend::SubscriptExpr>(x).base,
+                                   *As<frontend::SubscriptExpr>(y).base) &&
+             ExprStructurallyEqual(*As<frontend::SubscriptExpr>(x).index,
+                                   *As<frontend::SubscriptExpr>(y).index);
+    case ExprKind::kUnary:
+      return As<frontend::UnaryExpr>(x).op == As<frontend::UnaryExpr>(y).op &&
+             ExprStructurallyEqual(*As<frontend::UnaryExpr>(x).operand,
+                                   *As<frontend::UnaryExpr>(y).operand);
+    case ExprKind::kBinary:
+      return As<frontend::BinaryExpr>(x).op ==
+                 As<frontend::BinaryExpr>(y).op &&
+             ExprStructurallyEqual(*As<frontend::BinaryExpr>(x).lhs,
+                                   *As<frontend::BinaryExpr>(y).lhs) &&
+             ExprStructurallyEqual(*As<frontend::BinaryExpr>(x).rhs,
+                                   *As<frontend::BinaryExpr>(y).rhs);
+    default:
+      return false;
+  }
+}
 
 bool MatchAffine(const Expr& expr, const VarDecl& induction, std::int64_t* a,
                  std::int64_t* b) {
@@ -655,6 +772,9 @@ CompiledProgram Compile(const frontend::Program& program,
   for (const auto& function : program.functions) {
     FunctionCompiler compiler(*function, options);
     compiled.functions.push_back(compiler.Run());
+    if (options.opt_level > 0) {
+      OptimizeFunction(compiled.functions.back(), options);
+    }
   }
   return compiled;
 }

@@ -38,7 +38,23 @@ class KernelEmitter {
          " = iter_lo + (long long)blockIdx.x * blockDim.x + threadIdx.x;");
     Line("if (" + offload_.induction->name + " >= iter_hi) return;");
     EmitReductionPrologue();
-    EmitStmt(*offload_.loop->body);
+    if (offload_.fused.empty()) {
+      EmitStmt(*offload_.loop->body);
+    } else {
+      // Fused offload: constituent bodies run back to back, each in its own
+      // scope with its induction variable aliased to the shared one.
+      for (const auto& part : offload_.fused) {
+        Line("{");
+        ++indent_;
+        if (part.induction->name != offload_.induction->name) {
+          Line("const long long " + part.induction->name + " = " +
+               offload_.induction->name + ";");
+        }
+        EmitStmt(*part.loop->body);
+        --indent_;
+        Line("}");
+      }
+    }
     EmitReductionEpilogue();
     --indent_;
     Line("}");

@@ -18,36 +18,9 @@ namespace {
 bool IsFloat(ScalarType t) { return frontend::IsFloatType(t); }
 
 /// Structural equality of expressions (used to recognize `a[i] = a[i] op v`).
+/// Shared with the mid-end fusion pass; implemented in compile.cc.
 bool ExprEquals(const Expr& x, const Expr& y) {
-  if (x.kind != y.kind) return false;
-  switch (x.kind) {
-    case ExprKind::kIntLiteral:
-      return As<frontend::IntLiteral>(x).value ==
-             As<frontend::IntLiteral>(y).value;
-    case ExprKind::kFloatLiteral:
-      return As<frontend::FloatLiteral>(x).value ==
-             As<frontend::FloatLiteral>(y).value;
-    case ExprKind::kVarRef:
-      return As<frontend::VarRef>(x).decl == As<frontend::VarRef>(y).decl;
-    case ExprKind::kSubscript:
-      return ExprEquals(*As<frontend::SubscriptExpr>(x).base,
-                        *As<frontend::SubscriptExpr>(y).base) &&
-             ExprEquals(*As<frontend::SubscriptExpr>(x).index,
-                        *As<frontend::SubscriptExpr>(y).index);
-    case ExprKind::kUnary:
-      return As<frontend::UnaryExpr>(x).op == As<frontend::UnaryExpr>(y).op &&
-             ExprEquals(*As<frontend::UnaryExpr>(x).operand,
-                        *As<frontend::UnaryExpr>(y).operand);
-    case ExprKind::kBinary:
-      return As<frontend::BinaryExpr>(x).op ==
-                 As<frontend::BinaryExpr>(y).op &&
-             ExprEquals(*As<frontend::BinaryExpr>(x).lhs,
-                        *As<frontend::BinaryExpr>(y).lhs) &&
-             ExprEquals(*As<frontend::BinaryExpr>(x).rhs,
-                        *As<frontend::BinaryExpr>(y).rhs);
-    default:
-      return false;
-  }
+  return ExprStructurallyEqual(x, y);
 }
 
 ir::RedOp AssignOpToRedOp(frontend::AssignOp op) {
@@ -151,7 +124,17 @@ void KernelLowering::Lower() {
   }
   var_regs_[offload_.induction->id] = builder_.thread_id_reg();
 
-  LowerStmt(*offload_.loop->body);
+  if (offload_.fused.empty()) {
+    LowerStmt(*offload_.loop->body);
+  } else {
+    // Fused offload: the bodies of all constituents run back to back per
+    // thread, each constituent's induction variable aliased to the shared
+    // thread id.
+    for (const auto& part : offload_.fused) {
+      var_regs_[part.induction->id] = builder_.thread_id_reg();
+      LowerStmt(*part.loop->body);
+    }
+  }
   offload_.kernel = builder_.Build();
 }
 

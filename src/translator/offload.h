@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "frontend/ast.h"
@@ -51,6 +52,18 @@ struct ArrayConfig {
   std::int64_t write_min_off = 0;
   std::int64_t write_max_off = 0;
 
+  /// Static affine read summary, the read-side twin of the write summary:
+  /// set when the loop reads this array and every read index (including
+  /// compound-assignment targets) is affine in the induction variable with
+  /// one common coefficient. The mid-end fusion pass uses read and write
+  /// summaries together to prove that two adjacent loops never touch the
+  /// same element from different iterations; absent means the reads are
+  /// unanalyzable and fusion involving this array must bail out.
+  bool has_affine_reads = false;
+  std::int64_t read_coeff = 0;
+  std::int64_t read_min_off = 0;
+  std::int64_t read_max_off = 0;
+
   int kernel_array_index = -1;  ///< into KernelIR::arrays
 };
 
@@ -76,6 +89,14 @@ struct ArrayRedTarget {
   const frontend::Expr* length = nullptr;  ///< null = whole array
 };
 
+/// One source loop folded into a fused offload. Every constituent's
+/// induction variable aliases the kernel thread-id register, so the fused
+/// kernel runs the concatenated bodies once per shared iteration.
+struct FusedLoop {
+  const frontend::ForStmt* loop = nullptr;
+  const frontend::VarDecl* induction = nullptr;
+};
+
 struct LoopOffload {
   int id = -1;
   std::string name;
@@ -84,6 +105,11 @@ struct LoopOffload {
   const frontend::Expr* lower_bound = nullptr;  ///< loop starts at this value
   const frontend::Expr* upper_bound = nullptr;  ///< exclusive unless inclusive
   bool upper_inclusive = false;
+
+  /// Non-empty iff the mid-end fused this offload out of several adjacent
+  /// parallel loops; constituents are in source order and the first entry
+  /// is `loop` itself. Empty for a one-to-one translation.
+  std::vector<FusedLoop> fused;
 
   ir::KernelIR kernel;
   std::vector<ArrayConfig> arrays;        ///< parallel to kernel.arrays
@@ -119,6 +145,10 @@ struct CompiledFunction {
   std::vector<LoopOffload> offloads;
   /// Statement (the annotated ForStmt) -> index into `offloads`.
   std::unordered_map<const frontend::Stmt*, int> offload_of_stmt;
+  /// Loop statements the mid-end fused into a preceding offload. The host
+  /// interpreter must treat these as no-ops: their work runs when the
+  /// fused offload (keyed on the first constituent's statement) executes.
+  std::unordered_set<const frontend::Stmt*> fused_away;
 };
 
 struct CompiledProgram {
@@ -144,6 +174,16 @@ struct CompileOptions {
   /// decide passes. Off switches the runtime back to trusting directives
   /// blindly (accmgc --no-directive-check).
   bool check_directives = true;
+
+  /// Mid-end optimization level (accmgc --opt-level={0,1,2}):
+  ///   0 — translate every parallel loop one-to-one (the paper's pipeline);
+  ///   1 — dependence-proven fusion of adjacent parallel loops plus local
+  ///       CSE over the generated kernel IR (default);
+  ///   2 — additionally hoist loop-invariant IR out of provably-entered
+  ///       inner loops.
+  /// Every rewrite bails out conservatively: an unprovable candidate is
+  /// left untouched, never compiled wrong.
+  int opt_level = 1;
 };
 
 /// Translates every function of an analyzed program. Throws CompileError on
@@ -157,5 +197,11 @@ CompiledProgram Compile(const frontend::Program& program,
 bool MatchAffine(const frontend::Expr& expr,
                  const frontend::VarDecl& induction, std::int64_t* a,
                  std::int64_t* b);
+
+/// Structural equality of two expressions: same shape, literals, operators
+/// and resolved declarations. Used to recognize reduction patterns in the
+/// lowering and to prove matching loop bounds / localaccess specs in the
+/// mid-end fusion pass.
+bool ExprStructurallyEqual(const frontend::Expr& x, const frontend::Expr& y);
 
 }  // namespace accmg::translator

@@ -1,0 +1,1075 @@
+#include "translator/opt.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "translator/eval.h"
+#include "translator/lowering.h"
+
+namespace accmg::translator {
+
+using frontend::As;
+using frontend::CompoundStmt;
+using frontend::DirectiveKind;
+using frontend::Expr;
+using frontend::ExprKind;
+using frontend::Stmt;
+using frontend::StmtKind;
+using frontend::VarDecl;
+using ir::Opcode;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST helpers
+// ---------------------------------------------------------------------------
+
+void ForEachVarRef(const Expr& e,
+                   const std::function<void(const frontend::VarRef&)>& f) {
+  switch (e.kind) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kFloatLiteral:
+      return;
+    case ExprKind::kVarRef:
+      f(As<frontend::VarRef>(e));
+      return;
+    case ExprKind::kSubscript: {
+      const auto& sub = As<frontend::SubscriptExpr>(e);
+      ForEachVarRef(*sub.base, f);
+      ForEachVarRef(*sub.index, f);
+      return;
+    }
+    case ExprKind::kUnary:
+      ForEachVarRef(*As<frontend::UnaryExpr>(e).operand, f);
+      return;
+    case ExprKind::kBinary: {
+      const auto& bin = As<frontend::BinaryExpr>(e);
+      ForEachVarRef(*bin.lhs, f);
+      ForEachVarRef(*bin.rhs, f);
+      return;
+    }
+    case ExprKind::kCall:
+      for (const auto& arg : As<frontend::CallExpr>(e).args) {
+        ForEachVarRef(*arg, f);
+      }
+      return;
+    case ExprKind::kCast:
+      ForEachVarRef(*As<frontend::CastExpr>(e).operand, f);
+      return;
+    case ExprKind::kConditional: {
+      const auto& cond = As<frontend::ConditionalExpr>(e);
+      ForEachVarRef(*cond.cond, f);
+      ForEachVarRef(*cond.then_expr, f);
+      ForEachVarRef(*cond.else_expr, f);
+      return;
+    }
+  }
+}
+
+bool ExprMentionsAny(const Expr* e,
+                     const std::unordered_set<const VarDecl*>& decls) {
+  if (e == nullptr || decls.empty()) return false;
+  bool hit = false;
+  ForEachVarRef(*e, [&](const frontend::VarRef& ref) {
+    if (decls.count(ref.decl) != 0) hit = true;
+  });
+  return hit;
+}
+
+void CollectCompounds(const Stmt& stmt,
+                      std::vector<const CompoundStmt*>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kCompound: {
+      const auto& compound = As<CompoundStmt>(stmt);
+      out->push_back(&compound);
+      for (const auto& child : compound.body) CollectCompounds(*child, out);
+      return;
+    }
+    case StmtKind::kIf: {
+      const auto& ifs = As<frontend::IfStmt>(stmt);
+      CollectCompounds(*ifs.then_stmt, out);
+      if (ifs.else_stmt != nullptr) CollectCompounds(*ifs.else_stmt, out);
+      return;
+    }
+    case StmtKind::kFor:
+      CollectCompounds(*As<frontend::ForStmt>(stmt).body, out);
+      return;
+    case StmtKind::kWhile:
+      CollectCompounds(*As<frontend::WhileStmt>(stmt).body, out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Null-tolerant structural equality for directive sub-expressions, where
+/// null means the spec's default value.
+bool ExprEqualOrBothNull(const Expr* x, const Expr* y) {
+  if (x == nullptr || y == nullptr) return x == y;
+  return ExprStructurallyEqual(*x, *y);
+}
+
+/// Picks the wider of two halo-window expressions (null = 0) when that is
+/// statically decidable: structurally equal, or both constant-foldable.
+bool PickWiderWindow(const Expr* x, const Expr* y, const Expr** out) {
+  if (ExprEqualOrBothNull(x, y)) {
+    *out = x;
+    return true;
+  }
+  std::int64_t xv = 0, yv = 0;
+  if (x != nullptr && !TryFoldConstant(*x, &xv)) return false;
+  if (y != nullptr && !TryFoldConstant(*y, &yv)) return false;
+  *out = (xv >= yv) ? x : y;
+  return true;
+}
+
+/// Matching localaccess strides: structurally equal or same folded constant.
+bool StridesMatch(const Expr* x, const Expr* y) {
+  if (ExprEqualOrBothNull(x, y)) return true;
+  std::int64_t xv = 1, yv = 1;
+  if (x != nullptr && !TryFoldConstant(*x, &xv)) return false;
+  if (y != nullptr && !TryFoldConstant(*y, &yv)) return false;
+  return xv == yv;
+}
+
+/// Host-level directives whose position relative to the loop matters; a
+/// candidate carrying any of these cannot be moved into / merged with a
+/// neighbouring offload.
+bool CarriesHostDirectives(const Stmt& s) {
+  return s.HasDirective(DirectiveKind::kData) ||
+         s.HasDirective(DirectiveKind::kEnterData) ||
+         s.HasDirective(DirectiveKind::kExitData) ||
+         s.HasDirective(DirectiveKind::kUpdate);
+}
+
+// ---------------------------------------------------------------------------
+// Fusion legality
+// ---------------------------------------------------------------------------
+
+/// The union of one side's affine read/write offset intervals for a shared
+/// array, with their common coefficient.
+struct AccessSummary {
+  std::int64_t coeff = 0;
+  std::int64_t min_off = 0;
+  std::int64_t max_off = 0;
+};
+
+bool SummarizeAccesses(const ArrayConfig& c, AccessSummary* out) {
+  if (c.is_read && !c.has_affine_reads) return false;
+  if (c.is_written && !c.has_affine_writes) return false;
+  if (!c.is_read && !c.is_written) return false;
+  if (c.is_read && c.is_written && c.read_coeff != c.write_coeff) return false;
+  out->coeff = c.is_written ? c.write_coeff : c.read_coeff;
+  if (out->coeff == 0) return false;
+  if (c.is_read && c.is_written) {
+    out->min_off = std::min(c.read_min_off, c.write_min_off);
+    out->max_off = std::max(c.read_max_off, c.write_max_off);
+  } else if (c.is_written) {
+    out->min_off = c.write_min_off;
+    out->max_off = c.write_max_off;
+  } else {
+    out->min_off = c.read_min_off;
+    out->max_off = c.read_max_off;
+  }
+  return true;
+}
+
+/// Proves that every pair of accesses to the shared array from loop
+/// iterations i (in A) and j (in B) with i != j touches distinct elements:
+/// all indexes are coeff*i + off with one common coeff, and every cross
+/// offset difference is smaller than |coeff|, so equal elements force i == j
+/// (same fused thread, where program order is preserved).
+bool SameElementImpliesSameThread(const AccessSummary& a,
+                                  const AccessSummary& b) {
+  if (a.coeff != b.coeff) return false;
+  const std::int64_t c = a.coeff < 0 ? -a.coeff : a.coeff;
+  const std::int64_t spread =
+      std::max(a.max_off - b.min_off, b.max_off - a.min_off);
+  return spread < c;
+}
+
+void MergeAffineSummary(bool a_used, bool a_has, std::int64_t ac,
+                        std::int64_t amin, std::int64_t amax, bool b_used,
+                        bool b_has, std::int64_t bc, std::int64_t bmin,
+                        std::int64_t bmax, bool* out_has, std::int64_t* oc,
+                        std::int64_t* omin, std::int64_t* omax) {
+  if (a_used && b_used) {
+    if (a_has && b_has && ac == bc) {
+      *out_has = true;
+      *oc = ac;
+      *omin = std::min(amin, bmin);
+      *omax = std::max(amax, bmax);
+    } else {
+      *out_has = false;
+    }
+  } else if (a_used) {
+    *out_has = a_has;
+    *oc = ac;
+    *omin = amin;
+    *omax = amax;
+  } else if (b_used) {
+    *out_has = b_has;
+    *oc = bc;
+    *omin = bmin;
+    *omax = bmax;
+  } else {
+    *out_has = false;
+  }
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Checks every fusion precondition for adjacent offloads `a` (first) and
+/// `b` (second). On success fills `merged` (everything except the kernel,
+/// which the caller re-lowers).
+bool PlanFusion(const LoopOffload& a, const LoopOffload& b,
+                LoopOffload* merged) {
+  // Host-position-sensitive directives pin a loop in place.
+  if (CarriesHostDirectives(*a.loop) || CarriesHostDirectives(*b.loop)) {
+    return false;
+  }
+
+  // Identical iteration spaces, proven structurally. The hazard scan below
+  // additionally rules out A changing a bound's value between the two
+  // evaluations.
+  if (a.upper_inclusive != b.upper_inclusive) return false;
+  if (!ExprEqualOrBothNull(a.lower_bound, b.lower_bound)) return false;
+  if (!ExprEqualOrBothNull(a.upper_bound, b.upper_bound)) return false;
+
+  // Shadowing: one identifier bound to two different parameter declarations
+  // across the candidates would make the merged kernel signature (and the
+  // launch environment) ambiguous. Induction variables are exempt — every
+  // constituent's induction is aliased to the shared thread id in its own
+  // scope — but a B-side parameter named like the fused kernel's primary
+  // induction would collide with it at CUDA function scope.
+  std::unordered_map<std::string, const VarDecl*> names;
+  auto note_param = [&](const VarDecl* decl) {
+    if (decl == nullptr) return true;
+    auto [it, inserted] = names.emplace(decl->name, decl);
+    return inserted || it->second == decl;
+  };
+  bool names_ok = true;
+  for (const auto& cfg : a.arrays) names_ok = names_ok && note_param(cfg.decl);
+  for (const auto& cfg : b.arrays) names_ok = names_ok && note_param(cfg.decl);
+  for (const auto& s : a.scalars) names_ok = names_ok && note_param(s.decl);
+  for (const auto& s : b.scalars) names_ok = names_ok && note_param(s.decl);
+  for (const auto& r : a.scalar_reds) names_ok = names_ok && note_param(r.decl);
+  for (const auto& r : b.scalar_reds) names_ok = names_ok && note_param(r.decl);
+  if (!names_ok) return false;
+  if (names.count(a.induction->name) != 0) return false;
+
+  // Hazard scan: values A changes on the host (reduction results, written
+  // arrays) must not feed anything B evaluates at launch time — bounds,
+  // localaccess windows, reduction sections, or scalar arguments — because
+  // fusing moves those evaluations before A's results land.
+  std::unordered_set<const VarDecl*> a_mutates;
+  for (const auto& red : a.scalar_reds) a_mutates.insert(red.decl);
+  for (const auto& red : a.array_reds) a_mutates.insert(red.decl);
+  for (const auto& cfg : a.arrays) {
+    if (cfg.is_written || cfg.is_reduction_dest) a_mutates.insert(cfg.decl);
+  }
+  if (ExprMentionsAny(b.lower_bound, a_mutates) ||
+      ExprMentionsAny(b.upper_bound, a_mutates)) {
+    return false;
+  }
+  for (const auto& cfg : b.arrays) {
+    if (ExprMentionsAny(cfg.stride, a_mutates) ||
+        ExprMentionsAny(cfg.left, a_mutates) ||
+        ExprMentionsAny(cfg.right, a_mutates)) {
+      return false;
+    }
+  }
+  for (const auto& red : b.array_reds) {
+    if (ExprMentionsAny(red.lower, a_mutates) ||
+        ExprMentionsAny(red.length, a_mutates)) {
+      return false;
+    }
+  }
+  for (const auto& s : b.scalars) {
+    if (a_mutates.count(s.decl) != 0) return false;
+  }
+
+  // Scalar reductions may repeat across the sides only with matching ops
+  // (then B's accumulation folds into A's slot; add/mul/min/max are
+  // commutative and associative, so the combined result is unchanged).
+  for (const auto& br : b.scalar_reds) {
+    for (const auto& ar : a.scalar_reds) {
+      if (ar.decl == br.decl && ar.op != br.op) return false;
+    }
+  }
+
+  // Per shared array: reduction destinations never fuse; localaccess specs
+  // must agree; any cross dependence must be proven same-thread-only.
+  merged->arrays = a.arrays;
+  for (const auto& bc : b.arrays) {
+    ArrayConfig* ac = nullptr;
+    for (auto& cfg : merged->arrays) {
+      if (cfg.decl == bc.decl) {
+        ac = &cfg;
+        break;
+      }
+    }
+    if (ac == nullptr) {
+      merged->arrays.push_back(bc);
+      merged->arrays.back().kernel_array_index = -1;
+      continue;
+    }
+    if (ac->is_reduction_dest || bc.is_reduction_dest) return false;
+    if (ac->has_localaccess != bc.has_localaccess) return false;
+    if (ac->has_localaccess) {
+      if (!StridesMatch(ac->stride, bc.stride)) return false;
+      const Expr* left = nullptr;
+      const Expr* right = nullptr;
+      if (!PickWiderWindow(ac->left, bc.left, &left)) return false;
+      if (!PickWiderWindow(ac->right, bc.right, &right)) return false;
+      ac->left = left;
+      ac->right = right;
+    }
+    const bool cross_dep = (ac->is_written && bc.is_read) ||
+                           (ac->is_read && bc.is_written) ||
+                           (ac->is_written && bc.is_written);
+    if (cross_dep) {
+      AccessSummary sa, sb;
+      if (!SummarizeAccesses(*ac, &sa)) return false;
+      if (!SummarizeAccesses(bc, &sb)) return false;
+      if (!SameElementImpliesSameThread(sa, sb)) return false;
+      // A write that may land outside the local shard is spilled to the
+      // miss buffer and only replayed after the kernel, so a same-thread
+      // read in B would see the stale element. Bail unless A's writes are
+      // proven local.
+      if (ac->has_localaccess && ac->is_written && !ac->writes_proven_local &&
+          bc.is_read) {
+        return false;
+      }
+    }
+    // Merge the per-side facts. Windows only ever widen, so each side's
+    // locality proof survives the merge.
+    ArrayConfig fused = *ac;
+    fused.is_read = ac->is_read || bc.is_read;
+    fused.is_written = ac->is_written || bc.is_written;
+    fused.writes_proven_local =
+        (!ac->is_written || ac->writes_proven_local) &&
+        (!bc.is_written || bc.writes_proven_local) &&
+        (ac->is_written || bc.is_written);
+    MergeAffineSummary(ac->is_written, ac->has_affine_writes, ac->write_coeff,
+                       ac->write_min_off, ac->write_max_off, bc.is_written,
+                       bc.has_affine_writes, bc.write_coeff, bc.write_min_off,
+                       bc.write_max_off, &fused.has_affine_writes,
+                       &fused.write_coeff, &fused.write_min_off,
+                       &fused.write_max_off);
+    MergeAffineSummary(ac->is_read, ac->has_affine_reads, ac->read_coeff,
+                       ac->read_min_off, ac->read_max_off, bc.is_read,
+                       bc.has_affine_reads, bc.read_coeff, bc.read_min_off,
+                       bc.read_max_off, &fused.has_affine_reads,
+                       &fused.read_coeff, &fused.read_min_off,
+                       &fused.read_max_off);
+    fused.kernel_array_index = -1;
+    *ac = fused;
+  }
+
+  merged->id = a.id;
+  merged->name = EndsWith(a.name, "_fused") ? a.name : a.name + "_fused";
+  merged->loop = a.loop;
+  merged->induction = a.induction;
+  merged->lower_bound = a.lower_bound;
+  merged->upper_bound = a.upper_bound;
+  merged->upper_inclusive = a.upper_inclusive;
+
+  if (a.fused.empty()) {
+    merged->fused.push_back({a.loop, a.induction});
+  } else {
+    merged->fused = a.fused;
+  }
+  if (b.fused.empty()) {
+    merged->fused.push_back({b.loop, b.induction});
+  } else {
+    merged->fused.insert(merged->fused.end(), b.fused.begin(), b.fused.end());
+  }
+
+  merged->scalars = a.scalars;
+  for (const auto& s : b.scalars) {
+    bool present = false;
+    for (const auto& e : merged->scalars) present = present || e.decl == s.decl;
+    if (!present) merged->scalars.push_back(s);
+  }
+  for (auto& s : merged->scalars) s.kernel_scalar_index = -1;
+
+  merged->scalar_reds = a.scalar_reds;
+  for (const auto& r : b.scalar_reds) {
+    bool present = false;
+    for (const auto& e : merged->scalar_reds) {
+      present = present || (e.decl == r.decl && e.op == r.op);
+    }
+    if (!present) merged->scalar_reds.push_back(r);
+  }
+  for (auto& r : merged->scalar_reds) r.slot = -1;
+
+  merged->array_reds = a.array_reds;
+  merged->array_reds.insert(merged->array_reds.end(), b.array_reds.begin(),
+                            b.array_reds.end());
+  for (auto& r : merged->array_reds) r.slot = -1;
+
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Fusion driver
+// ---------------------------------------------------------------------------
+
+bool TryFuse(CompiledFunction& fn, int ia, int ib, OptStats* stats) {
+  LoopOffload merged;
+  if (!PlanFusion(fn.offloads[ia], fn.offloads[ib], &merged)) {
+    ++stats->bailouts;
+    return false;
+  }
+  try {
+    KernelLowering lowering(merged);
+    lowering.Lower();
+  } catch (const Error&) {
+    // Re-lowering the concatenated bodies should always succeed (both sides
+    // lowered individually); if it does not, refuse the fusion rather than
+    // fail the compile.
+    ++stats->bailouts;
+    return false;
+  }
+  {
+    trace::Span span("fuse:" + fn.offloads[ia].name + "+" +
+                         fn.offloads[ib].name,
+                     trace::category::kCompile);
+  }
+  fn.fused_away.insert(fn.offloads[ib].loop);
+  fn.offloads[ia] = std::move(merged);
+  fn.offloads.erase(fn.offloads.begin() + ib);
+  fn.offload_of_stmt.clear();
+  for (std::size_t i = 0; i < fn.offloads.size(); ++i) {
+    fn.offloads[i].id = static_cast<int>(i);
+    fn.offload_of_stmt[fn.offloads[i].loop] = static_cast<int>(i);
+  }
+  ++stats->fusions;
+  return true;
+}
+
+void FuseAdjacentOffloads(CompiledFunction& fn, OptStats* stats) {
+  std::vector<const CompoundStmt*> compounds;
+  CollectCompounds(*fn.function->body, &compounds);
+  // Pairs already refused this run; cleared for a statement whose offload
+  // changes (its successor was fused into it, making a new pair).
+  std::set<std::pair<const Stmt*, const Stmt*>> refused;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CompoundStmt* compound : compounds) {
+      for (std::size_t i = 0; i < compound->body.size() && !changed; ++i) {
+        const Stmt* s1 = compound->body[i].get();
+        auto it1 = fn.offload_of_stmt.find(s1);
+        if (it1 == fn.offload_of_stmt.end()) continue;
+        // Loops already folded into s1 sit between it and the next live
+        // offload; they are no-ops, so adjacency skips over them.
+        std::size_t j = i + 1;
+        while (j < compound->body.size() &&
+               fn.fused_away.count(compound->body[j].get()) != 0) {
+          ++j;
+        }
+        if (j >= compound->body.size()) continue;
+        const Stmt* s2 = compound->body[j].get();
+        auto it2 = fn.offload_of_stmt.find(s2);
+        if (it2 == fn.offload_of_stmt.end()) continue;
+        if (refused.count({s1, s2}) != 0) continue;
+        if (TryFuse(fn, it1->second, it2->second, stats)) {
+          changed = true;
+          for (auto it = refused.begin(); it != refused.end();) {
+            if (it->first == s1 || it->second == s1) {
+              it = refused.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        } else {
+          refused.insert({s1, s2});
+        }
+      }
+      if (changed) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel IR facts
+// ---------------------------------------------------------------------------
+
+bool IsBranch(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kBrIf || op == Opcode::kBrIfNot;
+}
+
+bool ProducesValue(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kDirtyMark:
+    case Opcode::kRedScalar:
+    case Opcode::kRedArray:
+    case Opcode::kBr:
+    case Opcode::kBrIf:
+    case Opcode::kBrIfNot:
+    case Opcode::kRet:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ReadsA(Opcode op) {
+  switch (op) {
+    case Opcode::kConstI:
+    case Opcode::kConstF:
+    case Opcode::kBr:
+    case Opcode::kRet:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ReadsB(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI:
+    case Opcode::kSubI:
+    case Opcode::kMulI:
+    case Opcode::kDivI:
+    case Opcode::kModI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kShlI:
+    case Opcode::kShrI:
+    case Opcode::kMinI:
+    case Opcode::kMaxI:
+    case Opcode::kAddF:
+    case Opcode::kSubF:
+    case Opcode::kMulF:
+    case Opcode::kDivF:
+    case Opcode::kPowF:
+    case Opcode::kFminF:
+    case Opcode::kFmaxF:
+    case Opcode::kCmpLtI:
+    case Opcode::kCmpLeI:
+    case Opcode::kCmpEqI:
+    case Opcode::kCmpNeI:
+    case Opcode::kCmpLtF:
+    case Opcode::kCmpLeF:
+    case Opcode::kCmpEqF:
+    case Opcode::kCmpNeF:
+    case Opcode::kStore:
+    case Opcode::kRedArray:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Integer ops where swapping operands is a bit-exact identity. Float ops
+/// are excluded: a NaN payload can depend on operand order.
+bool CommutesExactly(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI:
+    case Opcode::kMulI:
+    case Opcode::kAndI:
+    case Opcode::kOrI:
+    case Opcode::kXorI:
+    case Opcode::kMinI:
+    case Opcode::kMaxI:
+    case Opcode::kCmpEqI:
+    case Opcode::kCmpNeI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int RedArrayTarget(const ir::KernelIR& kernel, const ir::Instr& in) {
+  const auto slot = static_cast<std::size_t>(in.imm.i);
+  if (slot < kernel.array_reductions.size()) {
+    return kernel.array_reductions[slot].array_index;
+  }
+  return -1;
+}
+
+/// Removes instructions marked dead and remaps branch targets. A deleted
+/// instruction is always pure fall-through, so a target pointing at one is
+/// redirected to the next surviving instruction.
+void CompactCode(ir::KernelIR& kernel, const std::vector<char>& dead) {
+  auto& code = kernel.code;
+  std::vector<std::int64_t> newpc(code.size() + 1, 0);
+  std::int64_t kept = 0;
+  for (std::size_t p = 0; p < code.size(); ++p) {
+    newpc[p] = kept;
+    if (!dead[p]) ++kept;
+  }
+  newpc[code.size()] = kept;
+  if (kept == static_cast<std::int64_t>(code.size())) return;
+  std::vector<ir::Instr> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::size_t p = 0; p < code.size(); ++p) {
+    if (dead[p]) continue;
+    ir::Instr in = code[p];
+    if (IsBranch(in.op)) in.imm.i = newpc[static_cast<std::size_t>(in.imm.i)];
+    out.push_back(in);
+  }
+  code = std::move(out);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CSE
+// ---------------------------------------------------------------------------
+
+int CsePass(ir::KernelIR& kernel) {
+  auto& code = kernel.code;
+  if (code.empty()) return 0;
+  int hits = 0;
+
+  std::vector<char> leader(code.size(), 0);
+  leader[0] = 1;
+  for (std::size_t p = 0; p < code.size(); ++p) {
+    if (IsBranch(code[p].op)) {
+      leader[static_cast<std::size_t>(code[p].imm.i)] = 1;
+      if (p + 1 < code.size()) leader[p + 1] = 1;
+    } else if (code[p].op == Opcode::kRet) {
+      if (p + 1 < code.size()) leader[p + 1] = 1;
+    }
+  }
+
+  using Key = std::tuple<int, std::int64_t, std::int64_t, int, std::int64_t,
+                         std::int64_t>;
+  std::size_t start = 0;
+  while (start < code.size()) {
+    std::size_t end = start + 1;
+    while (end < code.size() && !leader[end]) ++end;
+
+    // Per-block local value numbering. Unwritten registers carry the opaque
+    // value -(reg+1); `rep` maps a value id to a register currently holding
+    // it, used both to rewrite operands and to satisfy repeat computations.
+    std::vector<std::int64_t> regval(static_cast<std::size_t>(kernel.num_regs));
+    for (int r = 0; r < kernel.num_regs; ++r) {
+      regval[static_cast<std::size_t>(r)] = -static_cast<std::int64_t>(r) - 1;
+    }
+    std::map<std::int64_t, int> rep;
+    std::map<Key, std::int64_t> table;
+    std::vector<std::int64_t> epoch(kernel.arrays.size(), 0);
+    std::int64_t next_value = 1;
+
+    auto invalidate_reg = [&](int r) {
+      for (auto it = rep.begin(); it != rep.end();) {
+        if (it->second == r) {
+          it = rep.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    auto canon = [&](int r) {
+      auto it = rep.find(regval[static_cast<std::size_t>(r)]);
+      return it != rep.end() ? it->second : r;
+    };
+
+    for (std::size_t p = start; p < end; ++p) {
+      auto& in = code[p];
+      if (ReadsA(in.op) && in.a >= 0) in.a = canon(in.a);
+      if (ReadsB(in.op) && in.b >= 0) in.b = canon(in.b);
+      if (in.op == Opcode::kStore) {
+        if (in.arr >= 0) ++epoch[static_cast<std::size_t>(in.arr)];
+        continue;
+      }
+      if (in.op == Opcode::kRedArray) {
+        const int target = RedArrayTarget(kernel, in);
+        if (target >= 0) ++epoch[static_cast<std::size_t>(target)];
+        continue;
+      }
+      if (!ProducesValue(in.op) || in.dst < 0) continue;
+
+      if (in.op == Opcode::kMov) {
+        const std::int64_t v = regval[static_cast<std::size_t>(in.a)];
+        invalidate_reg(in.dst);
+        regval[static_cast<std::size_t>(in.dst)] = v;
+        rep.emplace(v, in.dst);
+        continue;
+      }
+
+      std::int64_t va =
+          (ReadsA(in.op) && in.a >= 0) ? regval[static_cast<std::size_t>(in.a)]
+                                       : 0;
+      std::int64_t vb =
+          (ReadsB(in.op) && in.b >= 0) ? regval[static_cast<std::size_t>(in.b)]
+                                       : 0;
+      std::int64_t imm1 = 0;
+      std::int64_t imm2 = 0;
+      int arr = -1;
+      if (in.op == Opcode::kConstI) {
+        imm1 = in.imm.i;
+      } else if (in.op == Opcode::kConstF) {
+        std::memcpy(&imm1, &in.imm.f, sizeof(imm1));
+      } else if (in.op == Opcode::kLoad) {
+        arr = in.arr;
+        imm2 = epoch[static_cast<std::size_t>(arr)];
+      }
+      if (CommutesExactly(in.op) && va > vb) std::swap(va, vb);
+      const Key key{static_cast<int>(in.op), va, vb, arr, imm1, imm2};
+
+      auto it = table.find(key);
+      auto rep_it = it != table.end() ? rep.find(it->second) : rep.end();
+      if (it != table.end() && rep_it != rep.end()) {
+        const std::int64_t v = it->second;
+        const int src = rep_it->second;
+        in.op = Opcode::kMov;
+        in.a = src;
+        in.b = -1;
+        in.arr = -1;
+        in.imm.i = 0;
+        invalidate_reg(in.dst);
+        regval[static_cast<std::size_t>(in.dst)] = v;
+        rep.emplace(v, in.dst);
+        ++hits;
+      } else {
+        const std::int64_t v = next_value++;
+        table[key] = v;
+        invalidate_reg(in.dst);
+        regval[static_cast<std::size_t>(in.dst)] = v;
+        rep[v] = in.dst;
+      }
+    }
+    start = end;
+  }
+
+  // Global dead-code sweep: delete pure instructions whose result no
+  // surviving instruction reads (most of the kMov placeholders above become
+  // dead once their uses were rewritten to the canonical register).
+  std::vector<char> dead(code.size(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<char> read(static_cast<std::size_t>(kernel.num_regs), 0);
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      if (dead[p]) continue;
+      const auto& in = code[p];
+      if (in.op == Opcode::kMov && in.a == in.dst) continue;  // self-copy
+      if (ReadsA(in.op) && in.a >= 0) read[static_cast<std::size_t>(in.a)] = 1;
+      if (ReadsB(in.op) && in.b >= 0) read[static_cast<std::size_t>(in.b)] = 1;
+    }
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      if (dead[p]) continue;
+      const auto& in = code[p];
+      if (!ProducesValue(in.op) || in.dst < 0) continue;
+      const bool self_copy = in.op == Opcode::kMov && in.a == in.dst;
+      if (self_copy || !read[static_cast<std::size_t>(in.dst)]) {
+        dead[p] = 1;
+        changed = true;
+      }
+    }
+  }
+  CompactCode(kernel, dead);
+  ir::Verify(kernel);
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// Loop-invariant hoisting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Folds the subset of integer ops that cannot trap, in wrap-around
+/// arithmetic, for the entered-once proof.
+bool FoldInt(Opcode op, std::int64_t x, std::int64_t y, std::int64_t* out) {
+  const auto ux = static_cast<std::uint64_t>(x);
+  const auto uy = static_cast<std::uint64_t>(y);
+  switch (op) {
+    case Opcode::kAddI: *out = static_cast<std::int64_t>(ux + uy); return true;
+    case Opcode::kSubI: *out = static_cast<std::int64_t>(ux - uy); return true;
+    case Opcode::kMulI: *out = static_cast<std::int64_t>(ux * uy); return true;
+    case Opcode::kMinI: *out = std::min(x, y); return true;
+    case Opcode::kMaxI: *out = std::max(x, y); return true;
+    case Opcode::kCmpLtI: *out = x < y ? 1 : 0; return true;
+    case Opcode::kCmpLeI: *out = x <= y ? 1 : 0; return true;
+    case Opcode::kCmpEqI: *out = x == y ? 1 : 0; return true;
+    case Opcode::kCmpNeI: *out = x != y ? 1 : 0; return true;
+    default: return false;
+  }
+}
+
+/// Proves the loop [t, p] runs its body at least once whenever control
+/// reaches t for the first time, by constant-evaluating the head condition.
+/// Constants come from the straight-line window immediately before t and
+/// from the head prefix [t, z) itself.
+bool ProvenEntered(const ir::KernelIR& kernel, std::size_t t, std::size_t z,
+                   std::size_t p, const std::vector<char>& is_target) {
+  const auto& code = kernel.code;
+  std::size_t w = t;
+  while (w > 0 && !IsBranch(code[w - 1].op) && code[w - 1].op != Opcode::kRet &&
+         !is_target[w - 1]) {
+    --w;
+  }
+  std::unordered_map<int, std::int64_t> consts;
+  auto run = [&](std::size_t from, std::size_t to) {
+    for (std::size_t q = from; q < to; ++q) {
+      const auto& in = code[q];
+      if (!ProducesValue(in.op) || in.dst < 0) continue;
+      if (in.op == Opcode::kConstI) {
+        consts[in.dst] = in.imm.i;
+        continue;
+      }
+      if (in.op == Opcode::kMov) {
+        auto it = consts.find(in.a);
+        if (it != consts.end()) {
+          consts[in.dst] = it->second;
+        } else {
+          consts.erase(in.dst);
+        }
+        continue;
+      }
+      std::int64_t folded = 0;
+      auto ia = consts.find(in.a);
+      auto ib = consts.find(in.b);
+      if (ReadsA(in.op) && ReadsB(in.op) && ia != consts.end() &&
+          ib != consts.end() &&
+          FoldInt(in.op, ia->second, ib->second, &folded)) {
+        consts[in.dst] = folded;
+      } else {
+        consts.erase(in.dst);
+      }
+    }
+  };
+  run(w, t);
+  run(t, z);
+  const auto& br = code[z];
+  const auto inside = [&](std::int64_t target) {
+    return target >= static_cast<std::int64_t>(t) &&
+           target <= static_cast<std::int64_t>(p);
+  };
+  if (br.op == Opcode::kBr) return inside(br.imm.i);
+  if (br.op != Opcode::kBrIf && br.op != Opcode::kBrIfNot) return false;
+  auto it = consts.find(br.a);
+  if (it == consts.end()) return false;
+  const bool taken =
+      br.op == Opcode::kBrIf ? it->second != 0 : it->second == 0;
+  if (!taken) return true;  // falls through into the body
+  return inside(br.imm.i);
+}
+
+}  // namespace
+
+int HoistPass(ir::KernelIR& kernel) {
+  int hoists = 0;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    auto& code = kernel.code;
+    std::vector<char> is_target(code.size(), 0);
+    for (const auto& in : code) {
+      if (IsBranch(in.op)) is_target[static_cast<std::size_t>(in.imm.i)] = 1;
+    }
+    for (std::size_t p = 0; p < code.size() && !changed; ++p) {
+      if (!IsBranch(code[p].op)) continue;
+      const std::int64_t target = code[p].imm.i;
+      if (target > static_cast<std::int64_t>(p)) continue;
+      const auto t = static_cast<std::size_t>(target);
+
+      // Innermost natural loop only: no other back-edge inside [t, p).
+      bool innermost = true;
+      for (std::size_t q = t; q < p && innermost; ++q) {
+        if (IsBranch(code[q].op) &&
+            code[q].imm.i <= static_cast<std::int64_t>(q)) {
+          innermost = false;
+        }
+      }
+      if (!innermost) continue;
+
+      // The hoisted block lands just before t, so the loop must only be
+      // enterable by falling into t: no branch outside [t, p] may target
+      // anything inside it.
+      bool fallthrough_entry = true;
+      for (std::size_t q = 0; q < code.size() && fallthrough_entry; ++q) {
+        if (q >= t && q <= p) continue;
+        if (IsBranch(code[q].op) &&
+            code[q].imm.i >= static_cast<std::int64_t>(t) &&
+            code[q].imm.i <= static_cast<std::int64_t>(p)) {
+          fallthrough_entry = false;
+        }
+      }
+      if (!fallthrough_entry) continue;
+
+      // Zone 1 [t, z): the head prefix, executed unconditionally on every
+      // arrival at t — hoisting from here never adds an execution.
+      std::size_t z = t;
+      while (z < p && !IsBranch(code[z].op) && code[z].op != Opcode::kRet) {
+        ++z;
+      }
+
+      // Zone 2 (z, z2): the unconditional body prefix after a conditional
+      // exit branch. Instructions here run once per iteration, so they may
+      // move only when the loop provably iterates at least once.
+      std::size_t z2_begin = z;
+      std::size_t z2_end = z;
+      if (z < p && (code[z].op == Opcode::kBrIf ||
+                    code[z].op == Opcode::kBrIfNot) &&
+          !(code[z].imm.i >= static_cast<std::int64_t>(t) &&
+            code[z].imm.i <= static_cast<std::int64_t>(p)) &&
+          ProvenEntered(kernel, t, z, p, is_target)) {
+        z2_begin = z + 1;
+        z2_end = z2_begin;
+        while (z2_end < p && !IsBranch(code[z2_end].op) &&
+               code[z2_end].op != Opcode::kRet && !is_target[z2_end]) {
+          ++z2_end;
+        }
+      }
+
+      auto in_zone = [&](std::size_t q) {
+        return (q >= t && q < z) || (q >= z2_begin && q < z2_end);
+      };
+
+      std::vector<int> defcount(static_cast<std::size_t>(kernel.num_regs), 0);
+      std::vector<char> arr_mutated(kernel.arrays.size(), 0);
+      for (std::size_t q = t; q <= p; ++q) {
+        const auto& in = code[q];
+        if (ProducesValue(in.op) && in.dst >= 0) {
+          ++defcount[static_cast<std::size_t>(in.dst)];
+        }
+        if (in.op == Opcode::kStore && in.arr >= 0) {
+          arr_mutated[static_cast<std::size_t>(in.arr)] = 1;
+        }
+        if (in.op == Opcode::kRedArray) {
+          const int ai = RedArrayTarget(kernel, in);
+          if (ai >= 0) arr_mutated[static_cast<std::size_t>(ai)] = 1;
+        }
+      }
+
+      std::vector<char> hoist(code.size(), 0);
+      // A read operand is invariant if its only in-loop defs are themselves
+      // hoisted instructions located before the candidate (so the hoisted
+      // block, emitted in original order, defines it first).
+      auto operand_ok = [&](int r, std::size_t q) {
+        if (r < 0) return true;
+        for (std::size_t d = t; d <= p; ++d) {
+          const auto& in = code[d];
+          if (!ProducesValue(in.op) || in.dst != r) continue;
+          if (!(hoist[d] && d < q)) return false;
+        }
+        return true;
+      };
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::size_t q = t; q < z2_end; ++q) {
+          if (!in_zone(q) || hoist[q]) continue;
+          const auto& in = code[q];
+          if (!ProducesValue(in.op) || in.dst < 0) continue;
+          if (in.op == Opcode::kLoad &&
+              (in.arr < 0 || arr_mutated[static_cast<std::size_t>(in.arr)])) {
+            continue;
+          }
+          if (defcount[static_cast<std::size_t>(in.dst)] != 1) continue;
+          if (ReadsA(in.op) && !operand_ok(in.a, q)) continue;
+          if (ReadsB(in.op) && !operand_ok(in.b, q)) continue;
+          // The first iteration must not observe the pre-loop value of dst.
+          bool dst_read_before = false;
+          for (std::size_t r = t; r < q && !dst_read_before; ++r) {
+            const auto& rd = code[r];
+            if ((ReadsA(rd.op) && rd.a == in.dst) ||
+                (ReadsB(rd.op) && rd.b == in.dst)) {
+              dst_read_before = true;
+            }
+          }
+          if (dst_read_before) continue;
+          hoist[q] = 1;
+          progress = true;
+        }
+      }
+
+      std::int64_t moved = 0;
+      for (std::size_t q = t; q < z2_end; ++q) moved += hoist[q] ? 1 : 0;
+      if (moved == 0) continue;
+
+      // Rebuild: [0, t) + hoisted (original order) + the rest. Targets at or
+      // after t shift past the hoisted block; a target that WAS a hoisted
+      // instruction redirects to the next surviving one, which is correct
+      // because the hoisted value is already in its register.
+      std::vector<ir::Instr> out;
+      out.reserve(code.size());
+      for (std::size_t q = 0; q < t; ++q) out.push_back(code[q]);
+      for (std::size_t q = t; q < z2_end; ++q) {
+        if (hoist[q]) out.push_back(code[q]);
+      }
+      std::vector<std::int64_t> newpc(code.size() + 1, 0);
+      for (std::size_t q = 0; q < t; ++q) {
+        newpc[q] = static_cast<std::int64_t>(q);
+      }
+      std::int64_t pos = static_cast<std::int64_t>(t) + moved;
+      for (std::size_t q = t; q < code.size(); ++q) {
+        newpc[q] = pos;
+        if (!(q < z2_end && hoist[q])) ++pos;
+      }
+      newpc[code.size()] = pos;
+      for (std::size_t q = t; q < code.size(); ++q) {
+        if (q < z2_end && hoist[q]) continue;
+        out.push_back(code[q]);
+      }
+      for (auto& in : out) {
+        if (IsBranch(in.op)) {
+          in.imm.i = newpc[static_cast<std::size_t>(in.imm.i)];
+        }
+      }
+      code = std::move(out);
+      hoists += static_cast<int>(moved);
+      changed = true;
+    }
+  }
+  if (hoists > 0) ir::Verify(kernel);
+  return hoists;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+OptStats OptimizeFunction(CompiledFunction& fn, const CompileOptions& options) {
+  OptStats stats;
+  if (options.opt_level <= 0) return stats;
+  trace::Span span("optimize:" + fn.function->name, trace::category::kCompile);
+
+  FuseAdjacentOffloads(fn, &stats);
+  for (auto& offload : fn.offloads) {
+    stats.cse_hits += CsePass(offload.kernel);
+    if (options.opt_level >= 2) {
+      stats.hoists += HoistPass(offload.kernel);
+      // Hoisting can expose new block-local redundancy (and dead copies).
+      if (stats.hoists > 0) stats.cse_hits += CsePass(offload.kernel);
+    }
+  }
+
+  auto& registry = metrics::Registry::Global();
+  registry.counter("opt.fusions").Add(static_cast<std::uint64_t>(stats.fusions));
+  registry.counter("opt.hoists").Add(static_cast<std::uint64_t>(stats.hoists));
+  registry.counter("opt.cse_hits")
+      .Add(static_cast<std::uint64_t>(stats.cse_hits));
+  registry.counter("opt.bailouts")
+      .Add(static_cast<std::uint64_t>(stats.bailouts));
+  return stats;
+}
+
+}  // namespace accmg::translator

@@ -99,10 +99,13 @@ TEST(OpcodeCoverageTest, Conversions) {
 // App-source codegen fragments
 // ---------------------------------------------------------------------------
 
-std::string CudaFor(const std::string& source) {
+std::string CudaFor(const std::string& source, int opt_level = 1) {
   frontend::SourceBuffer buffer("app.c", source);
   auto ast = frontend::ParseAndAnalyze(buffer);
-  const translator::CompiledProgram compiled = translator::Compile(*ast);
+  translator::CompileOptions options;
+  options.opt_level = opt_level;
+  const translator::CompiledProgram compiled =
+      translator::Compile(*ast, options);
   return translator::GenerateCudaProgram(compiled);
 }
 
@@ -117,13 +120,24 @@ TEST(AppCodegenTest, MdKernelHasNoInstrumentation) {
 }
 
 TEST(AppCodegenTest, KmeansHasTwoKernelsAndArrayReductions) {
-  const std::string cuda = CudaFor(apps::KmeansSource());
+  // Per-source-loop codegen: compiled unfused (at the default level the
+  // mid-end fuses the assignment loop into the update loop).
+  const std::string cuda = CudaFor(apps::KmeansSource(), /*opt_level=*/0);
   EXPECT_NE(cuda.find("kmeans_kernel0"), std::string::npos);
   EXPECT_NE(cuda.find("kmeans_kernel1"), std::string::npos);
   EXPECT_NE(cuda.find("accmg_red_add(&sums_partial["), std::string::npos);
   EXPECT_NE(cuda.find("accmg_red_add(&counts_partial["), std::string::npos);
   EXPECT_NE(cuda.find("accmg_combine_array_reduction(\"sums\")"),
             std::string::npos);
+}
+
+TEST(AppCodegenTest, KmeansFusesIntoOneKernelAtDefaultLevel) {
+  const std::string cuda = CudaFor(apps::KmeansSource());
+  EXPECT_NE(cuda.find("kmeans_kernel0_fused"), std::string::npos);
+  EXPECT_EQ(cuda.find("__global__ void kmeans_kernel1"), std::string::npos);
+  // The fused kernel still carries both array reductions.
+  EXPECT_NE(cuda.find("accmg_red_add(&sums_partial["), std::string::npos);
+  EXPECT_NE(cuda.find("accmg_red_add(&counts_partial["), std::string::npos);
 }
 
 TEST(AppCodegenTest, BfsKernelCarriesDirtyBitInstrumentation) {

@@ -32,7 +32,11 @@ Compiled CompileSource(const std::string& source) {
   Compiled out;
   frontend::SourceBuffer buffer("test.c", source);
   out.ast = frontend::ParseAndAnalyze(buffer);
-  out.program = translator::Compile(*out.ast);
+  // The tests below assert edges between individual source loops; keep the
+  // optimizing mid-end off so fusion cannot merge the offloads first.
+  translator::CompileOptions options;
+  options.opt_level = 0;
+  out.program = translator::Compile(*out.ast, options);
   return out;
 }
 

@@ -102,7 +102,11 @@ void f(int n, int* a) {
 }
 )";
   auto platform = sim::MakeDesktopMachine(2);
-  const AccProgram program = AccProgram::FromSource("f", kSource);
+  // Compiled unfused so the lifetime demonstrably spans two kernel launches
+  // (the default mid-end level would fuse these loops into one kernel).
+  translator::CompileOptions copts;
+  copts.opt_level = 0;
+  const AccProgram program = AccProgram::FromSource("f", kSource, copts);
   std::vector<std::int32_t> a(64, 10);
   ProgramRunner runner(program, RunConfig{.platform = platform.get(),
                                           .num_gpus = 2});

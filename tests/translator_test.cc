@@ -19,11 +19,13 @@ struct Compiled {
   CompiledProgram program;
 };
 
-Compiled CompileSource(const std::string& source) {
+Compiled CompileSource(const std::string& source, int opt_level = 1) {
   Compiled out;
   frontend::SourceBuffer buffer("test.c", source);
   out.ast = frontend::ParseAndAnalyze(buffer);
-  out.program = Compile(*out.ast);
+  CompileOptions options;
+  options.opt_level = opt_level;
+  out.program = Compile(*out.ast, options);
   return out;
 }
 
@@ -451,16 +453,136 @@ void f(int n, int* p, int* d, float* x) {
 }
 
 TEST(CodegenTest, WholeProgramIncludesEveryKernel) {
+  // Compiled unfused: at the default level the mid-end would merge these
+  // two same-thread loops into a single kernel.
   const Compiled compiled = CompileSource(R"(
 void f(int n, float* a) {
   #pragma acc parallel loop
   for (int i = 0; i < n; i++) { a[i] = 0.0f; }
   #pragma acc parallel loop
   for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0f; }
-})");
+})", /*opt_level=*/0);
   const std::string text = GenerateCudaProgram(compiled.program);
   EXPECT_NE(text.find("f_kernel0"), std::string::npos);
   EXPECT_NE(text.find("f_kernel1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Offload fusion legality (the optimizing mid-end, translator/opt.h)
+// ---------------------------------------------------------------------------
+
+/// Total fusions recorded in the compiled program: a fused offload with k
+/// constituents counts as k-1.
+int FusionCount(const CompiledProgram& program) {
+  int fusions = 0;
+  for (const auto& fn : program.functions) {
+    for (const auto& offload : fn.offloads) {
+      if (!offload.fused.empty()) {
+        fusions += static_cast<int>(offload.fused.size()) - 1;
+      }
+    }
+  }
+  return fusions;
+}
+
+TEST(FusionTest, AdjacentSameThreadLoopsFuse) {
+  const Compiled compiled = CompileSource(R"(
+void f(int n, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 1.0f; }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0f; }
+})");
+  const auto& fn = compiled.program.functions.at(0);
+  ASSERT_EQ(fn.offloads.size(), 1u);
+  EXPECT_EQ(FusionCount(compiled.program), 1);
+  // The merged offload takes the first constituent's name plus a marker,
+  // and the second loop's statement is recorded as absorbed.
+  EXPECT_NE(fn.offloads[0].name.find("_fused"), std::string::npos);
+  EXPECT_EQ(fn.fused_away.size(), 1u);
+  // Unfused compilation of the same source keeps both offloads.
+  const Compiled unfused = CompileSource(R"(
+void f(int n, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 1.0f; }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0f; }
+})", /*opt_level=*/0);
+  EXPECT_EQ(unfused.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(unfused.program), 0);
+}
+
+TEST(FusionTest, CrossOffloadRawDependenceBails) {
+  // The second loop reads a[i+1], written by the first on a DIFFERENT
+  // thread: fusing would read the stale value. Must stay two offloads.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 1.0f; }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { b[i] = a[i + 1]; }
+})");
+  EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(compiled.program), 0);
+}
+
+TEST(FusionTest, MismatchedIterationSpacesBail) {
+  const Compiled compiled = CompileSource(R"(
+void f(int n, int m, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 1.0f; }
+  #pragma acc parallel loop
+  for (int i = 0; i < m; i++) { b[i] = 2.0f; }
+})");
+  EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(compiled.program), 0);
+}
+
+TEST(FusionTest, ReductionDestinationArrayBails) {
+  // `hist` is a reduction-destination array in the first loop and an
+  // ordinary read in the second: merging would interleave the partial
+  // reduction with its consumer. Must stay two offloads.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, int k, int* idx, float* hist, float* out) {
+  #pragma acc reductiontoarray(+: hist[0:k])
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { hist[idx[i]] = hist[idx[i]] + 1.0f; }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { out[i] = hist[idx[i]]; }
+})");
+  EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(compiled.program), 0);
+}
+
+TEST(FusionTest, ShadowedDeclarationBails) {
+  // The first loop's induction `i` shadows the function parameter `i` that
+  // the second loop captures as a kernel scalar. In the merged kernel the
+  // parameter would collide with the primary induction at function scope,
+  // so the name-collision check must refuse the merge.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, float i, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = 1.0f; }
+  #pragma acc parallel loop
+  for (int j = 0; j < n; j++) { b[j] = i; }
+})");
+  EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(compiled.program), 0);
+}
+
+TEST(FusionTest, BodyLocalShadowingIsSafeToFuse) {
+  // A body-local redeclaration of a name the other loop captures as a
+  // parameter is NOT a collision: each constituent keeps its own scope in
+  // the merged kernel, so these two loops legally fuse.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, float s, float* a, float* b) {
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = s; }
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { float s = 2.0f; b[i] = s; }
+})");
+  EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 1u);
+  EXPECT_EQ(FusionCount(compiled.program), 1);
 }
 
 }  // namespace

@@ -24,7 +24,12 @@
 //                         window declarations; the runtime's residency
 //                         enforcement and --validate shadow execution remain
 //                         the backstops.
+//
+// Optimization (docs/ARCHITECTURE.md, "Optimizing mid-end"):
+//   --opt-level=N  0 = one-to-one translation, 1 = offload fusion + CSE
+//                  (default), 2 = additionally loop-invariant hoisting.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -78,7 +83,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: accmgc [--emit=cuda|ir|config|all] "
                "[--trace-out=FILE] [--metrics] [--no-directive-check] "
-               "<file.c | ->\n");
+               "[--opt-level={0,1,2}] <file.c | ->\n");
   return 2;
 }
 
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool print_metrics = false;
   bool check_directives = true;
+  int opt_level = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--emit=", 0) == 0) {
@@ -100,6 +106,9 @@ int main(int argc, char** argv) {
       print_metrics = true;
     } else if (arg == "--no-directive-check") {
       check_directives = false;
+    } else if (arg.rfind("--opt-level=", 0) == 0) {
+      opt_level = std::atoi(arg.c_str() + 12);
+      if (opt_level < 0 || opt_level > 2) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
     } else if (path.empty()) {
@@ -147,6 +156,7 @@ int main(int argc, char** argv) {
                               accmg::trace::category::kCompile);
       accmg::translator::CompileOptions options;
       options.check_directives = check_directives;
+      options.opt_level = opt_level;
       compiled = accmg::translator::Compile(*ast, options);
     }
 

@@ -37,6 +37,8 @@
 //   async=1       dependence-driven async offload pipeline
 //   weighted=1    throughput-weighted task mapping
 //   no-check=1    disable the static directive checker (changes the key!)
+//   opt-level=N   translator mid-end level 0|1|2 (default 1; part of the
+//                 program-cache key, so levels never share an entry)
 //   salt=TEXT     appended as a source comment — forces a distinct cache key
 //   deadline-ms=N per-job wall-clock deadline (overrides --deadline-ms)
 //
@@ -166,6 +168,14 @@ int SubmitFromParams(AccService& service, const Request& request,
   options.exec.async_pipeline = flag_set("async");
   options.exec.weighted_task_mapping = flag_set("weighted");
   options.compile.check_directives = !flag_set("no-check");
+  if (const std::string* opt = param("opt-level")) {
+    const int level = std::stoi(*opt);
+    if (level < 0 || level > 2) {
+      *error = "opt-level must be 0, 1 or 2";
+      return -1;
+    }
+    options.compile.opt_level = level;
+  }
 
   auto outcome = std::make_shared<AppJobOutcome>();
   accmg::service::JobRequest job =

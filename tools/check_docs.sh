@@ -43,7 +43,7 @@ done
 note "checked $(printf '%s\n' "$flags" | wc -l) documented flags"
 
 # --- 3. documented metric names exist as string literals --------------
-metrics=$(grep -ohE '`(sim|comm|loader|executor|accmgc|validator|service|fault|recovery)\.[a-z0-9_.]+`' "${docs[@]}" |
+metrics=$(grep -ohE '`(sim|comm|loader|executor|accmgc|opt|validator|service|fault|recovery)\.[a-z0-9_.]+`' "${docs[@]}" |
   tr -d '`' | sort -u)
 for metric in $metrics; do
   if ! grep -rqF -- "\"$metric\"" src/ tools/; then

@@ -11,6 +11,9 @@
 //   --async-pipeline   run with ExecOptions::async_pipeline on, exercising
 //                      the dependence-driven boundary/interior split and
 //                      overlapped communication under the same validator.
+//   --opt-level=N      translator mid-end level 0|1|2 (default 1). CI's
+//                      opt-smoke job runs the sweep at --opt-level=2 to
+//                      prove the optimizer is coherence-transparent.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +35,7 @@ namespace {
 int failures = 0;
 
 accmg::runtime::ExecOptions base_options;
+accmg::translator::CompileOptions base_copts;
 
 void Report(const char* app, int gpus, const accmg::runtime::RunReport& report,
             bool outputs_match) {
@@ -59,7 +63,8 @@ void RunMd(int gpus) {
   std::vector<float> force;
   try {
     const auto report =
-        accmg::apps::RunMdAcc(input, *platform, gpus, &force, options);
+        accmg::apps::RunMdAcc(input, *platform, gpus, &force, options,
+                               base_copts);
     Report("md", gpus, report, force == expected);
   } catch (const accmg::Error& e) {
     Fail("md", gpus, e.what());
@@ -75,7 +80,8 @@ void RunKmeans(int gpus) {
   accmg::apps::KmeansResult result;
   try {
     const auto report =
-        accmg::apps::RunKmeansAcc(input, *platform, gpus, &result, options);
+        accmg::apps::RunKmeansAcc(input, *platform, gpus, &result, options,
+                               base_copts);
     bool match = result.membership == expected.membership &&
                  result.centroids.size() == expected.centroids.size();
     for (std::size_t i = 0; match && i < result.centroids.size(); ++i) {
@@ -97,7 +103,8 @@ void RunBfs(int gpus) {
   std::vector<std::int32_t> cost;
   try {
     const auto report =
-        accmg::apps::RunBfsAcc(input, *platform, gpus, &cost, options);
+        accmg::apps::RunBfsAcc(input, *platform, gpus, &cost, options,
+                               base_copts);
     Report("bfs", gpus, report, cost == expected);
   } catch (const accmg::Error& e) {
     Fail("bfs", gpus, e.what());
@@ -113,7 +120,8 @@ void RunSpmv(int gpus) {
   std::vector<float> y;
   try {
     const auto report =
-        accmg::apps::RunSpmvAcc(input, *platform, gpus, &y, options);
+        accmg::apps::RunSpmvAcc(input, *platform, gpus, &y, options,
+                               base_copts);
     Report("spmv", gpus, report, y == expected);
   } catch (const accmg::Error& e) {
     Fail("spmv", gpus, e.what());
@@ -126,6 +134,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--async-pipeline") == 0) {
       base_options.async_pipeline = true;
+    } else if (std::strncmp(argv[i], "--opt-level=", 12) == 0) {
+      const int level = std::atoi(argv[i] + 12);
+      if (level < 0 || level > 2) {
+        std::fprintf(stderr, "validate_smoke: bad --opt-level value\n");
+        return 2;
+      }
+      base_copts.opt_level = level;
     } else {
       std::fprintf(stderr, "validate_smoke: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -134,6 +149,7 @@ int main(int argc, char** argv) {
   if (base_options.async_pipeline) {
     std::printf("async pipeline: ON\n");
   }
+  std::printf("opt level: %d\n", base_copts.opt_level);
   for (const int gpus : {1, 2, 4}) {
     RunMd(gpus);
     RunKmeans(gpus);
