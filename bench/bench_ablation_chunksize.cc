@@ -34,8 +34,7 @@ int Run(int argc, char** argv) {
 
   Table table({"chunk", "GPU-GPU [ms]", "chunks sent", "chunks skipped",
                "total [ms]"});
-  std::string json = "[\n";
-  bool first_row = true;
+  JsonValue rows = JsonValue::Array();
   for (std::size_t chunk : {std::size_t{4} << 10, std::size_t{64} << 10,
                             std::size_t{256} << 10, std::size_t{1} << 20,
                             std::size_t{4} << 20, std::size_t{16} << 20}) {
@@ -50,33 +49,15 @@ int Run(int argc, char** argv) {
         std::to_string(report.comm.clean_chunks_skipped),
         FormatFixed(report.total_seconds * 1e3, 3),
     });
-    char row[256];
-    std::snprintf(row, sizeof(row),
-                  "  {\"chunk_bytes\": %zu, \"gpu_gpu_s\": %.9g, "
-                  "\"chunks_sent\": %llu, \"chunks_skipped\": %llu, "
-                  "\"total_s\": %.9g}",
-                  chunk, report.time[sim::TimeCategory::kGpuGpu],
-                  static_cast<unsigned long long>(
-                      report.comm.dirty_chunks_sent),
-                  static_cast<unsigned long long>(
-                      report.comm.clean_chunks_skipped),
-                  report.total_seconds);
-    json += (first_row ? "" : ",\n");
-    json += row;
-    first_row = false;
+    rows.Push(JsonValue::Object()
+                  .Set("chunk_bytes", chunk)
+                  .Set("gpu_gpu_s", report.time[sim::TimeCategory::kGpuGpu])
+                  .Set("chunks_sent", report.comm.dirty_chunks_sent)
+                  .Set("chunks_skipped", report.comm.clean_chunks_skipped)
+                  .Set("total_s", report.total_seconds));
   }
-  json += "\n]\n";
   table.Print("Two-level dirty-bit chunk size sweep (paper choice: 1MB)");
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-  }
+  if (!json_path.empty() && !WriteJsonFile(json_path, rows)) return 1;
   return 0;
 }
 

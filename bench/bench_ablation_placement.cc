@@ -36,8 +36,7 @@ int Run(int argc, char** argv) {
 
   Table table({"app", "policy", "total [ms]", "GPU-GPU [ms]", "user mem",
                "loads", "reloads skipped"});
-  std::string json = "[\n";
-  bool first_row = true;
+  JsonValue rows = JsonValue::Array();
   for (const AppRunners& app : PaperApps(scale)) {
     for (const auto& [label, options] :
          {std::pair{"distribute", &with_ext}, std::pair{"replicate", &no_ext}}) {
@@ -52,41 +51,23 @@ int Run(int argc, char** argv) {
           std::to_string(report.loader.loads_performed),
           std::to_string(report.loader.loads_skipped),
       });
-      char row[320];
-      std::snprintf(row, sizeof(row),
-                    "  {\"app\": \"%s\", \"policy\": \"%s\", "
-                    "\"total_s\": %.9g, \"gpu_gpu_s\": %.9g, "
-                    "\"peak_user_bytes\": %zu, \"loads\": %llu, "
-                    "\"reloads_skipped\": %llu}",
-                    app.name.c_str(), label, report.total_seconds,
-                    report.time[sim::TimeCategory::kGpuGpu],
-                    report.peak_user_bytes,
-                    static_cast<unsigned long long>(
-                        report.loader.loads_performed),
-                    static_cast<unsigned long long>(
-                        report.loader.loads_skipped));
-      json += (first_row ? "" : ",\n");
-      json += row;
-      first_row = false;
+      rows.Push(JsonValue::Object()
+                    .Set("app", app.name)
+                    .Set("policy", label)
+                    .Set("total_s", report.total_seconds)
+                    .Set("gpu_gpu_s", report.time[sim::TimeCategory::kGpuGpu])
+                    .Set("peak_user_bytes", report.peak_user_bytes)
+                    .Set("loads", report.loader.loads_performed)
+                    .Set("reloads_skipped", report.loader.loads_skipped));
     }
   }
-  json += "\n]\n";
   table.Print("Replica vs distribution placement (localaccess honoured vs "
               "ignored)");
   std::printf(
       "\nExpected: distribution needs less user memory and less traffic for "
       "md/kmeans;\nthe skipped-reload column shows the loader cache at work "
       "on iterative apps.\n");
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-  }
+  if (!json_path.empty() && !WriteJsonFile(json_path, rows)) return 1;
   return 0;
 }
 

@@ -57,8 +57,7 @@ int Run(int argc, char** argv) {
 
   Table table({"k (section len)", "gpus", "hierarchical [ms]",
                "GPU-GPU [ms]", "naive seq. [ms]", "speedup"});
-  std::string json = "[\n";
-  bool first_row = true;
+  JsonValue rows = JsonValue::Array();
   for (int k : {64, 1024, 16384, 262144}) {
     for (int gpus : {1, 2}) {
       auto platform = sim::MakeDesktopMachine(2);
@@ -88,35 +87,21 @@ int Run(int argc, char** argv) {
           FormatFixed(naive * 1e3, 3),
           FormatFixed(naive / report.total_seconds, 1) + "x",
       });
-      char row[256];
-      std::snprintf(row, sizeof(row),
-                    "  {\"k\": %d, \"gpus\": %d, \"hierarchical_s\": %.9g, "
-                    "\"gpu_gpu_s\": %.9g, \"naive_s\": %.9g, "
-                    "\"speedup\": %.6g}",
-                    k, gpus, report.total_seconds,
-                    report.time[sim::TimeCategory::kGpuGpu], naive,
-                    naive / report.total_seconds);
-      json += (first_row ? "" : ",\n");
-      json += row;
-      first_row = false;
+      rows.Push(JsonValue::Object()
+                    .Set("k", k)
+                    .Set("gpus", gpus)
+                    .Set("hierarchical_s", report.total_seconds)
+                    .Set("gpu_gpu_s", report.time[sim::TimeCategory::kGpuGpu])
+                    .Set("naive_s", naive)
+                    .Set("speedup", naive / report.total_seconds));
     }
   }
-  json += "\n]\n";
   table.Print("Hierarchical reduction-to-array vs sequential fallback");
   std::printf(
       "\nExpected: the hierarchical scheme wins by a large factor; its "
       "GPU-GPU\ncombine cost grows with the section length and GPU count "
       "but stays small.\n");
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
-    }
-  }
+  if (!json_path.empty() && !WriteJsonFile(json_path, rows)) return 1;
   return 0;
 }
 

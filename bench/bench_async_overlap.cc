@@ -111,8 +111,7 @@ int Main(int argc, char** argv) {
 
   Table table({"gpus", "mode", "GPU-GPU", "CPU-GPU", "KERNELS", "total(ms)",
                "comm share", "speedup"});
-  std::string json = "[\n";
-  bool first_row = true;
+  JsonValue rows = JsonValue::Array();
   int failures = 0;
   for (const int gpus : {1, 2, 4}) {
     const RunOutcome sync_run = RunHeat(gpus, n, steps, /*async=*/false);
@@ -141,39 +140,25 @@ int Main(int argc, char** argv) {
           FormatFixed(share * 100, 1) + "%",
           FormatFixed(sync_run.report.total_seconds / total, 3) + "x",
       });
-      char row[512];
-      std::snprintf(row, sizeof(row),
-                    "  {\"gpus\": %d, \"mode\": \"%s\", \"gpu_gpu_s\": %.9g, "
-                    "\"cpu_gpu_s\": %.9g, \"kernels_s\": %.9g, "
-                    "\"total_s\": %.9g, \"comm_share\": %.6g, "
-                    "\"p2p_transfers\": %llu, \"p2p_bytes\": %llu}",
-                    gpus, async ? "async" : "sync", comm,
-                    r.time[sim::TimeCategory::kCpuGpu],
-                    r.time[sim::TimeCategory::kKernel], total, share,
-                    static_cast<unsigned long long>(r.counters.p2p_transfers),
-                    static_cast<unsigned long long>(r.counters.p2p_bytes));
-      json += (first_row ? "" : ",\n");
-      json += row;
-      first_row = false;
+      rows.Push(JsonValue::Object()
+                    .Set("gpus", gpus)
+                    .Set("mode", async ? "async" : "sync")
+                    .Set("gpu_gpu_s", comm)
+                    .Set("cpu_gpu_s", r.time[sim::TimeCategory::kCpuGpu])
+                    .Set("kernels_s", r.time[sim::TimeCategory::kKernel])
+                    .Set("total_s", total)
+                    .Set("comm_share", share)
+                    .Set("p2p_transfers", r.counters.p2p_transfers)
+                    .Set("p2p_bytes", r.counters.p2p_bytes));
     }
   }
-  json += "\n]\n";
   table.Print("Sync vs async-pipeline execution, supercomputer node");
   std::printf(
       "\nExpected shape: on >= 2 GPUs the async rows show a smaller GPU-GPU "
       "column\nand comm share, with identical billed traffic and "
       "bit-identical results.\n");
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      ++failures;
-    }
-  }
+  if (!json_path.empty() && !WriteJsonFile(json_path, rows)) ++failures;
   return failures > 0 ? 1 : 0;
 }
 

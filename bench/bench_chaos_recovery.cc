@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "service/builtin_apps.h"
@@ -140,34 +141,32 @@ LevelResult RunLevel(const std::string& level, const std::string& plan,
 
 std::string ToJson(const std::vector<LevelResult>& levels, double clean_sim_s,
                    bool ok) {
-  std::ostringstream os;
-  os << "{\n  \"levels\": [\n";
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    const LevelResult& r = levels[i];
+  bench::JsonValue level_rows = bench::JsonValue::Array();
+  for (const LevelResult& r : levels) {
     const double overhead =
         clean_sim_s > 0 && r.mean_sim_s > 0 ? r.mean_sim_s / clean_sim_s : 0;
-    char line[512];
-    std::snprintf(
-        line, sizeof line,
-        "    {\"level\": \"%s\", \"plan\": \"%s\", \"jobs\": %d, "
-        "\"done\": %d, \"failed\": %d, \"injected\": %llu, "
-        "\"retries\": %llu, \"degraded\": %llu, \"failures\": %llu, "
-        "\"stalls\": %llu, \"wall_s\": %.3f, \"goodput_jobs_per_sec\": "
-        "%.2f, \"mean_sim_s\": %.6f, \"sim_overhead_vs_clean\": %.3f, "
-        "\"identity_ok\": %s}%s\n",
-        r.level.c_str(), r.plan.c_str(), r.jobs, r.done, r.failed,
-        static_cast<unsigned long long>(r.delta.injected),
-        static_cast<unsigned long long>(r.delta.retries),
-        static_cast<unsigned long long>(r.delta.degraded),
-        static_cast<unsigned long long>(r.delta.failures),
-        static_cast<unsigned long long>(r.delta.stalls), r.wall_s,
-        r.goodput_jobs_per_sec, r.mean_sim_s, overhead,
-        r.delta.IdentityHolds() ? "true" : "false",
-        i + 1 < levels.size() ? "," : "");
-    os << line;
+    level_rows.Push(bench::JsonValue::Object()
+                        .Set("level", r.level)
+                        .Set("plan", r.plan)
+                        .Set("jobs", r.jobs)
+                        .Set("done", r.done)
+                        .Set("failed", r.failed)
+                        .Set("injected", r.delta.injected)
+                        .Set("retries", r.delta.retries)
+                        .Set("degraded", r.delta.degraded)
+                        .Set("failures", r.delta.failures)
+                        .Set("stalls", r.delta.stalls)
+                        .Set("wall_s", r.wall_s)
+                        .Set("goodput_jobs_per_sec", r.goodput_jobs_per_sec)
+                        .Set("mean_sim_s", r.mean_sim_s)
+                        .Set("sim_overhead_vs_clean", overhead)
+                        .Set("identity_ok", r.delta.IdentityHolds()));
   }
-  os << "  ],\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
-  return os.str();
+  return bench::JsonValue::Object()
+             .Set("levels", std::move(level_rows))
+             .Set("ok", ok)
+             .Dump() +
+         "\n";
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "runtime/comm_manager.h"
@@ -305,22 +306,18 @@ Result BenchReduction(int gpus, std::int64_t elements, int reps) {
 }
 
 std::string ToJson(const std::vector<Result>& results) {
-  std::ostringstream out;
-  out.precision(6);
-  out << std::fixed;
-  out << "[\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Result& r = results[i];
-    out << "  {\"phase\": \"" << r.phase << "\", \"gpus\": " << r.gpus
-        << ", \"density\": " << r.density
-        << ", \"elements\": " << r.elements
-        << ", \"reference_ms\": " << r.reference_ms
-        << ", \"optimized_ms\": " << r.optimized_ms
-        << ", \"speedup\": " << r.Speedup() << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+  bench::JsonValue rows = bench::JsonValue::Array();
+  for (const Result& r : results) {
+    rows.Push(bench::JsonValue::Object()
+                  .Set("phase", r.phase)
+                  .Set("gpus", r.gpus)
+                  .Set("density", r.density)
+                  .Set("elements", r.elements)
+                  .Set("reference_ms", r.reference_ms)
+                  .Set("optimized_ms", r.optimized_ms)
+                  .Set("speedup", r.Speedup()));
   }
-  out << "]\n";
-  return out.str();
+  return rows.Dump() + "\n";
 }
 
 int Main(int argc, char** argv) {

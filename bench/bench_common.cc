@@ -64,6 +64,198 @@ std::vector<AppRunners> PaperApps(double scale,
   return apps;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue::JsonValue(double d) : kind_(Kind::kNumber) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  text_ = buf;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  ACCMG_REQUIRE(kind_ == Kind::kObject, "Set on a non-object JsonValue");
+  keys_.push_back(std::move(key));
+  children_.push_back(std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  ACCMG_REQUIRE(kind_ == Kind::kArray, "Push on a non-array JsonValue");
+  children_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::AppendInline(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kNumber:
+      *out += text_;
+      break;
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(text_);
+      *out += '"';
+      break;
+    case Kind::kArray:
+      *out += '[';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        children_[i].AppendInline(out);
+      }
+      *out += ']';
+      break;
+    case Kind::kObject:
+      *out += '{';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += '"';
+        *out += JsonEscape(keys_[i]);
+        *out += "\": ";
+        children_[i].AppendInline(out);
+      }
+      *out += '}';
+      break;
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  AppendPretty(&out, 0);
+  return out;
+}
+
+void JsonValue::AppendPretty(std::string* out, int indent) const {
+  // A container holding other containers spreads one entry per line (the
+  // diff-friendly row-per-line layout of the committed artifacts); a flat
+  // row of scalars renders inline.
+  const bool is_container = kind_ == Kind::kArray || kind_ == Kind::kObject;
+  bool has_container_child = false;
+  for (const JsonValue& child : children_) {
+    if (child.kind_ == Kind::kArray || child.kind_ == Kind::kObject) {
+      has_container_child = true;
+      break;
+    }
+  }
+  if (!is_container || children_.empty() || !has_container_child) {
+    AppendInline(out);
+    return;
+  }
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  *out += kind_ == Kind::kArray ? "[\n" : "{\n";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    *out += pad;
+    if (kind_ == Kind::kObject) {
+      *out += '"';
+      *out += JsonEscape(keys_[i]);
+      *out += "\": ";
+    }
+    children_[i].AppendPretty(out, indent + 2);
+    if (i + 1 < children_.size()) *out += ',';
+    *out += '\n';
+  }
+  *out += std::string(static_cast<std::size_t>(indent), ' ');
+  *out += kind_ == Kind::kArray ? ']' : '}';
+}
+
+bool WriteJsonFile(const std::string& path, const JsonValue& root) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = root.Dump() + "\n";
+  std::fputs(text.c_str(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::vector<AppRunners> StencilApps(double scale,
+                                    const translator::CompileOptions& copts) {
+  std::vector<AppRunners> apps;
+  {
+    const int rows = std::max(48, static_cast<int>(768 * scale));
+    auto input = std::make_shared<apps::Heat2dInput>(
+        apps::MakeHeat2dInput(rows, 512, 10));
+    apps.push_back(AppRunners{
+        "heat2d", [input, copts](sim::Platform& platform, int gpus,
+                                 const runtime::ExecOptions& options) {
+          std::vector<float> u;
+          if (gpus == 0) return apps::RunHeat2dOpenMp(*input, platform, &u);
+          if (gpus == -1) return apps::RunHeat2dCuda(*input, platform, &u);
+          return apps::RunHeat2dAcc(*input, platform, gpus, &u, options,
+                                    copts);
+        }});
+  }
+  {
+    const int rows = std::max(48, static_cast<int>(640 * scale));
+    auto input = std::make_shared<apps::LatticeInput>(
+        apps::MakeLatticeInput(rows, 384, 12));
+    apps.push_back(AppRunners{
+        "lattice", [input, copts](sim::Platform& platform, int gpus,
+                                  const runtime::ExecOptions& options) {
+          std::vector<float> phi;
+          if (gpus == 0) return apps::RunLatticeOpenMp(*input, platform, &phi);
+          if (gpus == -1) return apps::RunLatticeCuda(*input, platform, &phi);
+          return apps::RunLatticeAcc(*input, platform, gpus, &phi, options,
+                                     copts);
+        }});
+  }
+  return apps;
+}
+
 bool ParseOptLevelFlag(const std::string& arg,
                        translator::CompileOptions* copts) {
   if (arg.rfind("--opt-level=", 0) != 0) return false;

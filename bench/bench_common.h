@@ -9,14 +9,18 @@
 // 0.1) to trade fidelity for runtime; 1.0 reproduces the paper's sizes.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "apps/bfs/bfs.h"
+#include "apps/heat2d/heat2d.h"
 #include "apps/kmeans/kmeans.h"
+#include "apps/lattice/lattice.h"
 #include "apps/md/md.h"
 #include "common/string_util.h"
 #include "runtime/program.h"
@@ -57,11 +61,73 @@ struct AppRunners {
 std::vector<AppRunners> PaperApps(double scale,
                                   const translator::CompileOptions& copts = {});
 
+/// The two 2-D row-block stencil applications added alongside the paper's
+/// three (heat2d 5-point Jacobi and the lattice phi^4 relaxation), wired
+/// into the same version matrix. Kept out of PaperApps so the Table II pins
+/// and per-index references (e.g. apps[2] == bfs) stay stable.
+std::vector<AppRunners> StencilApps(
+    double scale, const translator::CompileOptions& copts = {});
+
 /// Parses "--opt-level=N" into `copts->opt_level`. Returns true when the
 /// flag was consumed; false when `arg` is not an --opt-level flag. Exits
 /// with status 2 on a value outside {0, 1, 2}.
 bool ParseOptLevelFlag(const std::string& arg,
                        translator::CompileOptions* copts);
+
+/// Escapes `s` for embedding in a JSON string literal (RFC 8259): quotes,
+/// backslashes and control characters. Returns the escaped body without the
+/// surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+/// Minimal JSON document builder shared by every benchmark that writes a
+/// results/*.json artifact. Strings are escaped and object keys keep their
+/// insertion order, so the emitted key order is stable across runs and an
+/// app name containing a quote or backslash cannot corrupt the file (the
+/// previous per-bench snprintf formats did neither). Arrays render one
+/// element per line — the row-per-line layout the committed artifacts use —
+/// and everything nested inside a row renders inline.
+class JsonValue {
+ public:
+  static JsonValue Object();
+  static JsonValue Array();
+
+  JsonValue() = default;  ///< null
+  JsonValue(const char* s) : kind_(Kind::kString), text_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), text_(std::move(s)) {}
+  JsonValue(bool b) : kind_(Kind::kNumber), text_(b ? "true" : "false") {}
+  JsonValue(double d);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonValue(T v)
+      : kind_(Kind::kNumber),
+        text_(std::is_signed_v<T>
+                  ? std::to_string(static_cast<long long>(v))
+                  : std::to_string(static_cast<unsigned long long>(v))) {}
+
+  /// Appends a key/value pair (object) — keys are append-only, which is what
+  /// makes the emitted order stable. Returns *this for chaining.
+  JsonValue& Set(std::string key, JsonValue value);
+  /// Appends an element (array). Returns *this for chaining.
+  JsonValue& Push(JsonValue value);
+
+  std::string Dump() const;
+
+ private:
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  void AppendInline(std::string* out) const;
+  void AppendPretty(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  std::string text_;
+  std::vector<std::string> keys_;
+  std::vector<JsonValue> children_;
+};
+
+/// Writes `root.Dump()` plus a trailing newline to `path` and prints
+/// "wrote <path>". Returns false (with a message on stderr) when the file
+/// cannot be opened.
+bool WriteJsonFile(const std::string& path, const JsonValue& root);
 
 /// Minimal fixed-width table printer.
 class Table {

@@ -34,6 +34,10 @@ int Run(int argc, char** argv) {
 
   for (const MachineConfig& machine : Machines()) {
     auto apps = PaperApps(scale, copts);
+    // The 2-D row-block stencils ride the same version matrix.
+    for (auto& app : StencilApps(scale, copts)) {
+      apps.push_back(std::move(app));
+    }
     std::vector<std::string> headers{"app",         "OpenMP",
                                      "ACC(1,noext)", "CUDA(1)"};
     for (int g = 1; g <= machine.max_gpus; ++g) {

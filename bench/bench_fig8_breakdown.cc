@@ -39,6 +39,11 @@ void RunFig8Table(const translator::CompileOptions& copts) {
   const runtime::ExecOptions defaults;
   for (const MachineConfig& machine : Machines()) {
     auto apps = PaperApps(scale, copts);
+    // The 2-D row-block stencils ride the same breakdown; their GPU-GPU
+    // share is the per-sweep halo-row exchange.
+    for (auto& app : StencilApps(scale, copts)) {
+      apps.push_back(std::move(app));
+    }
     Table table({"app", "gpus", "GPU-GPU", "CPU-GPU", "KERNELS", "total"});
     for (const AppRunners& app : apps) {
       double one_gpu_total = 0;

@@ -193,8 +193,7 @@ int Main(int argc, char** argv) {
 
   Table table({"app", "gpus", "opt", "fusions", "total [ms]", "offloads",
                "halo", "dirty chunks", "p2p xfers", "GPU-GPU bytes"});
-  std::string json = "[\n";
-  bool first_row = true;
+  JsonValue rows = JsonValue::Array();
   int failures = 0;
 
   for (const auto& [name, run] : workloads) {
@@ -249,27 +248,20 @@ int Main(int argc, char** argv) {
             std::to_string(r.counters.p2p_transfers),
             std::to_string(r.counters.p2p_bytes),
         });
-        char buf[512];
-        std::snprintf(
-            buf, sizeof(buf),
-            "  {\"app\": \"%s\", \"gpus\": %d, \"opt_level\": %d, "
-            "\"fusions\": %d, \"total_s\": %.9g, \"offload_runs\": %llu, "
-            "\"halo_refreshes\": %llu, \"dirty_chunks_sent\": %llu, "
-            "\"p2p_transfers\": %llu, \"p2p_bytes\": %llu}",
-            row.app.c_str(), row.gpus, row.opt_level, row.fusions,
-            r.total_seconds,
-            static_cast<unsigned long long>(r.kernel_executions),
-            static_cast<unsigned long long>(r.comm.halo_refreshes),
-            static_cast<unsigned long long>(r.comm.dirty_chunks_sent),
-            static_cast<unsigned long long>(r.counters.p2p_transfers),
-            static_cast<unsigned long long>(r.counters.p2p_bytes));
-        json += (first_row ? "" : ",\n");
-        json += buf;
-        first_row = false;
+        rows.Push(JsonValue::Object()
+                      .Set("app", row.app)
+                      .Set("gpus", row.gpus)
+                      .Set("opt_level", row.opt_level)
+                      .Set("fusions", row.fusions)
+                      .Set("total_s", r.total_seconds)
+                      .Set("offload_runs", r.kernel_executions)
+                      .Set("halo_refreshes", r.comm.halo_refreshes)
+                      .Set("dirty_chunks_sent", r.comm.dirty_chunks_sent)
+                      .Set("p2p_transfers", r.counters.p2p_transfers)
+                      .Set("p2p_bytes", r.counters.p2p_bytes));
       }
     }
   }
-  json += "\n]\n";
 
   table.Print("Fused (opt 1) vs unfused (opt 0) offload execution");
   std::printf(
@@ -279,16 +271,7 @@ int Main(int argc, char** argv) {
       "round of the replicated array deleted per\nstep); md is the "
       "single-loop control with identical traffic at every level.\n");
 
-  if (!json_path.empty()) {
-    if (std::FILE* file = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), file);
-      std::fclose(file);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      ++failures;
-    }
-  }
+  if (!json_path.empty() && !WriteJsonFile(json_path, rows)) ++failures;
   if (failures > 0) {
     std::fprintf(stderr, "bench_fusion: %d check(s) failed\n", failures);
     return 1;

@@ -34,6 +34,7 @@
 #include "apps/kmeans/kmeans.h"
 #include "apps/md/md.h"
 #include "apps/spmv/spmv.h"
+#include "bench/bench_common.h"
 #include "common/stopwatch.h"
 #include "ir/ir.h"
 #include "service/builtin_apps.h"
@@ -247,32 +248,32 @@ std::vector<IdentityRow> MeasureBillingIdentity() {
 
 std::string ToJson(const std::vector<SaturationRow>& saturation,
                    const std::vector<IdentityRow>& identity, bool ok) {
-  std::ostringstream os;
-  os << "{\n  \"saturation\": [\n";
-  for (std::size_t i = 0; i < saturation.size(); ++i) {
-    const SaturationRow& r = saturation[i];
-    char line[256];
-    std::snprintf(line, sizeof line,
-                  "    {\"gpus\": %d, \"jobs\": %d, \"cold_jobs_per_sec\": "
-                  "%.2f, \"warm_jobs_per_sec\": %.2f, \"warm_over_cold\": "
-                  "%.2f}%s\n",
-                  r.gpus, r.jobs, r.cold_jobs_per_sec, r.warm_jobs_per_sec,
-                  r.WarmOverCold(), i + 1 < saturation.size() ? "," : "");
-    os << line;
+  bench::JsonValue sat_rows = bench::JsonValue::Array();
+  for (const SaturationRow& r : saturation) {
+    sat_rows.Push(bench::JsonValue::Object()
+                      .Set("gpus", r.gpus)
+                      .Set("jobs", r.jobs)
+                      .Set("cold_jobs_per_sec", r.cold_jobs_per_sec)
+                      .Set("warm_jobs_per_sec", r.warm_jobs_per_sec)
+                      .Set("warm_over_cold", r.WarmOverCold()));
   }
-  os << "  ],\n  \"billing_identity\": [\n";
-  for (std::size_t i = 0; i < identity.size(); ++i) {
-    const IdentityRow& r = identity[i];
-    os << "    {\"app\": \"" << r.app << "\", \"gpus\": " << r.gpus
-       << ", \"sequential_bytes\": " << r.sequential_bytes
-       << ", \"concurrent_bytes\": " << r.concurrent_bytes
-       << ", \"sequential_transfers\": " << r.sequential_transfers
-       << ", \"concurrent_transfers\": " << r.concurrent_transfers
-       << ", \"identical\": " << (r.Identical() ? "true" : "false") << "}"
-       << (i + 1 < identity.size() ? "," : "") << "\n";
+  bench::JsonValue identity_rows = bench::JsonValue::Array();
+  for (const IdentityRow& r : identity) {
+    identity_rows.Push(bench::JsonValue::Object()
+                           .Set("app", r.app)
+                           .Set("gpus", r.gpus)
+                           .Set("sequential_bytes", r.sequential_bytes)
+                           .Set("concurrent_bytes", r.concurrent_bytes)
+                           .Set("sequential_transfers", r.sequential_transfers)
+                           .Set("concurrent_transfers", r.concurrent_transfers)
+                           .Set("identical", r.Identical()));
   }
-  os << "  ],\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
-  return os.str();
+  return bench::JsonValue::Object()
+             .Set("saturation", std::move(sat_rows))
+             .Set("billing_identity", std::move(identity_rows))
+             .Set("ok", ok)
+             .Dump() +
+         "\n";
 }
 
 }  // namespace

@@ -1,0 +1,218 @@
+#include "apps/heat2d/heat2d.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace accmg::apps {
+
+namespace {
+
+constexpr char kHeat2dSource[] = R"(
+void heat2d(int n, int m, int steps, float* u, float* unew) {
+  #pragma acc data copy(u[0:n][0:m]) create(unew[0:n][0:m])
+  {
+    for (int t = 0; t < steps; t++) {
+      #pragma acc localaccess(u: cols(m), left(1), right(1)) (unew: cols(m))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        for (int j = 0; j < m; j++) {
+          int im = i - 1;
+          if (im < 0) { im = 0; }
+          int ip = i + 1;
+          if (ip > n - 1) { ip = n - 1; }
+          int jm = j - 1;
+          if (jm < 0) { jm = 0; }
+          int jp = j + 1;
+          if (jp > m - 1) { jp = m - 1; }
+          unew[i * m + j] = 0.2f * (u[i * m + j] + u[im * m + j]
+                                    + u[ip * m + j] + u[i * m + jm]
+                                    + u[i * m + jp]);
+        }
+      }
+      #pragma acc localaccess(u: cols(m)) (unew: cols(m))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        for (int j = 0; j < m; j++) {
+          u[i * m + j] = unew[i * m + j];
+        }
+      }
+    }
+  }
+}
+)";
+
+}  // namespace
+
+const std::string& Heat2dSource() {
+  static const std::string* source = new std::string(kHeat2dSource);
+  return *source;
+}
+
+Heat2dInput MakeHeat2dInput(int n, int m, int steps, std::uint64_t seed) {
+  ACCMG_REQUIRE(n > 0 && m > 0 && steps > 0, "bad Heat2D shape");
+  Heat2dInput input;
+  input.n = n;
+  input.m = m;
+  input.steps = steps;
+  input.u.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      input.u[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+              static_cast<std::size_t>(j)] =
+          static_cast<float>(rng.NextDouble(0.0, 1.0));
+    }
+  }
+  // Hot blob off-centre so the field has visible structure to diffuse.
+  const int ci = n / 3;
+  const int cj = (2 * m) / 3;
+  const int r = std::max(1, std::min(n, m) / 8);
+  for (int i = std::max(0, ci - r); i < std::min(n, ci + r); ++i) {
+    for (int j = std::max(0, cj - r); j < std::min(m, cj + r); ++j) {
+      input.u[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+              static_cast<std::size_t>(j)] = 10.0f;
+    }
+  }
+  return input;
+}
+
+std::vector<float> Heat2dReference(const Heat2dInput& input) {
+  const int n = input.n;
+  const int m = input.m;
+  std::vector<float> u = input.u;
+  std::vector<float> unew(u.size());
+  auto at = [m](const std::vector<float>& grid, int i, int j) {
+    return grid[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                static_cast<std::size_t>(j)];
+  };
+  for (int t = 0; t < input.steps; ++t) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const int im = std::max(0, i - 1);
+        const int ip = std::min(n - 1, i + 1);
+        const int jm = std::max(0, j - 1);
+        const int jp = std::min(m - 1, j + 1);
+        // Same association order as the kernel source: float addition is not
+        // associative and the outputs must match bit-for-bit.
+        unew[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+             static_cast<std::size_t>(j)] =
+            0.2f * (at(u, i, j) + at(u, im, j) + at(u, ip, j) + at(u, i, jm) +
+                    at(u, i, jp));
+      }
+    }
+    u = unew;
+  }
+  return u;
+}
+
+namespace {
+
+runtime::RunReport RunHeat2dProgram(const Heat2dInput& input,
+                                    sim::Platform& platform, int num_gpus,
+                                    bool use_cpu, std::vector<float>* u_out,
+                                    const runtime::ExecOptions& options,
+                                    const translator::CompileOptions& copts =
+                                        {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("heat2d", Heat2dSource(), copts);
+  *u_out = input.u;
+  std::vector<float> unew(u_out->size(), 0.0f);
+  runtime::RunConfig config;
+  config.platform = &platform;
+  config.num_gpus = num_gpus;
+  config.use_cpu = use_cpu;
+  config.options = options;
+  runtime::ProgramRunner runner(program, config);
+  runner.BindArray("u", u_out->data(), ir::ValType::kF32,
+                   static_cast<std::int64_t>(u_out->size()));
+  runner.BindArray("unew", unew.data(), ir::ValType::kF32,
+                   static_cast<std::int64_t>(unew.size()));
+  runner.BindScalar("n", static_cast<std::int64_t>(input.n));
+  runner.BindScalar("m", static_cast<std::int64_t>(input.m));
+  runner.BindScalar("steps", static_cast<std::int64_t>(input.steps));
+  return runner.Run("heat2d");
+}
+
+}  // namespace
+
+runtime::RunReport RunHeat2dAcc(const Heat2dInput& input,
+                                sim::Platform& platform, int num_gpus,
+                                std::vector<float>* u_out,
+                                const runtime::ExecOptions& options,
+                                const translator::CompileOptions& copts) {
+  return RunHeat2dProgram(input, platform, num_gpus, /*use_cpu=*/false, u_out,
+                          options, copts);
+}
+
+runtime::RunReport RunHeat2dOpenMp(const Heat2dInput& input,
+                                   sim::Platform& platform,
+                                   std::vector<float>* u_out) {
+  return RunHeat2dProgram(input, platform, 1, /*use_cpu=*/true, u_out, {});
+}
+
+runtime::RunReport RunHeat2dCuda(const Heat2dInput& input,
+                                 sim::Platform& platform,
+                                 std::vector<float>* u_out) {
+  platform.ResetAccounting();
+  *u_out = input.u;
+  const int n = input.n;
+  const int m = input.m;
+  sim::Device& dev = platform.device(0);
+  auto u = dev.Allocate("cuda:u", u_out->size() * sizeof(float));
+  auto unew = dev.Allocate("cuda:unew", u_out->size() * sizeof(float));
+  platform.CopyHostToDevice(*u, 0, u_out->data(),
+                            u_out->size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  const std::span<float> u_view = u->Typed<float>();
+  const std::span<float> unew_view = unew->Typed<float>();
+  std::span<float> src = u_view;
+  std::span<float> dst = unew_view;
+  for (int t = 0; t < input.steps; ++t) {
+    sim::LambdaKernel kernel([&, src, dst](std::int64_t i,
+                                           sim::KernelStats& stats) {
+      const int ii = static_cast<int>(i);
+      const int im = std::max(0, ii - 1);
+      const int ip = std::min(n - 1, ii + 1);
+      for (int j = 0; j < m; ++j) {
+        const int jm = std::max(0, j - 1);
+        const int jp = std::min(m - 1, j + 1);
+        auto at = [&](int r, int c) {
+          return src[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(m) +
+                     static_cast<std::size_t>(c)];
+        };
+        dst[static_cast<std::size_t>(ii) * static_cast<std::size_t>(m) +
+            static_cast<std::size_t>(j)] =
+            0.2f * (at(ii, j) + at(im, j) + at(ip, j) + at(ii, jm) +
+                    at(ii, jp));
+      }
+      stats.instructions += static_cast<std::uint64_t>(m) * 18;
+      stats.bytes_read += static_cast<std::uint64_t>(m) * 20;
+      stats.bytes_written += static_cast<std::uint64_t>(m) * 4;
+    });
+    sim::KernelLaunch launch;
+    launch.body = &kernel;
+    launch.num_threads = n;
+    launch.name = "heat2d_cuda";
+    platform.LaunchKernel(0, launch);
+    platform.Barrier(sim::TimeCategory::kKernel);
+    std::swap(src, dst);
+  }
+  platform.CopyDeviceToHost(u_out->data(), src.data() == u_view.data() ? *u
+                                                                       : *unew,
+                            0, u_out->size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  runtime::RunReport report;
+  report.time = platform.clock().breakdown();
+  report.total_seconds = report.time.Total();
+  report.counters = platform.counters();
+  report.kernel_executions = input.steps;
+  report.peak_user_bytes = u->size_bytes() + unew->size_bytes();
+  return report;
+}
+
+}  // namespace accmg::apps

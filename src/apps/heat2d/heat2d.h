@@ -1,0 +1,50 @@
+// Heat2D: 5-point Jacobi relaxation on an n x m grid, the CFD-dwarf stencil
+// the paper's hydro benchmark represents, expressed with the first-class 2-D
+// row-block form. The grid is declared as a two-dimensional data section
+// (u[0:n][0:m]) and distributed with localaccess cols(m), left(1), right(1):
+// each device owns a contiguous block of rows, neighbours exchange one halo
+// row per side per sweep, and the writes (unew[i*m+j]) are proven row-local
+// symbolically — so the async pipeline can carve boundary/interior sub-tasks
+// out of the sweep. Edge cells clamp to themselves (insulated boundary), so
+// the update is pure element stores: bit-identical across device counts and
+// mapper modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct Heat2dInput {
+  int n = 0;      ///< rows
+  int m = 0;      ///< columns (row length)
+  int steps = 0;  ///< Jacobi sweeps
+  std::vector<float> u;  ///< n * m initial temperatures, row-major
+};
+
+/// Smooth random initial field with a hot blob off-centre.
+Heat2dInput MakeHeat2dInput(int n, int m, int steps, std::uint64_t seed = 29);
+
+std::vector<float> Heat2dReference(const Heat2dInput& input);
+
+const std::string& Heat2dSource();
+
+runtime::RunReport RunHeat2dAcc(const Heat2dInput& input,
+                                sim::Platform& platform, int num_gpus,
+                                std::vector<float>* u_out,
+                                const runtime::ExecOptions& options = {},
+                                const translator::CompileOptions& copts = {});
+
+runtime::RunReport RunHeat2dOpenMp(const Heat2dInput& input,
+                                   sim::Platform& platform,
+                                   std::vector<float>* u_out);
+
+runtime::RunReport RunHeat2dCuda(const Heat2dInput& input,
+                                 sim::Platform& platform,
+                                 std::vector<float>* u_out);
+
+}  // namespace accmg::apps

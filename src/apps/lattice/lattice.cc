@@ -1,0 +1,211 @@
+#include "apps/lattice/lattice.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace accmg::apps {
+
+namespace {
+
+constexpr char kLatticeSource[] = R"(
+void lattice(int n, int m, int steps, float* phi, float* phinew) {
+  #pragma acc data copy(phi[0:n][0:m]) create(phinew[0:n][0:m])
+  {
+    for (int t = 0; t < steps; t++) {
+      #pragma acc localaccess(phi: cols(m), left(1), right(1)) \
+                  (phinew: cols(m))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        for (int j = 0; j < m; j++) {
+          int im = i - 1;
+          if (im < 0) { im = 0; }
+          int ip = i + 1;
+          if (ip > n - 1) { ip = n - 1; }
+          int jm = j - 1;
+          if (jm < 0) { jm = 0; }
+          int jp = j + 1;
+          if (jp > m - 1) { jp = m - 1; }
+          float c = phi[i * m + j];
+          float lap = phi[im * m + j] + phi[ip * m + j] + phi[i * m + jm]
+                      + phi[i * m + jp] - 4.0f * c;
+          phinew[i * m + j] = c + 0.1f * (lap - 0.5f * (c * c * c - c));
+        }
+      }
+      #pragma acc localaccess(phi: cols(m)) (phinew: cols(m))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        for (int j = 0; j < m; j++) {
+          phi[i * m + j] = phinew[i * m + j];
+        }
+      }
+    }
+  }
+}
+)";
+
+}  // namespace
+
+const std::string& LatticeSource() {
+  static const std::string* source = new std::string(kLatticeSource);
+  return *source;
+}
+
+LatticeInput MakeLatticeInput(int n, int m, int steps, std::uint64_t seed) {
+  ACCMG_REQUIRE(n > 0 && m > 0 && steps > 0, "bad lattice shape");
+  LatticeInput input;
+  input.n = n;
+  input.m = m;
+  input.steps = steps;
+  input.phi.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  Rng rng(seed);
+  for (auto& site : input.phi) {
+    site = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+  }
+  return input;
+}
+
+std::vector<float> LatticeReference(const LatticeInput& input) {
+  const int n = input.n;
+  const int m = input.m;
+  std::vector<float> phi = input.phi;
+  std::vector<float> phinew(phi.size());
+  auto at = [m](const std::vector<float>& grid, int i, int j) {
+    return grid[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                static_cast<std::size_t>(j)];
+  };
+  for (int t = 0; t < input.steps; ++t) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const int im = std::max(0, i - 1);
+        const int ip = std::min(n - 1, i + 1);
+        const int jm = std::max(0, j - 1);
+        const int jp = std::min(m - 1, j + 1);
+        // Same float association order as the kernel source so outputs
+        // match bit-for-bit.
+        const float c = at(phi, i, j);
+        const float lap = at(phi, im, j) + at(phi, ip, j) + at(phi, i, jm) +
+                          at(phi, i, jp) - 4.0f * c;
+        phinew[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+               static_cast<std::size_t>(j)] =
+            c + 0.1f * (lap - 0.5f * (c * c * c - c));
+      }
+    }
+    phi = phinew;
+  }
+  return phi;
+}
+
+namespace {
+
+runtime::RunReport RunLatticeProgram(const LatticeInput& input,
+                                     sim::Platform& platform, int num_gpus,
+                                     bool use_cpu,
+                                     std::vector<float>* phi_out,
+                                     const runtime::ExecOptions& options,
+                                     const translator::CompileOptions& copts =
+                                         {}) {
+  const runtime::AccProgram& program =
+      runtime::AccProgram::Cached("lattice", LatticeSource(), copts);
+  *phi_out = input.phi;
+  std::vector<float> phinew(phi_out->size(), 0.0f);
+  runtime::RunConfig config;
+  config.platform = &platform;
+  config.num_gpus = num_gpus;
+  config.use_cpu = use_cpu;
+  config.options = options;
+  runtime::ProgramRunner runner(program, config);
+  runner.BindArray("phi", phi_out->data(), ir::ValType::kF32,
+                   static_cast<std::int64_t>(phi_out->size()));
+  runner.BindArray("phinew", phinew.data(), ir::ValType::kF32,
+                   static_cast<std::int64_t>(phinew.size()));
+  runner.BindScalar("n", static_cast<std::int64_t>(input.n));
+  runner.BindScalar("m", static_cast<std::int64_t>(input.m));
+  runner.BindScalar("steps", static_cast<std::int64_t>(input.steps));
+  return runner.Run("lattice");
+}
+
+}  // namespace
+
+runtime::RunReport RunLatticeAcc(const LatticeInput& input,
+                                 sim::Platform& platform, int num_gpus,
+                                 std::vector<float>* phi_out,
+                                 const runtime::ExecOptions& options,
+                                 const translator::CompileOptions& copts) {
+  return RunLatticeProgram(input, platform, num_gpus, /*use_cpu=*/false,
+                           phi_out, options, copts);
+}
+
+runtime::RunReport RunLatticeOpenMp(const LatticeInput& input,
+                                    sim::Platform& platform,
+                                    std::vector<float>* phi_out) {
+  return RunLatticeProgram(input, platform, 1, /*use_cpu=*/true, phi_out, {});
+}
+
+runtime::RunReport RunLatticeCuda(const LatticeInput& input,
+                                  sim::Platform& platform,
+                                  std::vector<float>* phi_out) {
+  platform.ResetAccounting();
+  *phi_out = input.phi;
+  const int n = input.n;
+  const int m = input.m;
+  sim::Device& dev = platform.device(0);
+  auto phi = dev.Allocate("cuda:phi", phi_out->size() * sizeof(float));
+  auto phinew = dev.Allocate("cuda:phinew", phi_out->size() * sizeof(float));
+  platform.CopyHostToDevice(*phi, 0, phi_out->data(),
+                            phi_out->size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  const std::span<float> phi_view = phi->Typed<float>();
+  const std::span<float> phinew_view = phinew->Typed<float>();
+  std::span<float> src = phi_view;
+  std::span<float> dst = phinew_view;
+  for (int t = 0; t < input.steps; ++t) {
+    sim::LambdaKernel kernel([&, src, dst](std::int64_t i,
+                                           sim::KernelStats& stats) {
+      const int ii = static_cast<int>(i);
+      const int im = std::max(0, ii - 1);
+      const int ip = std::min(n - 1, ii + 1);
+      for (int j = 0; j < m; ++j) {
+        const int jm = std::max(0, j - 1);
+        const int jp = std::min(m - 1, j + 1);
+        auto at = [&](int r, int c) {
+          return src[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(m) +
+                     static_cast<std::size_t>(c)];
+        };
+        const float c = at(ii, j);
+        const float lap =
+            at(im, j) + at(ip, j) + at(ii, jm) + at(ii, jp) - 4.0f * c;
+        dst[static_cast<std::size_t>(ii) * static_cast<std::size_t>(m) +
+            static_cast<std::size_t>(j)] =
+            c + 0.1f * (lap - 0.5f * (c * c * c - c));
+      }
+      stats.instructions += static_cast<std::uint64_t>(m) * 26;
+      stats.bytes_read += static_cast<std::uint64_t>(m) * 20;
+      stats.bytes_written += static_cast<std::uint64_t>(m) * 4;
+    });
+    sim::KernelLaunch launch;
+    launch.body = &kernel;
+    launch.num_threads = n;
+    launch.name = "lattice_cuda";
+    platform.LaunchKernel(0, launch);
+    platform.Barrier(sim::TimeCategory::kKernel);
+    std::swap(src, dst);
+  }
+  platform.CopyDeviceToHost(
+      phi_out->data(), src.data() == phi_view.data() ? *phi : *phinew, 0,
+      phi_out->size() * sizeof(float));
+  platform.Barrier(sim::TimeCategory::kCpuGpu);
+
+  runtime::RunReport report;
+  report.time = platform.clock().breakdown();
+  report.total_seconds = report.time.Total();
+  report.counters = platform.counters();
+  report.kernel_executions = input.steps;
+  report.peak_user_bytes = phi->size_bytes() + phinew->size_bytes();
+  return report;
+}
+
+}  // namespace accmg::apps

@@ -1,0 +1,49 @@
+// Lattice: phi^4 scalar-field relaxation on an n x m site grid — a
+// structured-grid dwarf like Heat2D but with a nonlinear site update
+// (cubic local term on top of the 4-neighbour Laplacian), which shifts the
+// kernel from memory-bound towards compute-bound and therefore exercises a
+// different roofline point of the measured mapper. Declared with the 2-D
+// data-section form (phi[0:n][0:m]) and distributed by row blocks via
+// localaccess cols(m), left(1), right(1); writes are proven row-local, so
+// boundary/interior splitting and halo overlap apply. Pure element stores:
+// bit-identical across device counts and mapper modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/program.h"
+#include "sim/platform.h"
+
+namespace accmg::apps {
+
+struct LatticeInput {
+  int n = 0;      ///< rows
+  int m = 0;      ///< columns (row length)
+  int steps = 0;  ///< relaxation sweeps
+  std::vector<float> phi;  ///< n * m initial field, row-major
+};
+
+/// Random field in [-1, 1] (two-phase initial condition).
+LatticeInput MakeLatticeInput(int n, int m, int steps, std::uint64_t seed = 31);
+
+std::vector<float> LatticeReference(const LatticeInput& input);
+
+const std::string& LatticeSource();
+
+runtime::RunReport RunLatticeAcc(const LatticeInput& input,
+                                 sim::Platform& platform, int num_gpus,
+                                 std::vector<float>* phi_out,
+                                 const runtime::ExecOptions& options = {},
+                                 const translator::CompileOptions& copts = {});
+
+runtime::RunReport RunLatticeOpenMp(const LatticeInput& input,
+                                    sim::Platform& platform,
+                                    std::vector<float>* phi_out);
+
+runtime::RunReport RunLatticeCuda(const LatticeInput& input,
+                                  sim::Platform& platform,
+                                  std::vector<float>* phi_out);
+
+}  // namespace accmg::apps

@@ -150,12 +150,17 @@ enum class DataClauseKind : int {
 
 const char* DataClauseKindName(DataClauseKind kind);
 
-/// `name[lower : length]`. `lower`/`length` may be null for whole-array forms
-/// (resolved by Sema against the enclosing data region).
+/// `name[lower : length]` or the 2-D form `name[lower : length][lower2 :
+/// length2]` (a row-major rows x cols view; the second pair is the inner
+/// dimension). `lower`/`length` may be null for whole-array forms (resolved
+/// by Sema against the enclosing data region); `lower2`/`length2` are null
+/// for 1-D sections.
 struct ArraySection {
   std::string name;
   ExprPtr lower;
   ExprPtr length;
+  ExprPtr lower2;
+  ExprPtr length2;
   SourceLocation loc;
 };
 
@@ -176,9 +181,16 @@ struct ReductionClause {
 /// The `localaccess` extension (paper Section III-C): iteration i of the
 /// annotated loop reads array elements in
 /// [stride*i - left, stride*(i+1) - 1 + right].
+///
+/// The 2-D extension `cols(m)` declares the array a row-major 2-D grid whose
+/// rows have `m` elements and whose outer dimension is iterated by the loop:
+/// iteration i touches row i, and `left`/`right` become whole-row halo counts.
+/// Effectively stride = m and the element halos are left*m / right*m; `cols`
+/// is mutually exclusive with `stride`.
 struct LocalAccessSpec {
   std::string array;
   ExprPtr stride;  ///< null means 1
+  ExprPtr cols;    ///< null means 1-D; else row length of a 2-D row-major view
   ExprPtr left;    ///< null means 0
   ExprPtr right;   ///< null means 0
   SourceLocation loc;

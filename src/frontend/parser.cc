@@ -656,6 +656,8 @@ Directive Parser::ParseDirectiveBody(SourceLocation loc) {
           Expect(TokenKind::kRParen, "after localaccess parameter value");
           if (param.text == "stride") {
             spec.stride = std::move(value);
+          } else if (param.text == "cols") {
+            spec.cols = std::move(value);
           } else if (param.text == "left") {
             spec.left = std::move(value);
           } else if (param.text == "right") {
@@ -767,6 +769,12 @@ ArraySection Parser::ParseArraySection() {
     Expect(TokenKind::kColon, "in array section");
     section.length = ParseExpression();
     Expect(TokenKind::kRBracket, "after array section");
+    if (MatchTok(TokenKind::kLBracket)) {
+      section.lower2 = ParseExpression();
+      Expect(TokenKind::kColon, "in array section");
+      section.length2 = ParseExpression();
+      Expect(TokenKind::kRBracket, "after array section");
+    }
   }
   return section;
 }

@@ -17,6 +17,10 @@ std::string PrintSection(const ArraySection& section) {
   if (section.lower != nullptr) {
     out += "[" + PrintExpr(*section.lower) + ":" +
            PrintExpr(*section.length) + "]";
+    if (section.lower2 != nullptr) {
+      out += "[" + PrintExpr(*section.lower2) + ":" +
+             PrintExpr(*section.length2) + "]";
+    }
   }
   return out;
 }
@@ -54,6 +58,7 @@ std::string PrintDirective(const Directive& d) {
       first = false;
     };
     param("stride", spec.stride);
+    param("cols", spec.cols);
     param("left", spec.left);
     param("right", spec.right);
     os << ')';
@@ -369,7 +374,9 @@ bool ExprEq(const Expr* a, const Expr* b) {
 
 bool SectionEq(const ArraySection& a, const ArraySection& b) {
   return a.name == b.name && ExprEq(a.lower.get(), b.lower.get()) &&
-         ExprEq(a.length.get(), b.length.get());
+         ExprEq(a.length.get(), b.length.get()) &&
+         ExprEq(a.lower2.get(), b.lower2.get()) &&
+         ExprEq(a.length2.get(), b.length2.get());
 }
 
 bool DirectiveEq(const Directive& a, const Directive& b) {
@@ -404,6 +411,7 @@ bool DirectiveEq(const Directive& a, const Directive& b) {
     const auto& la = a.local_access[i];
     const auto& lb = b.local_access[i];
     if (la.array != lb.array || !ExprEq(la.stride.get(), lb.stride.get()) ||
+        !ExprEq(la.cols.get(), lb.cols.get()) ||
         !ExprEq(la.left.get(), lb.left.get()) ||
         !ExprEq(la.right.get(), lb.right.get())) {
       return false;

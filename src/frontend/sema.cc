@@ -358,6 +358,8 @@ void Sema::AnalyzeDirective(Directive& directive, std::vector<Scope>& scopes) {
       check_array(section.name, section.loc);
       analyze_optional(section.lower);
       analyze_optional(section.length);
+      analyze_optional(section.lower2);
+      analyze_optional(section.length2);
     }
   }
   for (auto& clause : directive.reductions) {
@@ -375,8 +377,13 @@ void Sema::AnalyzeDirective(Directive& directive, std::vector<Scope>& scopes) {
   for (auto& spec : directive.local_access) {
     check_array(spec.array, spec.loc);
     analyze_optional(spec.stride);
+    analyze_optional(spec.cols);
     analyze_optional(spec.left);
     analyze_optional(spec.right);
+    if (spec.stride != nullptr && spec.cols != nullptr) {
+      Error(spec.loc, "localaccess: 'stride' and 'cols' are mutually "
+                      "exclusive on '" + spec.array + "'");
+    }
   }
   if (directive.reduction_to_array.has_value()) {
     auto& spec = *directive.reduction_to_array;
@@ -389,6 +396,8 @@ void Sema::AnalyzeDirective(Directive& directive, std::vector<Scope>& scopes) {
       check_array(section.name, section.loc);
       analyze_optional(section.lower);
       analyze_optional(section.length);
+      analyze_optional(section.lower2);
+      analyze_optional(section.length2);
     }
   }
 }

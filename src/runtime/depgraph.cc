@@ -120,7 +120,13 @@ SplitPlan ComputeBoundarySplit(const std::vector<ArraySplitInput>& arrays,
   std::int64_t trail = 0;
   for (const ArraySplitInput& array : arrays) {
     if (!array.distributed) continue;
-    if (array.left == 0 && array.right == 0) continue;  // no halo exchange
+    // The conservative vetoes apply to EVERY distributed array, including
+    // no-halo ones: an array with clamped (inexact) ownership boundaries or
+    // unboundable writes poisons the whole split even if it never triggers
+    // an exchange itself, because its writes can land in slices of *other*
+    // arrays' owned segments that the exchange reads. Checking them only on
+    // halo-carrying arrays let a fused offload (which merges arrays with
+    // different localaccess windows) skip the veto and split unsoundly.
     if (!array.boundaries_exact) return plan;  // iteration<->element map broken
     const std::int64_t s = std::max<std::int64_t>(1, array.stride);
     // Writes the analysis cannot bound (non-affine, or marching with a
@@ -131,6 +137,7 @@ SplitPlan ComputeBoundarySplit(const std::vector<ArraySplitInput>& arrays,
         (!array.has_affine_writes || array.write_coeff != s)) {
       return plan;
     }
+    if (array.left == 0 && array.right == 0) continue;  // no halo exchange
     any_halo = true;
 
     // Boundary iterations must contain (a) every iteration whose read

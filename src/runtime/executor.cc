@@ -134,6 +134,11 @@ void Executor::CheckInterrupts() const {
 }
 
 void Executor::ShrinkDevices(const std::vector<int>& lost) {
+  // Per-device throughput records are indexed by position in devices_, so a
+  // shrink invalidates every measurement; the next execution of each offload
+  // re-derives an equal split from the survivor count and re-measures.
+  mapper_speed_.clear();
+  mapper_last_tasks_.clear();
   for (int d : lost) {
     devices_.erase(std::remove(devices_.begin(), devices_.end(), d),
                    devices_.end());
@@ -226,10 +231,49 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
   const std::int64_t total = std::max<std::int64_t>(0, upper - lower);
   const auto num_devices = static_cast<std::int64_t>(devices_.size());
 
-  // --- 1. Task mapping: equal contiguous division (Section IV-B2), or
-  // throughput-weighted division (extension) for heterogeneous GPUs. ---
+  // --- 1. Task mapping: equal contiguous division (Section IV-B2),
+  // throughput-weighted division from the spec table (extension), or
+  // measured-throughput rebalancing from the previous execution's per-device
+  // kernel timings (ExecOptions::mapper == kMeasured). ---
   std::vector<Range> tasks(devices_.size());
-  if (options_.weighted_task_mapping) {
+  bool measured_split = false;
+  if (options_.mapper == TaskMapper::kMeasured && devices_.size() > 1 &&
+      total > 0 && mapper_speed_.size() == devices_.size()) {
+    double total_speed = 0;
+    std::vector<double> prefix(devices_.size() + 1, 0);
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      total_speed += mapper_speed_[g];
+      prefix[g + 1] = total_speed;
+    }
+    std::int64_t cursor = 0;
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      const auto hi =
+          g + 1 == devices_.size()
+              ? total
+              : static_cast<std::int64_t>(static_cast<double>(total) *
+                                          prefix[g + 1] / total_speed);
+      tasks[g] = Range{cursor, std::max(cursor, hi)};
+      cursor = tasks[g].hi;
+    }
+    std::vector<Range>& last = mapper_last_tasks_[offload.id];
+    bool same = last.size() == tasks.size();
+    for (std::size_t g = 0; same && g < tasks.size(); ++g) {
+      same = last[g].lo == tasks[g].lo && last[g].hi == tasks[g].hi;
+    }
+    if (!same) {
+      static metrics::Counter& rebalances =
+          metrics::Registry::Global().counter("mapper.rebalances");
+      rebalances.Add();
+      last = tasks;
+    }
+    measured_split = true;
+    static metrics::Counter& measured_splits =
+        metrics::Registry::Global().counter("mapper.measured_splits");
+    measured_splits.Add();
+  }
+  if (measured_split) {
+    // Split chosen above from measured per-device throughput.
+  } else if (options_.weighted_task_mapping) {
     double total_weight = 0;
     std::vector<double> prefix(devices_.size() + 1, 0);
     for (std::size_t g = 0; g < devices_.size(); ++g) {
@@ -294,12 +338,33 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
     ba.config = &config;
     ba.distributed = req.distributed;
     if (req.distributed) {
-      const std::int64_t stride =
-          config.stride != nullptr ? EvalIndexExpr(*config.stride, env) : 1;
-      const std::int64_t left =
-          config.left != nullptr ? EvalIndexExpr(*config.left, env) : 0;
-      const std::int64_t right =
-          config.right != nullptr ? EvalIndexExpr(*config.right, env) : 0;
+      std::int64_t stride, left, right;
+      if (config.cols != nullptr) {
+        // 2-D row-block window: the loop iterates rows of a row-major grid,
+        // so the element stride is the row length and the halo extents are
+        // whole rows. Row blocks are contiguous, which is what lets every
+        // 1-D range below (loading, ownership, halo refresh) apply as-is.
+        const std::int64_t cols = EvalIndexExpr(*config.cols, env);
+        ACCMG_REQUIRE(cols >= 1, "localaccess cols must be >= 1");
+        if (array.is_2d()) {
+          ACCMG_REQUIRE(cols == array.cols(),
+                        "localaccess cols(" + std::to_string(cols) +
+                            ") disagrees with the data clause shape of '" +
+                            array.name() + "' (" +
+                            std::to_string(array.cols()) + " columns)");
+        }
+        stride = cols;
+        left = (config.left != nullptr ? EvalIndexExpr(*config.left, env)
+                                       : 0) * cols;
+        right = (config.right != nullptr ? EvalIndexExpr(*config.right, env)
+                                         : 0) * cols;
+      } else {
+        stride =
+            config.stride != nullptr ? EvalIndexExpr(*config.stride, env) : 1;
+        left = config.left != nullptr ? EvalIndexExpr(*config.left, env) : 0;
+        right =
+            config.right != nullptr ? EvalIndexExpr(*config.right, env) : 0;
+      }
       ACCMG_REQUIRE(stride >= 1, "localaccess stride must be >= 1");
       ACCMG_REQUIRE(left >= 0 && right >= 0,
                     "localaccess halo extents must be >= 0");
@@ -426,6 +491,18 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
       in.write_coeff = ba.config->write_coeff;
       in.write_min_off = ba.config->write_min_off;
       in.write_max_off = ba.config->write_max_off;
+      if (ba.config->cols != nullptr && ba.config->is_written &&
+          ba.config->writes_proven_local) {
+        // 2-D row-block arrays carry a symbolic row-locality proof instead
+        // of const-folded affine write facts: iteration i writes only
+        // within its own row [cols*i, cols*i + cols - 1]. Expressed in the
+        // split plan's affine terms that is coeff = cols (== ba.stride
+        // after launch-time scaling) with offsets [0, cols - 1].
+        in.has_affine_writes = true;
+        in.write_coeff = ba.stride;
+        in.write_min_off = 0;
+        in.write_max_off = ba.stride - 1;
+      }
       split_inputs.push_back(in);
     }
     for (std::size_t g = 0; g < devices_.size(); ++g) {
@@ -448,6 +525,10 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
   // reduction partials accumulate across the sub-launches exactly as one
   // full-range launch would.
   std::vector<std::unique_ptr<ir::KernelExec>> execs(devices_.size());
+  // Measured-mapper epoch: per-device durations are taken against the clock
+  // value at launch issue, so loading skew that already advanced the clock
+  // is not charged to any one device's kernel speed.
+  const double launch_floor = platform_.clock().Now();
   std::vector<double> interior_end(devices_.size(), 0);
   std::vector<double> boundary_end(devices_.size(), 0);
   std::vector<double> device_end(devices_.size(), 0);
@@ -570,6 +651,30 @@ void Executor::RunOffloadImpl(const LoopOffload& offload, HostEnv& env,
   static metrics::Counter& offload_runs_metric =
       metrics::Registry::Global().counter("executor.offload_runs");
   offload_runs_metric.Add();
+
+  // Fill the shared throughput table from the first equal-split execution
+  // whose measurement is usable on every device (each got iterations and
+  // its kernel-end timestamp advanced past the launch floor). An unusable
+  // measurement — e.g. a range smaller than the device count — leaves the
+  // table empty, so the mapper keeps splitting equally and re-measuring
+  // until an offload supplies real work on all devices. Once filled the
+  // table is frozen: every subsequent offload derives its split from the
+  // same numbers, and only a device-set change (ShrinkDevices) clears it.
+  if (options_.mapper == TaskMapper::kMeasured && devices_.size() > 1 &&
+      total > 0 && mapper_speed_.empty()) {
+    std::vector<double> speed(devices_.size(), 0.0);
+    bool usable = true;
+    for (std::size_t g = 0; g < devices_.size(); ++g) {
+      const double duration = device_end[g] - launch_floor;
+      const std::int64_t iters = tasks[g].size();
+      if (iters > 0 && duration > 0) {
+        speed[g] = static_cast<double>(iters) / duration;
+      } else {
+        usable = false;
+      }
+    }
+    if (usable) mapper_speed_ = std::move(speed);
+  }
 
   // --- 5. Communication step. ---
   // Reduction combines below bill transfers under the reduction category;

@@ -122,6 +122,18 @@ class Executor {
     double halo = 0;
   };
 
+  /// Measured-throughput mapper state (ExecOptions::mapper == kMeasured).
+  /// `mapper_speed_` is the per-device throughput table (iterations per
+  /// simulated second), filled once from the first equal-split execution
+  /// whose measurement is usable on every device, then frozen. It is shared
+  /// by every offload: two loops over the same iteration range must derive
+  /// byte-identical ownership boundaries, or row ownership thrashes between
+  /// their two splits on every sweep and the redistribution traffic dwarfs
+  /// the kernel-time win. Cleared wholesale on any device-set change, which
+  /// forces one equal-split re-measurement on the survivors.
+  /// `mapper_last_tasks_` (per offload id) only detects split changes for
+  /// the mapper.rebalances counter.
+
   sim::Platform& platform_;
   ExecOptions options_;
   std::vector<int> devices_;
@@ -131,6 +143,8 @@ class Executor {
   std::unique_ptr<Validator> validator_;
   const DepGraph* depgraph_ = nullptr;
   std::unordered_map<const ManagedArray*, ArrayReady> ready_;
+  std::vector<double> mapper_speed_;
+  std::unordered_map<int, std::vector<Range>> mapper_last_tasks_;
   double pending_comm_end_ = 0;
   double run_start_sim_ = 0;  ///< deadline epoch, set by BeginRun()
 };

@@ -549,16 +549,29 @@ void HostInterpreter::EnterDataRegion(const Directive& directive,
                         "' is already in an enclosing data region");
       const HostArray host = HostArrayOf(*decl);
       std::int64_t count = host.count;
+      std::int64_t shape_rows = 0, shape_cols = 0;
       if (section.lower != nullptr) {
         const std::int64_t lo = EvalIndexExpr(*section.lower, env_);
         ACCMG_REQUIRE(lo == 0, "array sections must start at 0");
         count = EvalIndexExpr(*section.length, env_);
+        if (section.lower2 != nullptr) {
+          // 2-D section u[0:rows][0:cols]: a row-major grid flattened to
+          // rows*cols contiguous elements.
+          const std::int64_t lo2 = EvalIndexExpr(*section.lower2, env_);
+          ACCMG_REQUIRE(lo2 == 0, "array sections must start at 0");
+          shape_rows = count;
+          shape_cols = EvalIndexExpr(*section.length2, env_);
+          ACCMG_REQUIRE(shape_rows >= 1 && shape_cols >= 1,
+                        "2-D array section dimensions must be >= 1");
+          count = shape_rows * shape_cols;
+        }
         ACCMG_REQUIRE(count >= 1 && count <= host.count,
                       "array section exceeds the bound host storage");
       }
       managed_[decl->id] = std::make_unique<ManagedArray>(
           decl->name, host.elem, count, host.data,
           runner_.config_.platform->num_devices());
+      if (shape_cols > 0) managed_[decl->id]->SetShape(shape_rows, shape_cols);
       entries.push_back(RegionEntry{decl, clause.kind, false});
     }
   }

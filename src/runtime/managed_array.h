@@ -76,6 +76,21 @@ class ManagedArray {
   Placement placement() const { return placement_; }
   void set_placement(Placement p) { placement_ = p; }
 
+  /// 2-D shape metadata, set by a two-dimensional data-clause section
+  /// (`u[0:n][0:m]`): the array is a row-major rows x cols grid. Purely
+  /// descriptive — placement and transfer machinery stay 1-D over the
+  /// flattened elements (row blocks are contiguous) — but the validator uses
+  /// it to attribute divergences to a (row, col) coordinate and the loader's
+  /// scatter/gather naturally become row-block operations. rows()/cols()
+  /// are 0 for 1-D arrays.
+  void SetShape(std::int64_t rows, std::int64_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+  }
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  bool is_2d() const { return cols_ > 0; }
+
   bool host_valid() const { return host_valid_; }
   void set_host_valid(bool v) { host_valid_ = v; }
 
@@ -112,6 +127,8 @@ class ManagedArray {
   ir::ValType elem_;
   std::int64_t count_;
   void* host_data_;
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
   Placement placement_ = Placement::kHostOnly;
   bool host_valid_ = true;
   std::vector<DeviceShard> shards_;

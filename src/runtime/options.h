@@ -7,6 +7,23 @@
 
 namespace accmg::runtime {
 
+/// How the executor splits a parallel loop's iteration range across the
+/// participating devices (docs/ARCHITECTURE.md, "Adaptive task mapper").
+enum class TaskMapper : int {
+  /// The paper's equal contiguous division (Section IV-B2).
+  kEqual,
+  /// Measured-throughput rebalancing: after each execution of an offload the
+  /// executor records per-device kernel durations from the simulated clock
+  /// and resplits the next execution of the same offload proportionally to
+  /// the observed iterations/second. Falls back to equal division on the
+  /// first run, after a device-set change, and whenever a measurement is
+  /// unusable; a ~2% hysteresis band keeps stable splits byte-stable so the
+  /// loader's reload-skip caching still applies. Output is bit-identical to
+  /// equal division for non-reduction kernels — only the split (and thus the
+  /// simulated schedule) changes.
+  kMeasured,
+};
+
 struct ExecOptions {
   /// Honour `localaccess` directives (distribution-based placement). When
   /// false every array uses the replica-based policy, which is what a stock
@@ -24,8 +41,14 @@ struct ExecOptions {
 
   /// Extension beyond the paper: split the iteration space proportionally
   /// to each device's compute throughput instead of equally (Section IV-B2
-  /// divides equally, which wastes time when the GPUs differ).
+  /// divides equally, which wastes time when the GPUs differ). Static — it
+  /// trusts the platform's spec table; see `mapper` for the measured
+  /// alternative, which takes precedence when set to kMeasured.
   bool weighted_task_mapping = false;
+
+  /// Adaptive task mapper selection (see TaskMapper above). kMeasured
+  /// overrides weighted_task_mapping once per-offload timings exist.
+  TaskMapper mapper = TaskMapper::kEqual;
 
   /// Dependence-driven async offload pipeline. The executor derives
   /// inter-offload RAW/WAR/WAW dependences from each offload's array

@@ -93,6 +93,19 @@ std::uint64_t ToElementRaw(ir::ValType type, const TypedValue& value) {
   return 0;
 }
 
+/// Human-readable position of flat element `i` in `array`: plain index for
+/// 1-D arrays, index plus the (row, col) coordinate for arrays whose data
+/// clause declared a 2-D shape — a diverging stencil cell is much easier to
+/// localize by grid coordinate than by flat offset.
+std::string ElementCoord(const ManagedArray& array, std::int64_t i) {
+  std::string text = std::to_string(i);
+  if (array.is_2d()) {
+    text += " (row " + std::to_string(i / array.cols()) + ", col " +
+            std::to_string(i % array.cols()) + ")";
+  }
+  return text;
+}
+
 /// Asserts on destruction that the validator added no billed transfers,
 /// kernel launches or simulated time — validation reads device buffers
 /// behind the platform's back on purpose.
@@ -295,7 +308,7 @@ void Validator::CheckOffload(const LoopOffload& offload, HostEnv& env,
         if (!RawMatches(config.elem, actual, expected, approximate,
                         options_.validate_rel_tol)) {
           Diverge("kernel '" + offload.name + "': array '" + config.name +
-                  "' diverges at element " + std::to_string(i) +
+                  "' diverges at element " + ElementCoord(array, i) +
                   " on device " + std::to_string(device) + ": multi-GPU=" +
                   RawToString(config.elem, actual) + " golden=" +
                   RawToString(config.elem, expected));
@@ -313,7 +326,7 @@ void Validator::CheckOffload(const LoopOffload& offload, HostEnv& env,
                         options_.validate_rel_tol)) {
           Diverge("kernel '" + offload.name + "': host image of '" +
                   config.name + "' is marked valid but diverges at element " +
-                  std::to_string(i) + ": host=" +
+                  ElementCoord(array, i) + ": host=" +
                   RawToString(config.elem, actual) + " golden=" +
                   RawToString(config.elem, expected));
         }

@@ -398,6 +398,12 @@ std::string WindowText(const ArrayConfig& config) {
     if (TryFoldConstant(*e, &v)) return std::to_string(v);
     return std::string(name);
   };
+  if (config.cols != nullptr) {
+    return "[" + term(config.cols, "cols", "cols") + "*(i - " +
+           term(config.left, "left", "0") + "), " +
+           term(config.cols, "cols", "cols") + "*(i + 1 + " +
+           term(config.right, "right", "0") + ") - 1]";
+  }
   return "[" + term(config.stride, "stride", "1") + "*i - " +
          term(config.left, "left", "0") + ", " +
          term(config.stride, "stride", "1") + "*(i+1) - 1 + " +
@@ -464,6 +470,12 @@ void CheckOffloadDirectives(const LoopOffload& offload,
                                   "' must be >= 0 (got " +
                                   std::to_string(folded) + ")");
     }
+    if (config.cols != nullptr && TryFoldConstant(*config.cols, &folded) &&
+        folded < 1) {
+      Fail(config.cols->loc, "localaccess cols of '" + config.name +
+                                 "' must be >= 1 (got " +
+                                 std::to_string(folded) + ")");
+    }
 
     // Coverage: for every subscript of this array, the slack polynomials
     //   lo_slack = index - (stride*i - left)
@@ -479,16 +491,35 @@ void CheckOffloadDirectives(const LoopOffload& offload,
       std::unordered_map<int, const VarDecl*> decls;
       Poly index, stride, halo_left, halo_right;
       bool analyzable = AddExpr(*subscript.index, 1, &index, decls);
-      if (config.stride != nullptr) {
-        analyzable &= AddExpr(*config.stride, 1, &stride, decls);
+      if (config.cols != nullptr) {
+        // 2-D row window: the effective element stride is the row length,
+        // and left/right count whole rows, so the element halos are
+        // left*cols and right*cols.
+        analyzable &= AddExpr(*config.cols, 1, &stride, decls);
+        if (analyzable && config.left != nullptr) {
+          Poly rows, scaled;
+          analyzable = AddExpr(*config.left, 1, &rows, decls) &&
+                       MulPoly(rows, stride, &scaled);
+          halo_left = std::move(scaled);
+        }
+        if (analyzable && config.right != nullptr) {
+          Poly rows, scaled;
+          analyzable = AddExpr(*config.right, 1, &rows, decls) &&
+                       MulPoly(rows, stride, &scaled);
+          halo_right = std::move(scaled);
+        }
       } else {
-        stride[Monomial{}] = 1;
-      }
-      if (config.left != nullptr) {
-        analyzable &= AddExpr(*config.left, 1, &halo_left, decls);
-      }
-      if (config.right != nullptr) {
-        analyzable &= AddExpr(*config.right, 1, &halo_right, decls);
+        if (config.stride != nullptr) {
+          analyzable &= AddExpr(*config.stride, 1, &stride, decls);
+        } else {
+          stride[Monomial{}] = 1;
+        }
+        if (config.left != nullptr) {
+          analyzable &= AddExpr(*config.left, 1, &halo_left, decls);
+        }
+        if (config.right != nullptr) {
+          analyzable &= AddExpr(*config.right, 1, &halo_right, decls);
+        }
       }
       if (!analyzable) continue;  // undecidable: runtime is the backstop
 
@@ -534,6 +565,87 @@ void CheckOffloadDirectives(const LoopOffload& offload,
       }
     }
   }
+}
+
+bool ProveWritesRowLocal(const LoopOffload& offload,
+                         const ArrayConfig& config) {
+  if (config.cols == nullptr) return false;
+  BoundsCollector bounds(offload);
+
+  // Collect every store index of this array (plain and compound assigns).
+  std::vector<const Expr*> write_indices;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kAssign: {
+        const auto& assign = As<frontend::AssignStmt>(stmt);
+        if (assign.target->kind == ExprKind::kSubscript) {
+          const auto& sub = As<frontend::SubscriptExpr>(*assign.target);
+          if (sub.base->kind == ExprKind::kVarRef &&
+              As<frontend::VarRef>(*sub.base).decl == config.decl) {
+            write_indices.push_back(sub.index.get());
+          }
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& s = As<frontend::IfStmt>(stmt);
+        walk(*s.then_stmt);
+        if (s.else_stmt != nullptr) walk(*s.else_stmt);
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& s = As<ForStmt>(stmt);
+        if (s.init != nullptr) walk(*s.init);
+        if (s.step != nullptr) walk(*s.step);
+        walk(*s.body);
+        break;
+      }
+      case StmtKind::kWhile:
+        walk(*As<frontend::WhileStmt>(stmt).body);
+        break;
+      case StmtKind::kCompound:
+        for (const auto& child : As<frontend::CompoundStmt>(stmt).body) {
+          walk(*child);
+        }
+        break;
+      default:
+        break;
+    }
+  };
+  walk(*offload.loop->body);
+  if (write_indices.empty()) return false;
+
+  for (const Expr* index_expr : write_indices) {
+    std::unordered_map<int, const VarDecl*> decls;
+    Poly index, cols;
+    if (!AddExpr(*index_expr, 1, &index, decls)) return false;
+    if (!AddExpr(*config.cols, 1, &cols, decls)) return false;
+    Poly induction;
+    induction[Monomial{offload.induction->id}] = 1;
+    decls[offload.induction->id] = offload.induction;
+    Poly cols_i;
+    if (!MulPoly(cols, induction, &cols_i)) return false;
+
+    // lo = index - cols*i and hi = cols*i + cols - 1 - index must both be
+    // provably >= 0: the store stays inside row i. Unlike the coverage
+    // check, kUnknown is a failure here — this proof REMOVES the write-miss
+    // safety net, so only a definite answer counts.
+    Poly lo = index;
+    for (const auto& [m, c] : cols_i) lo[m] -= c;
+    Poly hi = cols_i;
+    for (const auto& [m, c] : cols) hi[m] += c;
+    hi[Monomial{}] -= 1;
+    for (const auto& [m, c] : index) hi[m] -= c;
+
+    std::int64_t min_slack = 0;
+    if (MinimizeSlack(lo, bounds, decls, &min_slack) != Verdict::kCovered) {
+      return false;
+    }
+    if (MinimizeSlack(hi, bounds, decls, &min_slack) != Verdict::kCovered) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace accmg::translator

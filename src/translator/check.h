@@ -33,4 +33,15 @@ namespace accmg::translator {
 void CheckOffloadDirectives(const LoopOffload& offload,
                             const frontend::Directive* local_access);
 
+/// Proves that every write of a 2-D (`cols(m)`) array in the loop lands
+/// inside the iteration's own row: index - cols*i in [0, cols-1] for every
+/// store, over the whole iteration space. Uses the same polynomial slack
+/// minimization as the directive checker, so indices like i*m + j with a
+/// canonical inner loop `for (j = 0; j < m; ...)` are provable even though
+/// they are not affine-with-constant-coefficient in i. A true result lets
+/// the translator set ArrayConfig::writes_proven_local (no miss check) and
+/// the executor synthesize exact boundary-split margins for the row block.
+bool ProveWritesRowLocal(const LoopOffload& offload,
+                         const ArrayConfig& config);
+
 }  // namespace accmg::translator

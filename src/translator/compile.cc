@@ -482,6 +482,7 @@ class FunctionCompiler {
           if (spec.array == decl->name) {
             config.has_localaccess = true;
             config.stride = spec.stride.get();
+            config.cols = spec.cols.get();
             config.left = spec.left.get();
             config.right = spec.right.get();
           }
@@ -535,6 +536,15 @@ class FunctionCompiler {
       }
 
       if (!config.has_localaccess) continue;
+      if (config.cols != nullptr) {
+        // 2-D row-block window: index = i*cols + j has no constant
+        // coefficient for the affine matcher, so prove row locality
+        // symbolically (index - cols*i within [0, cols-1]) with the
+        // directive checker's polynomial machinery.
+        config.writes_proven_local =
+            any_write_site && ProveWritesRowLocal(offload, config);
+        continue;
+      }
       std::int64_t stride = 1, left = 0, right = 0;
       bool const_spec = true;
       if (config.stride != nullptr) {

@@ -32,6 +32,14 @@ struct ArrayConfig {
   const frontend::Expr* left = nullptr;    ///< null = 0
   const frontend::Expr* right = nullptr;   ///< null = 0
 
+  /// 2-D extension: non-null when the localaccess spec carried `cols(m)`.
+  /// The array is a row-major 2-D view whose rows the loop iterates; at
+  /// launch the executor evaluates it to the row length and scales the
+  /// window to elements (stride = cols, halos = left*cols / right*cols), so
+  /// row blocks stay contiguous and all 1-D placement machinery applies.
+  /// Mutually exclusive with `stride`.
+  const frontend::Expr* cols = nullptr;
+
   /// This array is the destination of a reductiontoarray statement.
   bool is_reduction_dest = false;
 

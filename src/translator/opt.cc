@@ -290,6 +290,7 @@ bool PlanFusion(const LoopOffload& a, const LoopOffload& b,
   }
   for (const auto& cfg : b.arrays) {
     if (ExprMentionsAny(cfg.stride, a_mutates) ||
+        ExprMentionsAny(cfg.cols, a_mutates) ||
         ExprMentionsAny(cfg.left, a_mutates) ||
         ExprMentionsAny(cfg.right, a_mutates)) {
       return false;
@@ -334,6 +335,9 @@ bool PlanFusion(const LoopOffload& a, const LoopOffload& b,
     if (ac->has_localaccess != bc.has_localaccess) return false;
     if (ac->has_localaccess) {
       if (!StridesMatch(ac->stride, bc.stride)) return false;
+      // cols folds null to 1, so a 2-D spec only matches another 2-D spec
+      // with the same row length (or a degenerate cols(1) against 1-D).
+      if (!StridesMatch(ac->cols, bc.cols)) return false;
       const Expr* left = nullptr;
       const Expr* right = nullptr;
       if (!PickWiderWindow(ac->left, bc.left, &left)) return false;

@@ -5,9 +5,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include <cstdint>
+
 #include "apps/bfs/bfs.h"
+#include "apps/heat2d/heat2d.h"
 #include "apps/kmeans/kmeans.h"
+#include "apps/lattice/lattice.h"
 #include "apps/md/md.h"
+#include "common/metrics.h"
+#include "runtime/options.h"
 #include "sim/platform.h"
 
 namespace accmg {
@@ -149,6 +155,119 @@ TEST(BfsTest, UsesRoughlyTenLevels) {
       *std::max_element(levels.begin(), levels.end());
   EXPECT_GE(max_level, 3);
   EXPECT_LE(max_level, 24);
+}
+
+// ---------------------------------------------------------------------------
+// HEAT2D / LATTICE (2-D row-block stencils)
+// ---------------------------------------------------------------------------
+
+class Heat2dTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Heat2dTest, BitIdenticalToReferenceUnderValidatorInBothMapperModes) {
+  const int gpus = GetParam();
+  const apps::Heat2dInput input = apps::MakeHeat2dInput(37, 12, 4);
+  const std::vector<float> expected = apps::Heat2dReference(input);
+
+  for (const auto mapper :
+       {runtime::TaskMapper::kEqual, runtime::TaskMapper::kMeasured}) {
+    auto platform = sim::MakeSupercomputerNode(4);
+    runtime::ExecOptions options;
+    options.validate = true;
+    options.mapper = mapper;
+    std::vector<float> u;
+    const auto report = apps::RunHeat2dAcc(input, *platform, gpus, &u, options);
+    EXPECT_EQ(report.validator.divergences, 0u);
+    ASSERT_EQ(u.size(), expected.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      ASSERT_EQ(u[i], expected[i])
+          << "element " << i << " mapper "
+          << (mapper == runtime::TaskMapper::kEqual ? "equal" : "measured");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, Heat2dTest, ::testing::Values(1, 2, 4));
+
+TEST(Heat2dTest, BaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::Heat2dInput input = apps::MakeHeat2dInput(24, 10, 3);
+  const std::vector<float> expected = apps::Heat2dReference(input);
+
+  std::vector<float> u;
+  apps::RunHeat2dOpenMp(input, *platform, &u);
+  EXPECT_EQ(u, expected);
+  apps::RunHeat2dCuda(input, *platform, &u);
+  EXPECT_EQ(u, expected);
+}
+
+class LatticeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatticeTest, BitIdenticalToReferenceUnderValidatorInBothMapperModes) {
+  const int gpus = GetParam();
+  const apps::LatticeInput input = apps::MakeLatticeInput(29, 9, 5);
+  const std::vector<float> expected = apps::LatticeReference(input);
+
+  for (const auto mapper :
+       {runtime::TaskMapper::kEqual, runtime::TaskMapper::kMeasured}) {
+    auto platform = sim::MakeSupercomputerNode(4);
+    runtime::ExecOptions options;
+    options.validate = true;
+    options.mapper = mapper;
+    std::vector<float> phi;
+    const auto report =
+        apps::RunLatticeAcc(input, *platform, gpus, &phi, options);
+    EXPECT_EQ(report.validator.divergences, 0u);
+    ASSERT_EQ(phi.size(), expected.size());
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      ASSERT_EQ(phi[i], expected[i])
+          << "element " << i << " mapper "
+          << (mapper == runtime::TaskMapper::kEqual ? "equal" : "measured");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, LatticeTest, ::testing::Values(1, 2, 4));
+
+TEST(LatticeTest, BaselinesMatchReference) {
+  auto platform = sim::MakeDesktopMachine(2);
+  const apps::LatticeInput input = apps::MakeLatticeInput(20, 8, 3);
+  const std::vector<float> expected = apps::LatticeReference(input);
+
+  std::vector<float> phi;
+  apps::RunLatticeOpenMp(input, *platform, &phi);
+  EXPECT_EQ(phi, expected);
+  apps::RunLatticeCuda(input, *platform, &phi);
+  EXPECT_EQ(phi, expected);
+}
+
+// The measured mapper actually adapts: on a node whose devices publish
+// different throughputs, the second execution of each offload departs from
+// equal division (mapper.rebalances fires) yet the result stays
+// bit-identical to the equal split.
+TEST(Heat2dTest, MeasuredMapperRebalancesWithoutChangingResults) {
+  const apps::Heat2dInput input = apps::MakeHeat2dInput(40, 10, 6);
+  metrics::Counter& rebalances =
+      metrics::Registry::Global().counter("mapper.rebalances");
+  metrics::Counter& measured_splits =
+      metrics::Registry::Global().counter("mapper.measured_splits");
+
+  std::vector<float> equal_u, measured_u;
+  {
+    auto platform = sim::MakeSupercomputerNode(3);
+    runtime::ExecOptions options;
+    apps::RunHeat2dAcc(input, *platform, 3, &equal_u, options);
+  }
+  const std::uint64_t rebalances_before = rebalances.value();
+  const std::uint64_t measured_before = measured_splits.value();
+  {
+    auto platform = sim::MakeSupercomputerNode(3);
+    runtime::ExecOptions options;
+    options.mapper = runtime::TaskMapper::kMeasured;
+    apps::RunHeat2dAcc(input, *platform, 3, &measured_u, options);
+  }
+  EXPECT_GT(rebalances.value(), rebalances_before);
+  EXPECT_GT(measured_splits.value(), measured_before);
+  EXPECT_EQ(measured_u, equal_u);
 }
 
 }  // namespace

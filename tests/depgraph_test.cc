@@ -306,6 +306,41 @@ TEST(SplitPlanTest, ConservativeFallbacksDisableTheSplit) {
   EXPECT_FALSE(ComputeBoundarySplit({}, 1, 3, 10).split);
 }
 
+TEST(SplitPlanTest, NoHaloDistributedArrayStillVetoesTheSplit) {
+  // Regression: the no-halo early-out used to run BEFORE the conservative
+  // vetoes, so a fused offload whose absorbed loop wrote a halo-free array
+  // with clamped ownership boundaries (or unprovable write indices) still
+  // split — and the async pre-exchange could overlap writes landing outside
+  // the computed windows. Both vetoes must fire for every distributed
+  // array, windowed or not.
+  ArraySplitInput clamped = HaloArray(1, 0, 0);
+  clamped.boundaries_exact = false;
+  EXPECT_FALSE(
+      ComputeBoundarySplit({HaloArray(1, 1, 1), clamped}, 1, 3, 10).split);
+
+  ArraySplitInput unbounded = HaloArray(1, 0, 0);
+  unbounded.is_written = true;
+  unbounded.has_affine_writes = false;
+  EXPECT_FALSE(
+      ComputeBoundarySplit({HaloArray(1, 1, 1), unbounded}, 1, 3, 10).split);
+
+  ArraySplitInput skewed = HaloArray(1, 0, 0);
+  skewed.is_written = true;
+  skewed.has_affine_writes = true;
+  skewed.write_coeff = 2;
+  EXPECT_FALSE(
+      ComputeBoundarySplit({HaloArray(1, 1, 1), skewed}, 1, 3, 10).split);
+
+  // A well-behaved no-halo rider must NOT veto — the vetoes are about
+  // unprovable behaviour, not about the absence of a window.
+  ArraySplitInput benign = HaloArray(1, 0, 0);
+  benign.is_written = true;
+  benign.has_affine_writes = true;
+  benign.write_coeff = 1;
+  EXPECT_TRUE(
+      ComputeBoundarySplit({HaloArray(1, 1, 1), benign}, 1, 3, 10).split);
+}
+
 TEST(SplitPlanTest, WidestWindowAcrossArraysWins) {
   const std::vector<ArraySplitInput> arrays{HaloArray(1, 1, 1),
                                             HaloArray(1, 3, 2)};
@@ -424,6 +459,107 @@ TEST(AsyncScheduleEquivalence, RandomizedRunsMatchSynchronous) {
     // overlap win at realistic sizes is asserted by bench_async_overlap.
     EXPECT_LT(async_run.report.total_seconds,
               sync_run.report.total_seconds * 2.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused-stencil async differential (regression for the no-halo veto order)
+// ---------------------------------------------------------------------------
+
+// The first two loops fuse at opt-level 2 (same-thread RAW on s), producing
+// one offload that mixes a halo'd read array (u) with no-halo written
+// riders (s, q) — exactly the shape whose riders the splitter's
+// conservative vetoes used to skip. The third loop cannot fuse (its write
+// of u races the stencil's cross-thread reads) and keeps the dependence
+// chain alive across sweeps.
+constexpr char kFusedStencilSource[] = R"(
+void h(int n, int steps, int* u, int* s, int* q) {
+  #pragma acc data copy(u[0:n], q[0:n]) create(s[0:n])
+  {
+    for (int t = 0; t < steps; t++) {
+      #pragma acc localaccess(u: stride(1), left(1), right(1)) \
+                  (s: stride(1)) (q: stride(1))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        int l = i - 1;
+        int r = i + 1;
+        if (l < 0) { l = 0; }
+        if (r >= n) { r = n - 1; }
+        s[i] = u[l] + u[i] + u[r];
+      }
+      #pragma acc localaccess(s: stride(1)) (q: stride(1))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        q[i] = q[i] + s[i] / 2;
+      }
+      #pragma acc localaccess(u: stride(1)) (q: stride(1))
+      #pragma acc parallel loop
+      for (int i = 0; i < n; i++) {
+        u[i] = u[i] + q[i] / 4;
+      }
+    }
+  }
+})";
+
+struct FusedResult {
+  std::vector<std::int32_t> u;
+  std::vector<std::int32_t> q;
+  RunReport report;
+};
+
+FusedResult RunFusedStencil(const AccProgram& program, int gpus, int n,
+                            int steps, bool async) {
+  auto platform = sim::MakeSupercomputerNode(4);
+  FusedResult out;
+  out.u.resize(static_cast<std::size_t>(n));
+  out.q.assign(static_cast<std::size_t>(n), 1);
+  std::vector<std::int32_t> s(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    out.u[static_cast<std::size_t>(i)] = (i * 53 + 19) % 977;
+  }
+  RunConfig config{.platform = platform.get(), .num_gpus = gpus};
+  config.options.async_pipeline = async;
+  config.options.validate = async;
+  ProgramRunner runner(program, config);
+  runner.BindArray("u", out.u.data(), ir::ValType::kI32, n);
+  runner.BindArray("s", s.data(), ir::ValType::kI32, n);
+  runner.BindArray("q", out.q.data(), ir::ValType::kI32, n);
+  runner.BindScalar("n", static_cast<std::int64_t>(n));
+  runner.BindScalar("steps", static_cast<std::int64_t>(steps));
+  out.report = runner.Run("h");
+  return out;
+}
+
+TEST(AsyncScheduleEquivalence, FusedStencilMatchesSynchronous) {
+  translator::CompileOptions copts;
+  copts.opt_level = 2;
+  const auto program =
+      AccProgram::FromSource("h", kFusedStencilSource, copts);
+  int fusions = 0;
+  for (const auto& offload : program.compiled().functions[0].offloads) {
+    if (!offload.fused.empty()) {
+      fusions += static_cast<int>(offload.fused.size()) - 1;
+    }
+  }
+  EXPECT_GE(fusions, 1) << "the stencil+consumer pair no longer fuses — "
+                           "this differential would not cover the fused "
+                           "no-halo-rider shape";
+
+  for (const int gpus : {1, 2, 4}) {
+    SCOPED_TRACE("gpus=" + std::to_string(gpus));
+    const FusedResult sync_run =
+        RunFusedStencil(program, gpus, 201, 3, false);
+    const FusedResult async_run =
+        RunFusedStencil(program, gpus, 201, 3, true);
+    EXPECT_EQ(async_run.u, sync_run.u);
+    EXPECT_EQ(async_run.q, sync_run.q);
+    EXPECT_EQ(async_run.report.validator.divergences, 0u);
+    const sim::PlatformCounters& cs = sync_run.report.counters;
+    const sim::PlatformCounters& ca = async_run.report.counters;
+    EXPECT_EQ(ca.h2d_bytes, cs.h2d_bytes);
+    EXPECT_EQ(ca.d2h_bytes, cs.d2h_bytes);
+    EXPECT_EQ(ca.p2p_bytes, cs.p2p_bytes);
+    EXPECT_EQ(ca.p2p_transfers, cs.p2p_transfers);
   }
 }
 

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "frontend/lexer.h"
 #include "frontend/parser.h"
+#include "frontend/printer.h"
 #include "frontend/sema.h"
 
 namespace accmg::frontend {
@@ -335,6 +336,56 @@ void f(float* a, float* b, int n) {
   ASSERT_NE(local->local_access[0].right, nullptr);
   EXPECT_EQ(local->local_access[1].array, "b");
   EXPECT_EQ(local->local_access[1].stride, nullptr);  // defaults
+}
+
+TEST(PragmaTest, LocalAccessColsForm) {
+  const auto program = Analyze(R"(
+void f(float* u, float* v, int n, int m) {
+  #pragma acc localaccess(u: cols(m), left(1), right(1)) (v: cols(m))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { int x = 0; }
+})");
+  const Directive* local =
+      FirstStmt(*program).FindDirective(DirectiveKind::kLocalAccess);
+  ASSERT_NE(local, nullptr);
+  ASSERT_EQ(local->local_access.size(), 2u);
+  EXPECT_EQ(local->local_access[0].array, "u");
+  ASSERT_NE(local->local_access[0].cols, nullptr);
+  EXPECT_EQ(local->local_access[0].stride, nullptr);
+  ASSERT_NE(local->local_access[0].left, nullptr);
+  ASSERT_NE(local->local_access[1].cols, nullptr);
+  EXPECT_EQ(local->local_access[1].left, nullptr);
+  // The printer round-trips the 2-D form verbatim.
+  const std::string text = PrintProgram(*program);
+  EXPECT_NE(text.find("cols(m)"), std::string::npos) << text;
+  EXPECT_NE(text.find("left(1)"), std::string::npos) << text;
+}
+
+TEST(PragmaTest, TwoDSectionsParseAndPrint) {
+  const auto program = Analyze(R"(
+void f(float* u, int n, int m) {
+  #pragma acc data copy(u[0:n][0:m])
+  { }
+})");
+  const Directive* data =
+      FirstStmt(*program).FindDirective(DirectiveKind::kData);
+  ASSERT_NE(data, nullptr);
+  ASSERT_EQ(data->data_clauses.size(), 1u);
+  const ArraySection& section = data->data_clauses[0].sections[0];
+  ASSERT_NE(section.lower2, nullptr);
+  ASSERT_NE(section.length2, nullptr);
+  const std::string text = PrintProgram(*program);
+  EXPECT_NE(text.find("u[0:n][0:m]"), std::string::npos) << text;
+}
+
+TEST(PragmaTest, StrideAndColsAreMutuallyExclusive) {
+  EXPECT_THROW(Analyze(R"(
+void f(float* u, int n, int m) {
+  #pragma acc localaccess(u: stride(1), cols(m))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { int x = 0; }
+})"),
+               CompileError);
 }
 
 TEST(PragmaTest, ReductionToArray) {

@@ -253,6 +253,89 @@ void f(int n, int k, int* keys, int* counts, float* vals, float* sums) {
   EXPECT_EQ(offload.kernel.array_reductions.size(), 2u);
 }
 
+// --- 2-D row-block (localaccess cols) analysis ---
+
+const ArrayConfig* ConfigOf(const LoopOffload& offload,
+                            const std::string& name) {
+  for (const auto& config : offload.arrays) {
+    if (config.name == name) return &config;
+  }
+  return nullptr;
+}
+
+TEST(WriteLocalityTest, ColsWritesProvenRowLocal) {
+  // index = i*m + j with j in [0, m): the write polynomial proof must land
+  // every store inside the iteration's own row, eliminating miss checks.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, int m, float* u, float* v) {
+  #pragma acc localaccess(u: cols(m), left(1), right(1)) (v: cols(m))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < m; j++) {
+      v[i * m + j] = u[i * m + j] * 0.5f;
+    }
+  }
+})", /*opt_level=*/0);
+  const LoopOffload& offload = OnlyOffload(compiled);
+  const ArrayConfig* v = ConfigOf(offload, "v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->is_written);
+  EXPECT_TRUE(v->writes_proven_local);
+}
+
+TEST(WriteLocalityTest, CrossRowColsWriteIsNotProven) {
+  // The store index i*m + j + 1 can step into row i+1 at j == m-1, so the
+  // row-locality proof must fail and the miss check must stay.
+  const Compiled compiled = CompileSource(R"(
+void f(int n, int m, float* u, float* v) {
+  #pragma acc localaccess(u: cols(m)) (v: cols(m))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < m; j++) {
+      v[i * m + j + 1] = u[i * m + j];
+    }
+  }
+})", /*opt_level=*/0);
+  const ArrayConfig* v = ConfigOf(OnlyOffload(compiled), "v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->writes_proven_local);
+}
+
+TEST(CheckTest, ColsHaloTooNarrowIsACompileError) {
+  // An unclamped read of the previous row under a zero-row left halo: with
+  // a constant row length the checker's slack polynomial collapses to the
+  // constant -8 (provably escapes the window), so compilation must fail,
+  // not miscompute.
+  EXPECT_THROW(CompileSource(R"(
+void f(int n, float* u, float* v) {
+  #pragma acc localaccess(u: cols(8)) (v: cols(8))
+  #pragma acc parallel loop
+  for (int i = 1; i < n; i++) {
+    for (int j = 0; j < 8; j++) {
+      v[i * 8 + j] = u[(i - 1) * 8 + j];
+    }
+  }
+})"),
+               CompileError);
+}
+
+TEST(CheckTest, ColsRowHaloCoversVerticalStencilReads) {
+  // The same previous-row read compiles once the spec grants left(1).
+  const Compiled compiled = CompileSource(R"(
+void f(int n, int m, float* u, float* v) {
+  #pragma acc localaccess(u: cols(m), left(1)) (v: cols(m))
+  #pragma acc parallel loop
+  for (int i = 1; i < n; i++) {
+    for (int j = 0; j < m; j++) {
+      v[i * m + j] = u[(i - 1) * m + j];
+    }
+  }
+})", /*opt_level=*/0);
+  const ArrayConfig* u = ConfigOf(OnlyOffload(compiled), "u");
+  ASSERT_NE(u, nullptr);
+  EXPECT_NE(u->cols, nullptr);
+}
+
 // --- rejection cases ---
 
 TEST(CompileTest, RejectsNonCanonicalLoops) {
@@ -583,6 +666,36 @@ void f(int n, float s, float* a, float* b) {
 })");
   EXPECT_EQ(compiled.program.functions.at(0).offloads.size(), 1u);
   EXPECT_EQ(FusionCount(compiled.program), 1);
+}
+
+TEST(FusionTest, MismatchedColsSpecsBail) {
+  // Two otherwise-fusable loops whose localaccess specs disagree on the
+  // 2-D row length of a rider array: merging would leave the fused offload
+  // with two irreconcilable ownership shapes for `w`, so it must bail.
+  const Compiled mismatch = CompileSource(R"(
+void f(int n, float* a, float* b, float* w) {
+  #pragma acc localaccess(a: stride(1)) (w: cols(8))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = w[i * 8]; }
+  #pragma acc localaccess(a: stride(1)) (w: cols(2))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { b[i] = a[i] + w[i * 2]; }
+})");
+  EXPECT_EQ(mismatch.program.functions.at(0).offloads.size(), 2u);
+  EXPECT_EQ(FusionCount(mismatch.program), 0);
+
+  // Control: identical cols specs fuse.
+  const Compiled match = CompileSource(R"(
+void f(int n, float* a, float* b, float* w) {
+  #pragma acc localaccess(a: stride(1)) (w: cols(8))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { a[i] = w[i * 8]; }
+  #pragma acc localaccess(a: stride(1)) (w: cols(8))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) { b[i] = a[i] + w[i * 8]; }
+})");
+  EXPECT_EQ(match.program.functions.at(0).offloads.size(), 1u);
+  EXPECT_EQ(FusionCount(match.program), 1);
 }
 
 }  // namespace

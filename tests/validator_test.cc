@@ -292,6 +292,69 @@ void f(int n, int* a, int* b) {
   EXPECT_EQ(exec.validator()->stats().divergences, 1u);
 }
 
+TEST(ValidatorTest, TwoDDivergenceReportsRowAndColumn) {
+  // Same stale-replica injection, but on a 2-D row-block array: the
+  // divergence message must decode the flat element index into (row, col)
+  // so a wrong-halo bug in a cols() kernel points at the offending row.
+  // `a` stays replicated (no localaccess) exactly like the 1-D injection
+  // test — corrupting one replica is invisible to the dirty-bit machinery —
+  // while `b` is a distributed 2-D row-block array.
+  constexpr char kSource[] = R"(
+void f(int n, int m, int* a, int* b) {
+  #pragma acc localaccess(b: cols(m))
+  #pragma acc parallel loop
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < m; j++) {
+      b[i * m + j] = a[i * m + j] * 2;
+    }
+  }
+}
+)";
+  const AccProgram program = AccProgram::FromSource("f2d", kSource);
+  const translator::CompiledFunction& fn = program.compiled().functions[0];
+  ASSERT_EQ(fn.offloads.size(), 1u);
+
+  auto platform = sim::MakeSupercomputerNode(3);
+  constexpr int rows = 8;
+  constexpr int cols = 8;
+  constexpr int count = rows * cols;
+  std::vector<std::int32_t> a(count), b(count, 0);
+  std::iota(a.begin(), a.end(), 0);
+  ManagedArray ma("a", ir::ValType::kI32, count, a.data(), 3);
+  ManagedArray mb("b", ir::ValType::kI32, count, b.data(), 3);
+  ma.SetShape(rows, cols);
+  mb.SetShape(rows, cols);
+
+  ExecOptions options;
+  options.validate = true;
+  Executor exec(*platform, options, {0, 1});
+  translator::HostEnv env;
+  for (const auto& param : fn.function->params) {
+    if (!param->type.is_pointer) {
+      env.SetScalar(*param, translator::TypedValue::OfInt(
+                                param->name == "n" ? rows : cols));
+    }
+  }
+  auto resolve = [&](const frontend::VarDecl& decl) -> ManagedArray& {
+    return decl.name == "a" ? ma : mb;
+  };
+
+  exec.RunOffload(fn.offloads[0], env, resolve);
+  EXPECT_EQ(exec.validator()->stats().divergences, 0u);
+
+  // Element 42 lives in device 1's row block (rows 4..7): row 5, col 2.
+  ma.shard(1).data->Typed<std::int32_t>()[42] = 999;
+  try {
+    exec.RunOffload(fn.offloads[0], env, resolve);
+    FAIL() << "expected the validator to flag the divergence";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("element 42 (row 5, col 2)"), std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(exec.validator()->stats().divergences, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // All applications, divergence-free under validation
 // ---------------------------------------------------------------------------

@@ -3,9 +3,10 @@
 // validation") on 1-, 2- and 4-GPU configurations and compares the results
 // against the native references. Exits non-zero on the first divergence,
 // reference mismatch, or validator-reported fault. CI runs this as the
-// validate-smoke job (and again as async-smoke with --async-pipeline); it is
-// also a convenient local sanity sweep after touching the data loader, the
-// communication manager, the executor's async pipeline, or codegen.
+// validate-smoke job (and again as async-smoke with --async-pipeline, and as
+// mapper-smoke with --mapper=measured); it is also a convenient local sanity
+// sweep after touching the data loader, the communication manager, the
+// executor's async pipeline, or codegen.
 //
 // Flags:
 //   --async-pipeline   run with ExecOptions::async_pipeline on, exercising
@@ -14,6 +15,9 @@
 //   --opt-level=N      translator mid-end level 0|1|2 (default 1). CI's
 //                      opt-smoke job runs the sweep at --opt-level=2 to
 //                      prove the optimizer is coherence-transparent.
+//   --mapper=MODE      task mapper: equal (default) or measured. CI's
+//                      mapper-smoke job runs the sweep under both modes to
+//                      prove the adaptive mapper never changes results.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -22,7 +26,9 @@
 #include <vector>
 
 #include "apps/bfs/bfs.h"
+#include "apps/heat2d/heat2d.h"
 #include "apps/kmeans/kmeans.h"
+#include "apps/lattice/lattice.h"
 #include "apps/md/md.h"
 #include "apps/spmv/spmv.h"
 #include "common/error.h"
@@ -128,6 +134,40 @@ void RunSpmv(int gpus) {
   }
 }
 
+void RunHeat2d(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options = base_options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeHeat2dInput(41, 14, 5);
+  const std::vector<float> expected = accmg::apps::Heat2dReference(input);
+  std::vector<float> u;
+  try {
+    const auto report =
+        accmg::apps::RunHeat2dAcc(input, *platform, gpus, &u, options,
+                               base_copts);
+    Report("heat2d", gpus, report, u == expected);
+  } catch (const accmg::Error& e) {
+    Fail("heat2d", gpus, e.what());
+  }
+}
+
+void RunLattice(int gpus) {
+  auto platform = accmg::sim::MakeSupercomputerNode(4);
+  accmg::runtime::ExecOptions options = base_options;
+  options.validate = true;
+  const auto input = accmg::apps::MakeLatticeInput(33, 11, 4);
+  const std::vector<float> expected = accmg::apps::LatticeReference(input);
+  std::vector<float> phi;
+  try {
+    const auto report =
+        accmg::apps::RunLatticeAcc(input, *platform, gpus, &phi, options,
+                               base_copts);
+    Report("lattice", gpus, report, phi == expected);
+  } catch (const accmg::Error& e) {
+    Fail("lattice", gpus, e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +181,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       base_copts.opt_level = level;
+    } else if (std::strncmp(argv[i], "--mapper=", 9) == 0) {
+      const char* mode = argv[i] + 9;
+      if (std::strcmp(mode, "equal") == 0) {
+        base_options.mapper = accmg::runtime::TaskMapper::kEqual;
+      } else if (std::strcmp(mode, "measured") == 0) {
+        base_options.mapper = accmg::runtime::TaskMapper::kMeasured;
+      } else {
+        std::fprintf(stderr, "validate_smoke: bad --mapper value '%s'\n", mode);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "validate_smoke: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -150,11 +200,17 @@ int main(int argc, char** argv) {
     std::printf("async pipeline: ON\n");
   }
   std::printf("opt level: %d\n", base_copts.opt_level);
+  std::printf("mapper: %s\n",
+              base_options.mapper == accmg::runtime::TaskMapper::kMeasured
+                  ? "measured"
+                  : "equal");
   for (const int gpus : {1, 2, 4}) {
     RunMd(gpus);
     RunKmeans(gpus);
     RunBfs(gpus);
     RunSpmv(gpus);
+    RunHeat2d(gpus);
+    RunLattice(gpus);
   }
   if (failures > 0) {
     std::fprintf(stderr, "validate_smoke: %d configuration(s) failed\n",
